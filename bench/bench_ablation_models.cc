@@ -1,0 +1,142 @@
+// Section 6.1 ablations:
+//   * stage-type-specific GBDTs vs one general GBDT vs stage-type-as-feature
+//     (paper: output-size R^2 drops 0.91 -> 0.84 and exec-time 0.85 -> 0.72
+//     when stage type becomes a plain feature);
+//   * DNN benchmark with text features (paper: 0.84 exec / 0.89 output —
+//     slightly worse than the GBDTs, far slower to train);
+//   * perfect-cardinality inputs (paper: R^2 improves only by 0.04-0.05,
+//     showing the models already correct input biases).
+#include <chrono>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/predictors.h"
+#include "bench_util.h"
+
+using namespace phoebe;
+
+namespace {
+
+struct EvalResult {
+  double r2_exec = 0.0;
+  double r2_out = 0.0;
+  double train_seconds = 0.0;
+};
+
+EvalResult Evaluate(const bench::BenchEnv& env, const core::PredictorConfig& cfg,
+                    const std::vector<workload::JobInstance>& train_jobs,
+                    const std::vector<workload::JobInstance>& test_jobs,
+                    const telemetry::HistoricStats& train_stats,
+                    const telemetry::HistoricStats& test_stats) {
+  EvalResult r;
+  auto t0 = std::chrono::steady_clock::now();
+  core::StageCostPredictor exec(cfg, core::Target::kExecSeconds);
+  core::PredictorConfig size_cfg = cfg;
+  size_cfg.gbdt.seed = cfg.gbdt.seed + 1;
+  core::StageCostPredictor size(size_cfg, core::Target::kOutputBytes);
+  exec.Train(train_jobs, train_stats).Check();
+  size.Train(train_jobs, train_stats).Check();
+  r.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::vector<double> et, ep, ot, op;
+  for (const auto& job : test_jobs) {
+    auto e = exec.PredictJob(job, test_stats);
+    auto o = size.PredictJob(job, test_stats);
+    for (size_t i = 0; i < job.graph.num_stages(); ++i) {
+      et.push_back(job.truth[i].exec_seconds);
+      ep.push_back(e[i]);
+      ot.push_back(job.truth[i].output_bytes);
+      op.push_back(o[i]);
+    }
+  }
+  r.r2_exec = RSquared(et, ep);
+  r.r2_out = RSquared(ot, op);
+  return r;
+}
+
+/// Clone jobs with the estimate channel's cardinalities replaced by truth
+/// ("perfect cardinality estimation as inputs", §6.1).
+std::vector<workload::JobInstance> PerfectCardinality(
+    const std::vector<workload::JobInstance>& jobs,
+    const workload::WorkloadGenerator& gen) {
+  std::vector<workload::JobInstance> out = jobs;
+  for (auto& job : out) {
+    double row_bytes =
+        gen.templates()[static_cast<size_t>(job.template_id)].row_bytes;
+    for (size_t i = 0; i < job.graph.num_stages(); ++i) {
+      job.est[i].est_output_bytes = job.truth[i].output_bytes;
+      job.est[i].est_cardinality = job.truth[i].output_bytes / row_bytes;
+      job.est[i].est_input_cardinality = job.truth[i].input_bytes / row_bytes;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Section 6.1 (ablations)",
+                "Model-architecture and input ablations for the stage cost models.");
+
+  auto env = bench::MakeEnv(60, 5, 1);
+  std::vector<workload::JobInstance> train_jobs;
+  for (int d = 0; d < env.train_days; ++d) {
+    for (const auto& j : env.repo.Day(d)) train_jobs.push_back(j);
+  }
+  const auto& test_jobs = env.TestDay(0);
+  auto train_stats = env.repo.StatsBefore(env.train_days - 1);
+  auto test_stats = env.StatsForTestDay(0);
+
+  TablePrinter table(
+      {"model", "R^2 exec", "R^2 output", "train s", "paper exec", "paper output"});
+
+  core::PredictorConfig per_type;  // defaults: per-stage-type GBDT
+  per_type.gbdt.num_trees = 80;
+  auto a = Evaluate(env, per_type, train_jobs, test_jobs, train_stats, test_stats);
+  table.AddRow({"GBDT per stage type", StrFormat("%.3f", a.r2_exec),
+                StrFormat("%.3f", a.r2_out), StrFormat("%.2f", a.train_seconds),
+                "0.85", "0.91"});
+
+  core::PredictorConfig general = per_type;
+  general.kind = core::ModelKind::kGbdtGeneral;
+  auto b = Evaluate(env, general, train_jobs, test_jobs, train_stats, test_stats);
+  table.AddRow({"GBDT general", StrFormat("%.3f", b.r2_exec),
+                StrFormat("%.3f", b.r2_out), StrFormat("%.2f", b.train_seconds), "-",
+                "-"});
+
+  core::PredictorConfig as_feature = general;
+  as_feature.features.stage_type_id = true;
+  auto c = Evaluate(env, as_feature, train_jobs, test_jobs, train_stats, test_stats);
+  table.AddRow({"GBDT, stage-type as feature", StrFormat("%.3f", c.r2_exec),
+                StrFormat("%.3f", c.r2_out), StrFormat("%.2f", c.train_seconds),
+                "0.72", "0.84"});
+
+  core::PredictorConfig dnn;
+  dnn.kind = core::ModelKind::kMlpGeneral;
+  dnn.features.text = true;  // word-embedding role: hashed char n-grams
+  dnn.mlp.hidden = {64, 64};
+  dnn.mlp.epochs = 30;
+  auto d = Evaluate(env, dnn, train_jobs, test_jobs, train_stats, test_stats);
+  table.AddRow({"DNN + text features", StrFormat("%.3f", d.r2_exec),
+                StrFormat("%.3f", d.r2_out), StrFormat("%.2f", d.train_seconds), "0.84",
+                "0.89"});
+
+  auto perfect_train = PerfectCardinality(train_jobs, *env.gen);
+  auto perfect_test = PerfectCardinality(test_jobs, *env.gen);
+  auto e = Evaluate(env, per_type, perfect_train, perfect_test, train_stats, test_stats);
+  table.AddRow({"GBDT per type + perfect card.", StrFormat("%.3f", e.r2_exec),
+                StrFormat("%.3f", e.r2_out), StrFormat("%.2f", e.train_seconds),
+                "+0.04-0.05", "+0.04-0.05"});
+
+  table.Print();
+  std::printf("\nperfect-cardinality delta: exec %+.3f, output %+.3f "
+              "(paper: +0.04-0.05 — models already absorb input bias)\n",
+              e.r2_exec - a.r2_exec, e.r2_out - a.r2_out);
+  std::printf("DNN vs GBDT training time: %.1fx slower "
+              "(paper: ~40 h vs minutes)\n",
+              d.train_seconds / std::max(1e-9, a.train_seconds));
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Ablation for the §5.4/§5.5 two-phase design: per-job cuts first, then a
+// *separate* admission step under the global-storage budget. Compares the
+// paper's online threshold knapsack against alternatives at the same budget:
+//
+//   online-threshold   the paper's policy (calibrated pi*, arrival order)
+//   greedy-estimated   offline sort by estimated value/weight (needs the
+//                      whole day up front — not deployable online)
+//   greedy-oracle      offline sort by *realized* value/weight (upper bound)
+//   fifo               accept in arrival order until the budget is gone
+//
+// The paper's claim: the simple threshold policy captures most of the
+// offline-greedy value while remaining a one-pass online rule.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/knapsack.h"
+#include "bench_util.h"
+
+using namespace phoebe;
+
+namespace {
+
+struct Candidate {
+  double weight = 0.0;          // estimated global bytes
+  double est_value = 0.0;       // predicted objective (byte-seconds)
+  double realized_value = 0.0;  // realized byte-seconds saved
+};
+
+}  // namespace
+
+int main() {
+  bench::Banner("Two-phase budget ablation (§5.4/§5.5)",
+                "Admission policies at the same global-storage budget; value "
+                "is realized temp byte-seconds saved.");
+
+  auto env = bench::MakeEnv(60, 5, 2);
+  core::BackTester tester(env.phoebe.get(), bench::kMtbfSeconds);
+
+  auto collect = [&](int day) {
+    std::vector<Candidate> out;
+    auto stats = env.StatsForTestDay(day);
+    for (const auto& job : env.TestDay(day)) {
+      if (job.graph.num_stages() < 2) continue;
+      auto cut = tester.ChooseCut(job, core::Approach::kMlStacked,
+                                  core::Objective::kTempStorage, stats);
+      cut.status().Check();
+      if (cut->cut.empty() || cut->global_bytes <= 0) continue;
+      out.push_back({cut->global_bytes, cut->objective,
+                     core::RealizedTempSaving(job, cut->cut) * job.TempByteSeconds()});
+    }
+    return out;
+  };
+  auto history = collect(0);   // calibration day
+  auto stream = collect(1);    // evaluation day
+  double demand = 0.0, total_value = 0.0;
+  for (const auto& c : stream) {
+    demand += c.weight;
+    total_value += c.realized_value;
+  }
+
+  auto greedy = [&](bool oracle, double budget) {
+    std::vector<size_t> order(stream.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      auto ratio = [&](const Candidate& c) {
+        return (oracle ? c.realized_value : c.est_value) / c.weight;
+      };
+      return ratio(stream[a]) > ratio(stream[b]);
+    });
+    double used = 0.0, value = 0.0;
+    for (size_t i : order) {
+      if (used + stream[i].weight > budget) continue;
+      used += stream[i].weight;
+      value += stream[i].realized_value;
+    }
+    return value;
+  };
+
+  auto fifo = [&](double budget, Rng* rng) {
+    std::vector<size_t> order(stream.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng->Shuffle(&order);
+    double used = 0.0, value = 0.0;
+    for (size_t i : order) {
+      if (used + stream[i].weight > budget) continue;
+      used += stream[i].weight;
+      value += stream[i].realized_value;
+    }
+    return value;
+  };
+
+  auto online = [&](double budget, Rng* rng) {
+    std::vector<core::KnapsackItem> hist_items;
+    for (const auto& c : history) hist_items.push_back({c.weight, c.est_value});
+    auto k = core::OnlineKnapsack::Calibrate(budget,
+                                             static_cast<double>(stream.size()),
+                                             hist_items);
+    k.status().Check();
+    std::vector<size_t> order(stream.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng->Shuffle(&order);
+    double value = 0.0;
+    for (size_t i : order) {
+      if (k->Offer({stream[i].weight, stream[i].est_value})) {
+        value += stream[i].realized_value;
+      }
+    }
+    return value;
+  };
+
+  TablePrinter table({"budget", "online-threshold %", "greedy-estimated %",
+                      "greedy-oracle %", "fifo %"});
+  for (double frac : {0.1, 0.2, 0.3, 0.5, 0.8}) {
+    double budget = frac * demand;
+    RunningStats on, ff;
+    Rng rng(77);
+    for (int trial = 0; trial < 15; ++trial) {
+      on.Add(online(budget, &rng));
+      ff.Add(fifo(budget, &rng));
+    }
+    table.AddRow(StrFormat("%.0f%%", 100 * frac),
+                 {100 * on.mean() / total_value,
+                  100 * greedy(false, budget) / total_value,
+                  100 * greedy(true, budget) / total_value,
+                  100 * ff.mean() / total_value},
+                 1);
+  }
+  table.Print();
+  std::printf("\nreading: the one-pass threshold policy should sit between fifo "
+              "and offline greedy,\ncapturing most of the oracle's value "
+              "without seeing the day in advance (paper's design rationale).\n");
+  return 0;
+}

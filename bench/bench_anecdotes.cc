@@ -1,0 +1,101 @@
+// Section 6.5 anecdotes, reproduced as measurements:
+//  1. Storage-skewed SKU: clearing temp data early lets more containers run
+//     per machine (paper: up to +28% on a new SKU whose SSDs did not scale
+//     with CPU cores).
+//  2. Splitting an extremely large job at a checkpoint gives the second half
+//     fresh statistics, collapsing the compounded estimate errors that made
+//     the original plan sub-optimal (paper: one job went from 30+ h to 20+ h
+//     after splitting).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "bench_util.h"
+
+using namespace phoebe;
+
+int main() {
+  bench::Banner("Section 6.5 (anecdotes)",
+                "Container density on storage-skewed SKUs; estimate quality "
+                "after splitting a large job at a checkpoint.");
+
+  auto env = bench::MakeEnv(60, 5, 1);
+  core::BackTester tester(env.phoebe.get(), bench::kMtbfSeconds);
+  const auto& jobs = env.TestDay(0);
+  auto stats = env.StatsForTestDay(0);
+
+  // ---- Anecdote 1: containers per machine on the storage-skewed SKU.
+  // Expected temp footprint per container = fleet temp byte-seconds divided
+  // by total container-seconds; checkpointing cuts the numerator.
+  double base_bs = 0.0, ckpt_bs = 0.0, container_seconds = 0.0;
+  for (const auto& job : jobs) {
+    if (job.graph.num_stages() < 2) continue;
+    base_bs += job.TempByteSeconds();
+    auto cut = tester.ChooseCut(job, core::Approach::kMlStacked,
+                                core::Objective::kTempStorage, stats);
+    cut.status().Check();
+    ckpt_bs += (1.0 - core::RealizedTempSaving(job, cut->cut)) * job.TempByteSeconds();
+    for (const auto& t : job.truth) {
+      container_seconds += static_cast<double>(t.num_tasks) * t.exec_seconds;
+    }
+  }
+  cluster::ClusterConfig ccfg;
+  cluster::ClusterSimulator sim(ccfg);
+  const int kSkewedSku = 1;  // "Gen4_compute": many cores per SSD GB
+  double per_container_base = base_bs / container_seconds;
+  double per_container_ckpt = ckpt_bs / container_seconds;
+  // Headroom factor: a container must fit its peak footprint, not the mean.
+  const double kPeakFactor = 18.0;
+  int before = sim.MaxContainersForFootprint(kSkewedSku, per_container_base * kPeakFactor);
+  int after = sim.MaxContainersForFootprint(kSkewedSku, per_container_ckpt * kPeakFactor);
+  std::printf("--- Anecdote 1: containers per machine (SKU %s) ---\n",
+              ccfg.skus[kSkewedSku].name.c_str());
+  std::printf("temp footprint per container: %.2f -> %.2f GB*s/s\n",
+              per_container_base / 1e9, per_container_ckpt / 1e9);
+  std::printf("containers per machine: %d -> %d (%+.0f%%; paper: up to +28%%)\n\n",
+              before, after, 100.0 * (after - before) / std::max(1, before));
+
+  // ---- Anecdote 2: estimate quality after splitting at the checkpoint.
+  // Stages downstream of the cut see estimates whose errors compounded
+  // through the whole upstream plan. If the job is split at the cut, the
+  // optimizer re-plans with *measured* statistics at the boundary: the
+  // compounded component of the error disappears. We quantify the QError of
+  // downstream-stage cost estimates before vs after the split.
+  const workload::JobInstance* big = nullptr;
+  for (const auto& job : jobs) {
+    if (!big || job.graph.num_stages() > big->graph.num_stages()) big = &job;
+  }
+  auto cut = tester.ChooseCut(*big, core::Approach::kMlStacked,
+                              core::Objective::kTempStorage, stats);
+  cut.status().Check();
+
+  std::vector<double> q_before, q_after;
+  const auto& tmpl = env.gen->templates()[static_cast<size_t>(big->template_id)];
+  for (size_t u = 0; u < big->graph.num_stages(); ++u) {
+    if (!cut->cut.empty() && cut->cut.before_cut[u]) continue;  // downstream only
+    double truth = big->truth[u].exec_seconds;
+    q_before.push_back(QError(truth, big->est[u].est_exclusive_cost));
+    // After the split, depth restarts at the checkpoint: errors no longer
+    // compound across the cut. Model the re-estimated cost by removing the
+    // depth-driven error component (keep the per-stage base noise).
+    double d = static_cast<double>(tmpl.depth[u] - 1);
+    double sigma_full = std::sqrt(0.30 * 0.30 + 0.22 * 0.22 * d * d);
+    double log_err = std::log(big->est[u].est_exclusive_cost / truth);
+    double rescaled = log_err * (0.30 / sigma_full);
+    q_after.push_back(QError(truth, truth * std::exp(rescaled)));
+  }
+  std::printf("--- Anecdote 2: job '%s' (%zu stages) split at its checkpoint ---\n",
+              big->job_name.c_str(), big->graph.num_stages());
+  TablePrinter t({"estimate set", "median QError", "p90 QError"});
+  t.AddRow("single monolithic plan", {Median(q_before), Quantile(q_before, 0.9)}, 2);
+  t.AddRow("split at checkpoint (fresh stats)", {Median(q_after), Quantile(q_after, 0.9)},
+           2);
+  t.Print();
+  std::printf("(paper: better-optimized sub-plans cut one production job from "
+              "30+ h to 20+ h)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Section 6.4 overheads: per-job compile-time cost of Phoebe. Paper: metadata
+// and model lookup ~15 ms, scoring + optimization ~1.09 s, against several
+// minutes of end-to-end job compilation. This repo's in-process substrate has
+// no service round-trips, so absolute numbers are far smaller; the breakdown
+// (scoring dominates lookup and optimization) is the shape to compare.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace phoebe;
+
+namespace {
+
+bench::BenchEnv* Env() {
+  static bench::BenchEnv env = bench::MakeEnv(40, 4, 1, /*seed=*/5);
+  return &env;
+}
+
+const workload::JobInstance* BigJob() {
+  const workload::JobInstance* big = nullptr;
+  for (const auto& j : Env()->TestDay(0)) {
+    if (!big || j.graph.num_stages() > big->graph.num_stages()) big = &j;
+  }
+  return big;
+}
+
+void BM_DecideTempStorage(benchmark::State& state) {
+  auto* env = Env();
+  const auto* job = BigJob();
+  double lookup = 0, scoring = 0, optimize = 0;
+  for (auto _ : state) {
+    auto d = env->phoebe->Decide(*job, core::Objective::kTempStorage);
+    d.status().Check();
+    lookup += d->lookup_seconds;
+    scoring += d->scoring_seconds;
+    optimize += d->optimize_seconds;
+    benchmark::DoNotOptimize(d);
+  }
+  double n = static_cast<double>(state.iterations());
+  state.counters["lookup_ms"] = 1e3 * lookup / n;
+  state.counters["scoring_ms"] = 1e3 * scoring / n;
+  state.counters["optimize_ms"] = 1e3 * optimize / n;
+  state.counters["stages"] = static_cast<double>(job->graph.num_stages());
+}
+
+void BM_DecideRecovery(benchmark::State& state) {
+  auto* env = Env();
+  const auto* job = BigJob();
+  for (auto _ : state) {
+    auto d = env->phoebe->Decide(*job, core::Objective::kRecovery);
+    d.status().Check();
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+void BM_ScoreOnly(benchmark::State& state) {
+  auto* env = Env();
+  const auto* job = BigJob();
+  for (auto _ : state) {
+    auto costs = env->phoebe->BuildCosts(*job, core::CostSource::kMlStacked);
+    costs.status().Check();
+    benchmark::DoNotOptimize(costs);
+  }
+}
+
+void BM_TrainPipeline(benchmark::State& state) {
+  auto* env = Env();
+  for (auto _ : state) {
+    core::PhoebePipeline fresh;
+    fresh.Train(env->repo, 0, env->train_days).Check();
+    benchmark::DoNotOptimize(fresh);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DecideTempStorage)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DecideRecovery)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScoreOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrainPipeline)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Section 6.1, PFI analysis: top-5 permutation feature importances of a
+// trained cost model. Paper (one trained model): Estimated Exclusive Cost
+// (0.75), Estimated Cardinality (0.13), Historic MergeJoin Latency (0.10),
+// Estimated Input Cardinality (0.06), Historic Reduce Latency (0.06) — a mix
+// of optimizer estimates and historic statistics.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/features.h"
+#include "ml/gbdt.h"
+#include "ml/importance.h"
+#include "bench_util.h"
+
+using namespace phoebe;
+
+int main() {
+  bench::Banner("Section 6.1 (PFI)",
+                "Permutation feature importance (delta R^2 when shuffling a "
+                "feature) of the general execution-time GBDT.");
+
+  auto env = bench::MakeEnv(60, 5, 1);
+  auto stats = env.StatsForTestDay(0);
+
+  // Train a general model so PFI covers one model over all features.
+  core::StageFeaturizer featurizer;
+  std::vector<workload::JobInstance> train_jobs;
+  for (int d = 0; d < env.train_days; ++d) {
+    for (const auto& j : env.repo.Day(d)) train_jobs.push_back(j);
+  }
+  ml::Dataset train =
+      featurizer.BuildDataset(train_jobs, stats, core::Target::kExecSeconds);
+  ml::GbdtRegressor model;
+  model.Fit(train).Check();
+
+  ml::Dataset test =
+      featurizer.BuildDataset(env.TestDay(0), stats, core::Target::kExecSeconds);
+  Rng rng(5);
+  auto importance = ml::PermutationImportance(model, test, &rng, 3);
+
+  TablePrinter table({"rank", "feature", "delta R^2"});
+  for (size_t i = 0; i < importance.size() && i < 8; ++i) {
+    table.AddRow({StrFormat("%zu", i + 1), importance[i].name,
+                  StrFormat("%.3f", importance[i].delta_r2)});
+  }
+  table.Print();
+  std::printf("\n(paper top-5: Estimated Exclusive Cost 0.75, Estimated Cardinality "
+              "0.13,\n Historic MergeJoin Latency 0.10, Estimated Input Cardinality "
+              "0.06, Historic Reduce Latency 0.06 —\n optimizer estimates and "
+              "historic statistics jointly drive accuracy)\n");
+
+  // Gain-based importance from the trees, as a cross-check.
+  std::printf("\ntraining-gain importance (tree split gains, normalized):\n");
+  auto gain = model.FeatureImportanceGain();
+  TablePrinter gt({"feature", "gain share"});
+  for (size_t f = 0; f < gain.size(); ++f) {
+    gt.AddRow({train.x.feature_names()[f], StrFormat("%.3f", gain[f])});
+  }
+  gt.Print();
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "bench_util.h"
+
+namespace phoebe::bench {
+
+BenchEnv MakeEnv(int num_templates, int train_days, int test_days, uint64_t seed) {
+  workload::WorkloadConfig cfg;
+  cfg.num_templates = num_templates;
+  cfg.seed = seed;
+  BenchEnv env;
+  env.gen = std::make_unique<workload::WorkloadGenerator>(cfg);
+  env.train_days = train_days;
+  env.test_days = test_days;
+  for (int d = 0; d < train_days + test_days; ++d) {
+    env.repo.AddDay(d, env.gen->GenerateDay(d)).Check();
+  }
+  env.phoebe = std::make_unique<core::PhoebePipeline>();
+  if (train_days > 0) env.phoebe->Train(env.repo, 0, train_days).Check();
+  return env;
+}
+
+void Banner(const char* figure, const char* caption) {
+  std::printf("=== %s ===\n%s\n\n", figure, caption);
+}
+
+}  // namespace phoebe::bench

@@ -1,0 +1,50 @@
+// Shared setup for the per-figure bench binaries: a standard workload, a
+// populated repository, and a trained Phoebe pipeline.
+//
+// Scale note: the paper back-tests against hundreds of thousands of
+// production jobs per day; these benches run the same code paths against a
+// generated workload sized to finish on one core in seconds to minutes.
+// EXPERIMENTS.md records paper-vs-measured values for every figure.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+#include "telemetry/repository.h"
+#include "workload/generator.h"
+
+namespace phoebe::bench {
+
+/// \brief One fully-prepared experiment environment.
+struct BenchEnv {
+  std::unique_ptr<workload::WorkloadGenerator> gen;
+  telemetry::WorkloadRepository repo;
+  std::unique_ptr<core::PhoebePipeline> phoebe;
+  int train_days = 0;
+  int test_days = 0;
+
+  /// Jobs of test day `k` (0-based within the test span).
+  const std::vector<workload::JobInstance>& TestDay(int k) const {
+    return repo.Day(train_days + k);
+  }
+  /// Stats available when compiling test-day-`k` jobs.
+  telemetry::HistoricStats StatsForTestDay(int k) const {
+    return repo.StatsBefore(train_days + k);
+  }
+};
+
+/// Build the standard environment: `num_templates` recurring templates,
+/// `train_days` + `test_days` days generated and stored, pipeline trained on
+/// the training span.
+BenchEnv MakeEnv(int num_templates = 60, int train_days = 5, int test_days = 1,
+                 uint64_t seed = 7);
+
+/// Print a standard figure banner.
+void Banner(const char* figure, const char* caption);
+
+/// MTBF used across failure-related benches (seconds).
+inline constexpr double kMtbfSeconds = 12.0 * 3600.0;
+
+}  // namespace phoebe::bench

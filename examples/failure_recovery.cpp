@@ -1,0 +1,97 @@
+// Fast restart of failed jobs: the paper's second application (§5.3, §6.3).
+//
+// For the long-running jobs of one day, Phoebe places a recovery checkpoint
+// (OptCheck2: maximize P_F * T-bar). We then inject task failures with the
+// cluster's MTBF model and compare the wasted work when restarting from
+// scratch vs from the checkpoint — both analytically and with Monte-Carlo
+// failure sampling.
+//
+//   $ ./build/examples/failure_recovery
+#include <algorithm>
+#include <cstdio>
+
+#include "cluster/failure.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+#include "telemetry/repository.h"
+#include "workload/generator.h"
+
+using namespace phoebe;
+
+int main() {
+  const double kMtbfSeconds = 150 * 3600.0;
+
+  workload::WorkloadConfig wcfg;
+  wcfg.num_templates = 80;
+  wcfg.seed = 29;
+  workload::WorkloadGenerator gen(wcfg);
+  telemetry::WorkloadRepository repo;
+  for (int d = 0; d < 6; ++d) repo.AddDay(d, gen.GenerateDay(d)).Check();
+
+  core::PhoebePipeline phoebe;
+  phoebe.Train(repo, 0, 5).Check();
+  core::BackTester tester(&phoebe, kMtbfSeconds);
+  auto stats = repo.StatsBefore(5);
+
+  // Long-running jobs benefit most (Figure 2: failure rate grows with
+  // runtime), so checkpoint the slowest quartile of the day.
+  std::vector<const workload::JobInstance*> jobs;
+  for (const auto& job : repo.Day(5)) {
+    if (job.graph.num_stages() >= 4) jobs.push_back(&job);
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const auto* a, const auto* b) {
+    return a->JobRuntime() > b->JobRuntime();
+  });
+  jobs.resize(std::max<size_t>(1, jobs.size() / 4));
+  std::printf("checkpointing the %zu longest jobs of day 5 (runtimes %s .. %s)\n\n",
+              jobs.size(), HumanDuration(jobs.back()->JobRuntime()).c_str(),
+              HumanDuration(jobs.front()->JobRuntime()).c_str());
+
+  RunningStats analytic_saving, mc_saving, failure_prob;
+  Rng rng(7);
+  for (const auto* job : jobs) {
+    auto cut = tester.ChooseCut(*job, core::Approach::kMlStacked,
+                                core::Objective::kRecovery, stats);
+    cut.status().Check();
+    cluster::FailureModel fm(*job, kMtbfSeconds);
+    failure_prob.Add(fm.JobFailureProb());
+    analytic_saving.Add(fm.RestartSavingFraction(cut->cut));
+
+    // Monte-Carlo: sample failures; on a failure in an after-cut stage at
+    // time t, restarting from scratch wastes t, restarting from the
+    // checkpoint wastes t - recovery_line.
+    double line = fm.RecoveryLine(cut->cut);
+    double clear = cluster::CutClearTime(*job, cut->cut);
+    double wasted_scratch = 0.0, wasted_ckpt = 0.0;
+    int failures = 0;
+    for (int trial = 0; trial < 400; ++trial) {
+      auto f = cluster::SampleFailure(*job, kMtbfSeconds, &rng);
+      if (!f.failed) continue;
+      ++failures;
+      wasted_scratch += f.time;
+      bool covered = !cut->cut.empty() &&
+                     !cut->cut.before_cut[static_cast<size_t>(f.stage)] &&
+                     f.time >= clear;
+      wasted_ckpt += covered ? std::max(0.0, f.time - line) : f.time;
+    }
+    if (failures > 0 && wasted_scratch > 0) {
+      mc_saving.Add(1.0 - wasted_ckpt / wasted_scratch);
+    }
+  }
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"mean job failure probability",
+                StrFormat("%.1f%%", 100 * failure_prob.mean())});
+  table.AddRow({"restart-time saving, analytic (helped failures)",
+                StrFormat("%.1f%%", 100 * analytic_saving.mean())});
+  table.AddRow({"restart-time saving, Monte-Carlo (all failures)",
+                StrFormat("%.1f%%", 100 * mc_saving.mean())});
+  table.Print();
+  std::printf("\n(paper: failed jobs restart 64-68%% faster on average with "
+              "Phoebe's cuts; the Monte-Carlo number also charges failures the "
+              "checkpoint cannot help)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Splitting a huge job at its checkpoint (paper §6.5, second anecdote).
+//
+// Very large SCOPE jobs get bad plans because cardinality-estimate errors
+// compound across thousands of operators. Phoebe's checkpoint gives a natural
+// split point: the second half can be re-planned from *measured* statistics
+// at the cut, collapsing the compounded error (the paper saw one production
+// job drop from 30+ h to 20+ h). This example makes the mechanism visible:
+// it compares downstream cost-estimate quality for the monolithic plan vs the
+// split plan, and renders the split as Graphviz.
+//
+//   $ ./build/examples/job_splitting [--dot]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+#include "dag/dot_export.h"
+#include "telemetry/repository.h"
+#include "workload/generator.h"
+
+using namespace phoebe;
+
+int main(int argc, char** argv) {
+  bool want_dot = argc > 1 && std::strcmp(argv[1], "--dot") == 0;
+
+  workload::WorkloadConfig wcfg;
+  wcfg.num_templates = 60;
+  wcfg.seed = 7;
+  workload::WorkloadGenerator gen(wcfg);
+  telemetry::WorkloadRepository repo;
+  for (int d = 0; d < 6; ++d) repo.AddDay(d, gen.GenerateDay(d)).Check();
+  core::PhoebePipeline phoebe;
+  phoebe.Train(repo, 0, 5).Check();
+  core::BackTester tester(&phoebe, 12 * 3600.0);
+  auto stats = repo.StatsBefore(5);
+
+  // The biggest job of the day is the splitting candidate.
+  const workload::JobInstance* big = nullptr;
+  for (const auto& job : repo.Day(5)) {
+    if (!big || job.graph.num_stages() > big->graph.num_stages()) big = &job;
+  }
+  auto cut = tester.ChooseCut(*big, core::Approach::kMlStacked,
+                              core::Objective::kTempStorage, stats);
+  cut.status().Check();
+
+  if (want_dot) {
+    dag::DotOptions opt;
+    opt.before_cut = cut->cut.before_cut;
+    std::fputs(dag::ToDot(big->graph, opt).c_str(), stdout);
+    return 0;
+  }
+
+  size_t before = 0;
+  for (bool b : cut->cut.before_cut) before += b ? 1 : 0;
+  std::printf("job '%s': %zu stages; split %zu / %zu at the checkpoint\n",
+              big->job_name.c_str(), big->graph.num_stages(), before,
+              big->graph.num_stages() - before);
+
+  // Downstream estimate quality: monolithic vs re-planned-at-the-cut. The
+  // depth-compounded error component disappears when the optimizer re-plans
+  // from measured statistics at the boundary (depth restarts at the cut).
+  const auto& tmpl = gen.templates()[static_cast<size_t>(big->template_id)];
+  const auto& cfg = gen.config();
+  std::vector<double> q_mono, q_split;
+  for (size_t u = 0; u < big->graph.num_stages(); ++u) {
+    if (!cut->cut.empty() && cut->cut.before_cut[u]) continue;
+    double truth = big->truth[u].exec_seconds;
+    q_mono.push_back(QError(truth, big->est[u].est_exclusive_cost));
+    double d = static_cast<double>(tmpl.depth[u] - 1);
+    double sigma_full = std::sqrt(
+        cfg.est_cost_noise_sigma * cfg.est_cost_noise_sigma +
+        cfg.est_cost_depth_sigma * cfg.est_cost_depth_sigma * d * d);
+    double log_err = std::log(big->est[u].est_exclusive_cost / truth);
+    double rescaled = log_err * (cfg.est_cost_noise_sigma / sigma_full);
+    q_split.push_back(QError(truth, truth * std::exp(rescaled)));
+  }
+
+  TablePrinter t({"plan", "downstream stages", "median QError", "p90 QError"});
+  t.AddRow({"monolithic", StrFormat("%zu", q_mono.size()),
+            StrFormat("%.2f", Median(q_mono)), StrFormat("%.2f", Quantile(q_mono, 0.9))});
+  t.AddRow({"split at checkpoint", StrFormat("%zu", q_split.size()),
+            StrFormat("%.2f", Median(q_split)),
+            StrFormat("%.2f", Quantile(q_split, 0.9))});
+  t.Print();
+  std::printf("\nwith order-of-magnitude-accurate costs, the re-planned second "
+              "half gets a near-optimal plan\n(paper: 30+ h -> 20+ h on one "
+              "production job). Run with --dot for a Graphviz rendering.\n");
+  return 0;
+}

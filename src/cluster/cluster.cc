@@ -1,0 +1,238 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <queue>
+
+#include "common/strings.h"
+
+namespace phoebe::cluster {
+
+Status ClusterConfig::Validate() const {
+  if (num_machines < 1) return Status::InvalidArgument("num_machines must be >= 1");
+  if (skus.empty()) return Status::InvalidArgument("at least one SKU required");
+  for (const SkuInfo& s : skus) {
+    if (s.ssd_gb <= 0 || s.slots < 1 || s.weight < 0) {
+      return Status::InvalidArgument(StrFormat("bad SKU '%s'", s.name.c_str()));
+    }
+  }
+  if (mtbf_hours <= 0) return Status::InvalidArgument("mtbf_hours must be > 0");
+  if (local_write_gbps <= 0 || global_write_gbps <= 0) {
+    return Status::InvalidArgument("bandwidths must be > 0");
+  }
+  if (global_replication < 1) return Status::InvalidArgument("replication must be >= 1");
+  return Status::OK();
+}
+
+std::vector<dag::StageId> CheckpointStages(const dag::JobGraph& graph,
+                                           const CutSet& cut) {
+  std::vector<dag::StageId> out;
+  if (cut.empty()) return out;
+  PHOEBE_CHECK(cut.before_cut.size() == graph.num_stages());
+  for (dag::StageId u = 0; u < static_cast<dag::StageId>(graph.num_stages()); ++u) {
+    if (!cut.before_cut[static_cast<size_t>(u)]) continue;
+    for (dag::StageId v : graph.downstream(u)) {
+      if (!cut.before_cut[static_cast<size_t>(v)]) {
+        out.push_back(u);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double GlobalStorageBytes(const workload::JobInstance& job, const CutSet& cut) {
+  double total = 0.0;
+  for (dag::StageId u : CheckpointStages(job.graph, cut)) {
+    total += job.truth[static_cast<size_t>(u)].output_bytes;
+  }
+  return total;
+}
+
+double CutClearTime(const workload::JobInstance& job, const CutSet& cut) {
+  if (cut.empty()) return job.JobRuntime();
+  PHOEBE_CHECK(cut.before_cut.size() == job.graph.num_stages());
+  double clear = 0.0;
+  bool any = false;
+  for (size_t u = 0; u < cut.before_cut.size(); ++u) {
+    if (cut.before_cut[u]) {
+      clear = std::max(clear, job.truth[u].end_time);
+      any = true;
+    }
+  }
+  return any ? clear : job.JobRuntime();
+}
+
+ClusterSimulator::ClusterSimulator(ClusterConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  config_.Validate().Check();
+  // Assign SKUs proportionally to weights, deterministically.
+  double total_w = 0.0;
+  for (const SkuInfo& s : config_.skus) total_w += s.weight;
+  machines_.reserve(static_cast<size_t>(config_.num_machines));
+  double acc = 0.0;
+  size_t sku = 0;
+  for (int m = 0; m < config_.num_machines; ++m) {
+    double target = total_w * (static_cast<double>(m) + 0.5) /
+                    static_cast<double>(config_.num_machines);
+    while (sku + 1 < config_.skus.size() &&
+           acc + config_.skus[sku].weight < target) {
+      acc += config_.skus[sku].weight;
+      ++sku;
+    }
+    machines_.push_back(Machine{m, static_cast<int>(sku)});
+  }
+}
+
+TempUsageReport ClusterSimulator::SimulateTempUsage(
+    const std::vector<workload::JobInstance>& jobs,
+    const std::vector<CutSet>* cuts) {
+  if (cuts) PHOEBE_CHECK(cuts->size() == jobs.size());
+  const size_t nm = machines_.size();
+
+  // Per-stage occupancy intervals: output bytes live on `spread` machines
+  // from stage end until release. Machine choice happens later, in time
+  // order, so the least-loaded policy can see the fleet state at placement
+  // time.
+  struct Interval {
+    double acquire;
+    double release;
+    int spread;
+    double per_machine;
+  };
+  std::vector<Interval> intervals;
+
+  for (size_t ji = 0; ji < jobs.size(); ++ji) {
+    const workload::JobInstance& job = jobs[ji];
+    const CutSet* cut = (cuts && !(*cuts)[ji].empty()) ? &(*cuts)[ji] : nullptr;
+    const double t0 = job.submit_time;
+    const double job_end = t0 + job.JobRuntime();
+    const double clear_time = cut ? t0 + CutClearTime(job, *cut) : job_end;
+
+    for (size_t si = 0; si < job.graph.num_stages(); ++si) {
+      const workload::StageTruth& tr = job.truth[si];
+      if (tr.output_bytes <= 0.0) continue;
+      bool before_cut = cut && cut->before_cut[si];
+      double release = before_cut ? std::max(clear_time, t0 + tr.end_time) : job_end;
+      double acquire = t0 + tr.end_time;
+      if (release <= acquire) continue;
+
+      int spread = std::min<int>(tr.num_tasks, static_cast<int>(nm));
+      spread = std::max(spread, 1);
+      intervals.push_back(Interval{acquire, release,
+                                   spread,
+                                   tr.output_bytes / static_cast<double>(spread)});
+    }
+  }
+
+  std::sort(intervals.begin(), intervals.end(), [](const Interval& a, const Interval& b) {
+    return a.acquire < b.acquire;
+  });
+
+  // Pending releases, earliest first: (time, machine, bytes).
+  struct Release {
+    double time;
+    int machine;
+    double bytes;
+    bool operator>(const Release& o) const { return time > o.time; }
+  };
+  std::priority_queue<Release, std::vector<Release>, std::greater<Release>> releases;
+
+  TempUsageReport report;
+  report.peak_bytes.assign(nm, 0.0);
+  report.machine_sku.resize(nm);
+  for (size_t m = 0; m < nm; ++m) report.machine_sku[m] = machines_[m].sku;
+
+  std::vector<double> current(nm, 0.0);
+  double fleet_current = 0.0;
+  double last_time = intervals.empty() ? 0.0 : intervals.front().acquire;
+  double final_time = last_time;
+  Rng placement = rng_.Fork();
+  std::vector<int> pick_scratch(nm);
+
+  auto advance_to = [&](double time) {
+    while (!releases.empty() && releases.top().time <= time) {
+      Release r = releases.top();
+      releases.pop();
+      report.total_byte_seconds += fleet_current * (r.time - last_time);
+      last_time = r.time;
+      current[static_cast<size_t>(r.machine)] -= r.bytes;
+      fleet_current -= r.bytes;
+    }
+    report.total_byte_seconds += fleet_current * (time - last_time);
+    last_time = time;
+  };
+
+  for (const Interval& iv : intervals) {
+    advance_to(iv.acquire);
+    final_time = std::max(final_time, iv.release);
+
+    if (config_.placement == Placement::kLeastLoaded) {
+      // The `spread` machines with the least temp data right now.
+      std::iota(pick_scratch.begin(), pick_scratch.end(), 0);
+      std::partial_sort(pick_scratch.begin(),
+                        pick_scratch.begin() + iv.spread, pick_scratch.end(),
+                        [&](int a, int b) {
+                          return current[static_cast<size_t>(a)] <
+                                 current[static_cast<size_t>(b)];
+                        });
+      for (int k = 0; k < iv.spread; ++k) {
+        int machine = pick_scratch[static_cast<size_t>(k)];
+        current[static_cast<size_t>(machine)] += iv.per_machine;
+        fleet_current += iv.per_machine;
+        report.peak_bytes[static_cast<size_t>(machine)] =
+            std::max(report.peak_bytes[static_cast<size_t>(machine)],
+                     current[static_cast<size_t>(machine)]);
+        releases.push(Release{iv.release, machine, iv.per_machine});
+      }
+    } else {
+      // Storage-oblivious: random base + stride over the fleet.
+      int64_t base = placement.UniformInt(0, static_cast<int64_t>(nm) - 1);
+      int64_t stride = 1 + placement.UniformInt(0, static_cast<int64_t>(nm) - 1);
+      for (int k = 0; k < iv.spread; ++k) {
+        int machine = static_cast<int>((base + static_cast<int64_t>(k) * stride) %
+                                       static_cast<int64_t>(nm));
+        current[static_cast<size_t>(machine)] += iv.per_machine;
+        fleet_current += iv.per_machine;
+        report.peak_bytes[static_cast<size_t>(machine)] =
+            std::max(report.peak_bytes[static_cast<size_t>(machine)],
+                     current[static_cast<size_t>(machine)]);
+        releases.push(Release{iv.release, machine, iv.per_machine});
+      }
+    }
+    report.fleet_peak_bytes = std::max(report.fleet_peak_bytes, fleet_current);
+  }
+  advance_to(final_time);  // drain remaining releases into the integral
+
+  report.peak_fraction.resize(nm);
+  for (size_t m = 0; m < nm; ++m) {
+    double cap = config_.skus[static_cast<size_t>(machines_[m].sku)].ssd_gb * 1e9;
+    report.peak_fraction[m] = report.peak_bytes[m] / cap;
+  }
+  return report;
+}
+
+double TempUsageReport::FractionAbove(int sku, double fraction) const {
+  size_t total = 0, above = 0;
+  for (size_t m = 0; m < peak_fraction.size(); ++m) {
+    if (machine_sku[m] != sku) continue;
+    ++total;
+    if (peak_fraction[m] >= fraction) ++above;
+  }
+  return total ? static_cast<double>(above) / static_cast<double>(total) : 0.0;
+}
+
+int ClusterSimulator::MaxContainersForFootprint(int sku,
+                                                double bytes_per_container) const {
+  PHOEBE_CHECK(sku >= 0 && static_cast<size_t>(sku) < config_.skus.size());
+  const SkuInfo& info = config_.skus[static_cast<size_t>(sku)];
+  if (bytes_per_container <= 0.0) return info.slots;
+  double fit = info.ssd_gb * 1e9 / bytes_per_container;  // clamp before the
+  if (fit >= static_cast<double>(info.slots)) return info.slots;  // int cast:
+  return std::max(0, static_cast<int>(fit));  // huge ratios overflow int
+
+}
+
+}  // namespace phoebe::cluster

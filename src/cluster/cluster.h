@@ -1,0 +1,119 @@
+// Cluster substrate: machines with SKU-specific local SSDs, task placement,
+// and temp-data storage accounting over time.
+//
+// This module plays the role of the Cosmos cluster for back-testing: it
+// replays generated job instances at machine granularity to measure local
+// SSD pressure (Figure 2 left), and evaluates how checkpoint plans change
+// that pressure (Section 6.2) and per-machine container capacity (§6.5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dag/job_graph.h"
+#include "workload/job_instance.h"
+
+namespace phoebe::cluster {
+
+/// \brief Hardware SKU: local SSD capacity and container slots.
+struct SkuInfo {
+  std::string name;
+  double ssd_gb = 1000.0;   ///< local SSD reserved for temp data
+  int slots = 16;           ///< container slots per machine
+  double weight = 1.0;      ///< share of the fleet with this SKU
+};
+
+/// \brief How a stage's tasks (and hence its temp output) are placed.
+enum class Placement {
+  kRandomSpread,  ///< random machines (YARN-style, storage-oblivious; the
+                  ///< paper's footnote 1 discusses why this stays the default)
+  kLeastLoaded,   ///< place on the machines with the least temp data — the
+                  ///< "SSD-aware scheduler" alternative the paper rejects as
+                  ///< operationally expensive; kept for the ablation bench
+};
+
+/// \brief Cluster shape and physical constants.
+struct ClusterConfig {
+  int num_machines = 200;
+  Placement placement = Placement::kRandomSpread;
+  std::vector<SkuInfo> skus = {
+      {"Gen3_balanced", 1800.0, 16, 0.45},
+      {"Gen4_compute", 1200.0, 24, 0.35},   // storage-skewed: more CPU per SSD GB
+      {"Gen5_dense", 3600.0, 32, 0.20},
+  };
+  double mtbf_hours = 12.0;          ///< mean time between failures per task slot
+  double local_write_gbps = 1.2;     ///< local SSD write bandwidth per task
+  double global_write_gbps = 0.60;   ///< durable-store write bandwidth per task
+  int global_replication = 3;
+  uint64_t seed = 101;
+
+  Status Validate() const;
+};
+
+/// \brief One machine in the simulated fleet.
+struct Machine {
+  int id = 0;
+  int sku = 0;  ///< index into ClusterConfig::skus
+};
+
+/// \brief Decomposition of one job induced by a cut: stages before the cut
+/// (the z_u = 1 set, paper §5), with checkpoint stages derived from it.
+struct CutSet {
+  std::vector<bool> before_cut;  ///< indexed by StageId; empty = no checkpoint
+
+  bool empty() const { return before_cut.empty(); }
+};
+
+/// Checkpoint stages of a cut: before-cut stages with an edge to a stage
+/// after the cut (their outputs must persist to global storage).
+std::vector<dag::StageId> CheckpointStages(const dag::JobGraph& graph,
+                                           const CutSet& cut);
+
+/// Global storage bytes a cut requires: sum of checkpoint stages' outputs.
+double GlobalStorageBytes(const workload::JobInstance& job, const CutSet& cut);
+
+/// Time (relative to job start) at which all before-cut stages have finished
+/// and their temp data can be cleared. Returns job end time for empty cuts.
+double CutClearTime(const workload::JobInstance& job, const CutSet& cut);
+
+/// \brief Per-machine temp-storage usage measured by a replay.
+struct TempUsageReport {
+  std::vector<double> peak_bytes;       ///< per machine
+  std::vector<double> peak_fraction;    ///< per machine, relative to SSD size
+  std::vector<int> machine_sku;         ///< per machine
+  double total_byte_seconds = 0.0;      ///< integral of temp usage over time
+  double fleet_peak_bytes = 0.0;
+
+  /// Fraction of machines of `sku` whose peak exceeded `fraction` of SSD.
+  double FractionAbove(int sku, double fraction) const;
+};
+
+/// \brief Replays job instances on a simulated fleet.
+class ClusterSimulator {
+ public:
+  explicit ClusterSimulator(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  const std::vector<Machine>& machines() const { return machines_; }
+
+  /// Replay the jobs (submitted at their in-day submit times) and account
+  /// temp-storage bytes per machine. `cuts`, if non-null, maps job index ->
+  /// CutSet and clears before-cut temp data at the cut clear time.
+  TempUsageReport SimulateTempUsage(const std::vector<workload::JobInstance>& jobs,
+                                    const std::vector<CutSet>* cuts = nullptr);
+
+  /// Maximum container slots per machine of `sku` such that the expected
+  /// temp-data footprint fits the SSD: slots * per-container footprint <=
+  /// ssd_gb. Used for the §6.5 "+28% containers" anecdote.
+  int MaxContainersForFootprint(int sku, double bytes_per_container) const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<Machine> machines_;
+  Rng rng_;
+};
+
+}  // namespace phoebe::cluster

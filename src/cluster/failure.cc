@@ -1,0 +1,184 @@
+#include "cluster/failure.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phoebe::cluster {
+
+FailureModel::FailureModel(const workload::JobInstance& job, double mtbf_seconds)
+    : job_(job), mtbf_seconds_(mtbf_seconds) {
+  PHOEBE_CHECK(mtbf_seconds > 0.0);
+  stage_fail_.reserve(job.truth.size());
+  for (const workload::StageTruth& t : job.truth) {
+    // P(stage has >= 1 failed task) = 1 - exp(-tasks * task_runtime / MTBF);
+    // for small exponents this matches the paper's delta * v_u approximation.
+    double lam = static_cast<double>(t.num_tasks) * t.exec_seconds / mtbf_seconds;
+    stage_fail_.push_back(1.0 - std::exp(-lam));
+  }
+}
+
+double FailureModel::StageFailureProb(dag::StageId u) const {
+  return stage_fail_[static_cast<size_t>(u)];
+}
+
+double FailureModel::JobFailureProb() const {
+  double no_fail = 1.0;
+  for (double p : stage_fail_) no_fail *= (1.0 - p);
+  return 1.0 - no_fail;
+}
+
+double FailureModel::FailureAfterCutProb(const CutSet& cut) const {
+  // P_F = prod_{before} (1-p_u) * (1 - prod_{after} (1-p_u))  — eq. (35).
+  double no_fail_before = 1.0, no_fail_after = 1.0;
+  for (size_t u = 0; u < stage_fail_.size(); ++u) {
+    bool before = !cut.empty() && cut.before_cut[u];
+    if (before) no_fail_before *= (1.0 - stage_fail_[u]);
+    else no_fail_after *= (1.0 - stage_fail_[u]);
+  }
+  return no_fail_before * (1.0 - no_fail_after);
+}
+
+double FailureModel::ExpectedLossNoCheckpoint() const {
+  // Condition on exactly which stage fails first (independent approximation:
+  // weight each stage by its failure probability).
+  double weight = 0.0, loss = 0.0;
+  for (size_t u = 0; u < stage_fail_.size(); ++u) {
+    weight += stage_fail_[u];
+    loss += stage_fail_[u] * job_.truth[u].end_time;
+  }
+  return weight > 0.0 ? loss / weight : 0.0;
+}
+
+double FailureModel::ExpectedLossWithCut(const CutSet& cut) const {
+  if (cut.empty()) return ExpectedLossNoCheckpoint();
+  // Recovery line: the earliest start among after-cut stages (min TFS of
+  // Group III, constraint (34)). Work before that line is durable once the
+  // checkpoint completes.
+  double recovery_line = 0.0;
+  bool any_after = false;
+  double min_tfs_after = 0.0;
+  for (size_t u = 0; u < cut.before_cut.size(); ++u) {
+    if (!cut.before_cut[u]) {
+      double tfs = job_.truth[u].tfs;
+      if (!any_after || tfs < min_tfs_after) min_tfs_after = tfs;
+      any_after = true;
+    }
+  }
+  if (any_after) recovery_line = min_tfs_after;
+  const double clear_time = CutClearTime(job_, cut);
+
+  double weight = 0.0, loss = 0.0;
+  for (size_t u = 0; u < stage_fail_.size(); ++u) {
+    double p = stage_fail_[u];
+    if (p <= 0.0) continue;
+    double end = job_.truth[u].end_time;
+    double l;
+    if (cut.before_cut[u]) {
+      // Failure before the checkpoint completes: nothing durable yet.
+      l = end;
+    } else {
+      // Failure after the cut: if the checkpoint had completed by the time
+      // this stage ends, only work past the recovery line is lost.
+      l = (end >= clear_time) ? std::max(0.0, end - recovery_line) : end;
+    }
+    weight += p;
+    loss += p * l;
+  }
+  return weight > 0.0 ? loss / weight : 0.0;
+}
+
+double FailureModel::RecoveryLine(const CutSet& cut) const {
+  double line = 0.0;
+  bool any_after = false;
+  for (size_t u = 0; u < stage_fail_.size(); ++u) {
+    bool after = cut.empty() || !cut.before_cut[u];
+    if (after) {
+      double tfs = job_.truth[u].tfs;
+      if (!any_after || tfs < line) line = tfs;
+      any_after = true;
+    }
+  }
+  return any_after ? line : 0.0;
+}
+
+double FailureModel::ExpectedSavingFraction(const CutSet& cut) const {
+  if (cut.empty()) return 0.0;
+  double expected_loss = JobFailureProb() * ExpectedLossNoCheckpoint();
+  if (expected_loss <= 0.0) return 0.0;
+  double saving = FailureAfterCutProb(cut) * RecoveryLine(cut);
+  return std::clamp(saving / expected_loss, 0.0, 1.0);
+}
+
+double FailureModel::RestartSavingFraction(const CutSet& cut) const {
+  if (cut.empty()) return 0.0;
+  double line = RecoveryLine(cut);
+  double weight = 0.0, loss = 0.0;
+  for (size_t u = 0; u < stage_fail_.size(); ++u) {
+    if (cut.before_cut[u]) continue;
+    weight += stage_fail_[u];
+    loss += stage_fail_[u] * job_.truth[u].end_time;
+  }
+  if (weight <= 0.0 || loss <= 0.0) return 0.0;
+  return std::clamp(line * weight / loss, 0.0, 1.0);
+}
+
+double FailureModel::RecoverySavingFraction(const CutSet& cut) const {
+  double base = ExpectedLossNoCheckpoint();
+  if (base <= 0.0) return 0.0;
+  double with = ExpectedLossWithCut(cut);
+  return std::clamp(1.0 - with / base, 0.0, 1.0);
+}
+
+FailureSample SampleFailure(const workload::JobInstance& job, double mtbf_seconds,
+                            Rng* rng) {
+  FailureSample best;
+  for (size_t u = 0; u < job.truth.size(); ++u) {
+    const workload::StageTruth& t = job.truth[u];
+    double lam = static_cast<double>(t.num_tasks) * t.exec_seconds / mtbf_seconds;
+    if (lam <= 0.0) continue;
+    if (!rng->Bernoulli(1.0 - std::exp(-lam))) continue;
+    // Failure occurs uniformly within the stage's execution window.
+    double when = t.start_time + rng->Uniform() * t.exec_seconds;
+    if (!best.failed || when < best.time) {
+      best.failed = true;
+      best.stage = static_cast<dag::StageId>(u);
+      best.time = when;
+    }
+  }
+  return best;
+}
+
+RecoveryReplayResult ReplayRecovery(const workload::JobInstance& job,
+                                    const CutSet& cut, double mtbf_seconds,
+                                    int trials, Rng* rng) {
+  PHOEBE_CHECK(trials > 0);
+  FailureModel fm(job, mtbf_seconds);
+  const double line = fm.RecoveryLine(cut);
+  const double clear = CutClearTime(job, cut);
+
+  RecoveryReplayResult r;
+  r.trials = trials;
+  double wasted_scratch = 0.0, wasted_ckpt = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    FailureSample f = SampleFailure(job, mtbf_seconds, rng);
+    if (!f.failed) continue;
+    ++r.failures;
+    wasted_scratch += f.time;
+    bool covered = !cut.empty() &&
+                   !cut.before_cut[static_cast<size_t>(f.stage)] && f.time >= clear;
+    if (covered) {
+      ++r.helped;
+      wasted_ckpt += std::max(0.0, f.time - line);
+    } else {
+      wasted_ckpt += f.time;
+    }
+  }
+  if (r.failures > 0) {
+    r.mean_wasted_scratch = wasted_scratch / r.failures;
+    r.mean_wasted_ckpt = wasted_ckpt / r.failures;
+    if (wasted_scratch > 0.0) r.saving_fraction = 1.0 - wasted_ckpt / wasted_scratch;
+  }
+  return r;
+}
+
+}  // namespace phoebe::cluster

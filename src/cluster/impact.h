@@ -1,0 +1,33 @@
+// Checkpoint write-impact replay (paper §6.4, Figure 15).
+//
+// Materializing a checkpoint adds a parallel write of the stage output to
+// the 3x-replicated global store. The write runs alongside the rest of the
+// job, so it only extends job latency when it outlasts the remaining work.
+#pragma once
+
+#include "cluster/cluster.h"
+#include "workload/job_instance.h"
+
+namespace phoebe::cluster {
+
+/// \brief Latency / IO impact of one job's checkpoint plan.
+struct ImpactReport {
+  double base_latency = 0.0;      ///< job runtime without checkpointing
+  double new_latency = 0.0;       ///< with checkpoint writes
+  double latency_increase = 0.0;  ///< fraction, (new-base)/base
+
+  double base_io_seconds = 0.0;   ///< total task-seconds spent on IO
+  double new_io_seconds = 0.0;
+  double io_increase = 0.0;       ///< fraction
+
+  double checkpointed_bytes = 0.0;      ///< data persisted to global storage
+  double checkpointed_fraction = 0.0;   ///< vs total temp bytes
+  double temp_saving_fraction = 0.0;    ///< byte-seconds cleared early / total
+};
+
+/// Evaluate the impact of `cut` on `job` under the cluster's bandwidth and
+/// replication constants. An empty cut yields zero impact.
+ImpactReport EvaluateImpact(const workload::JobInstance& job, const CutSet& cut,
+                            const ClusterConfig& config);
+
+}  // namespace phoebe::cluster

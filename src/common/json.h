@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer for dumping experiment results and model
+// artifacts. Write-only by design: nothing in Phoebe needs to parse foreign
+// JSON, and a writer alone cannot be driven out of spec by untrusted input.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace phoebe {
+
+/// \brief Streaming JSON writer with correct escaping and nesting checks.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Object key; must be followed by a value or Begin*.
+  JsonWriter& Key(const std::string& k);
+
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(size_t v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  /// Shorthand: Key(k) followed by Value(v).
+  template <typename T>
+  JsonWriter& KV(const std::string& k, const T& v) {
+    Key(k);
+    return Value(v);
+  }
+
+  /// The serialized document. Valid once all scopes are closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void MaybeComma();
+  void Escape(const std::string& s);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;   // first element in the current scope?
+  bool pending_key_ = false;  // a Key() was emitted, expect a value
+};
+
+}  // namespace phoebe

@@ -1,0 +1,43 @@
+// Common macros used across the Phoebe codebase.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Propagate a non-OK Status from the current function.
+#define PHOEBE_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::phoebe::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Assign the value of a Result<T> to `lhs`, or propagate its error Status.
+#define PHOEBE_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto PHOEBE_CONCAT(_res_, __LINE__) = (rexpr);    \
+  if (!PHOEBE_CONCAT(_res_, __LINE__).ok())         \
+    return PHOEBE_CONCAT(_res_, __LINE__).status(); \
+  lhs = std::move(PHOEBE_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+#define PHOEBE_CONCAT_IMPL(x, y) x##y
+#define PHOEBE_CONCAT(x, y) PHOEBE_CONCAT_IMPL(x, y)
+
+/// Internal invariant check; aborts on violation. Enabled in all build types:
+/// the cost is negligible compared to the simulation work around it, and a
+/// silent invariant break in a simulator invalidates every downstream number.
+#define PHOEBE_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PHOEBE_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define PHOEBE_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PHOEBE_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)

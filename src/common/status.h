@@ -1,0 +1,141 @@
+// Status / Result<T> error handling, following the Arrow/RocksDB idiom:
+// recoverable errors are returned as values, never thrown.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace phoebe {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+  kIoError,
+  kInfeasible,  ///< optimization model has no feasible solution
+  kUnbounded,   ///< optimization model is unbounded
+};
+
+/// \brief Value-semantics error signal.
+///
+/// A Status is cheap to copy in the OK case (empty message). Functions that
+/// can fail return Status (or Result<T> when they also produce a value).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
+  bool IsUnbounded() const { return code_ == StatusCode::kUnbounded; }
+
+  std::string ToString() const;
+
+  /// Abort the process if this status is not OK. For use in tests, examples,
+  /// and benches, where an error is a programming bug.
+  void Check() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Status not OK: %s\n", ToString().c_str());
+      std::abort();
+    }
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                  // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {            // NOLINT implicit
+    PHOEBE_CHECK_MSG(!std::get<Status>(v_).ok(),
+                     "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// Returns the value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(v_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(v_);
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(v_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result holds error: %s\n",
+                   std::get<Status>(v_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> v_;
+};
+
+}  // namespace phoebe

@@ -1,0 +1,33 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace phoebe {
+
+/// Split `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Join pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, const std::string& sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with / ends with / contains `sub`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+bool Contains(const std::string& s, const std::string& sub);
+
+/// Human-readable byte count, e.g. "1.50 GB".
+std::string HumanBytes(double bytes);
+
+/// Human-readable duration from seconds, e.g. "2h 15m".
+std::string HumanDuration(double seconds);
+
+}  // namespace phoebe

@@ -1,0 +1,34 @@
+// Aligned text table, used by benches to print the rows/series of each paper
+// table and figure in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace phoebe {
+
+/// \brief Simple column-aligned table printer.
+///
+/// Usage:
+///   TablePrinter t({"approach", "saving %"});
+///   t.AddRow({"Random", "36.0"});
+///   std::fputs(t.ToString().c_str(), stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: format doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  std::string ToString() const;
+  /// Print to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace phoebe

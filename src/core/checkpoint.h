@@ -1,0 +1,104 @@
+// Checkpoint optimizer — heuristic algorithms (paper §5.2/§5.3/§5.5) and
+// baseline selectors (§6.2/§6.3).
+//
+// The heuristic exploits Proposition 5.1: an optimal single cut is a
+// TTL-threshold set, so sweeping stages in order of (estimated) end time and
+// evaluating the objective at each prefix finds the optimum in O(n log n).
+// A dynamic program extends the sweep to K cuts. Global storage budgets are
+// applied separately (see core/knapsack.h), per the paper's two-phase design.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "dag/job_graph.h"
+
+namespace phoebe::core {
+
+/// \brief Per-stage cost estimates the optimizer consumes. All entries are
+/// indexed by StageId. Different estimate sources (truth, optimizer
+/// estimates, constants, ML predictions) plug into the same fields, which is
+/// how the Figure 12/14 approach comparison is realized.
+struct StageCosts {
+  std::vector<double> output_bytes;
+  std::vector<double> ttl;
+  std::vector<double> end_time;  ///< schedule position; job_end - ttl
+  std::vector<double> tfs;       ///< time from start (recovery objective)
+  std::vector<int> num_tasks;    ///< for failure probabilities
+
+  size_t size() const { return output_bytes.size(); }
+  Status Validate(const dag::JobGraph& graph) const;
+};
+
+/// \brief One selected cut and its predicted value.
+struct CutResult {
+  cluster::CutSet cut;
+  double objective = 0.0;     ///< objective value under the given costs
+  double global_bytes = 0.0;  ///< estimated global storage the cut needs
+};
+
+/// Estimated global storage for a cut: sum of `costs.output_bytes` over the
+/// cut's checkpoint stages.
+double EstimateGlobalBytes(const dag::JobGraph& graph, const StageCosts& costs,
+                           const cluster::CutSet& cut);
+
+/// \brief One candidate cut of the Proposition-5.1 sweep (Figure 6 of the
+/// paper: saving as a function of the checkpoint timestamp).
+struct SweepPoint {
+  dag::StageId stage = dag::kInvalidStage;  ///< last stage entering the cut
+  double end_time = 0.0;      ///< checkpoint timestamp (stage end)
+  double cum_bytes = 0.0;     ///< temp bytes accumulated by then
+  double min_ttl = 0.0;       ///< minimum TTL among before-cut stages
+  double objective = 0.0;     ///< cum_bytes * min_ttl
+};
+
+/// All |S| sweep candidates in end-time order — the curve of Figure 6. The
+/// last point (the full set) is included even though it is not a usable cut.
+Result<std::vector<SweepPoint>> TempStorageSweep(const dag::JobGraph& graph,
+                                                 const StageCosts& costs);
+
+/// OptCheck1 (eq. 27): maximize temp-data saving T = (sum of before-cut
+/// output bytes) * (min TTL among before-cut stages). Returns the best cut;
+/// the objective unit is byte-seconds. If every cut has zero value the empty
+/// cut (objective 0) is returned.
+Result<CutResult> OptimizeTempStorage(const dag::JobGraph& graph,
+                                      const StageCosts& costs);
+
+/// Multi-cut extension of OptCheck1 via dynamic programming over TTL-sorted
+/// prefixes: places up to `num_cuts` cuts, each before-cut group saving
+/// (its bytes) * (min TTL at its cut). Returns one CutResult per cut, ordered
+/// outermost-first (cut c contains cut c-1, constraint (10)).
+Result<std::vector<CutResult>> OptimizeTempStorageMultiCut(const dag::JobGraph& graph,
+                                                           const StageCosts& costs,
+                                                           int num_cuts);
+
+/// OptCheck2 (eq. 33): maximize expected recovery saving P_F * min-TFS(after
+/// cut), with per-task failure probability `delta` (eq. 31). Objective unit:
+/// expected saved seconds.
+Result<CutResult> OptimizeRecovery(const dag::JobGraph& graph, const StageCosts& costs,
+                                   double delta);
+
+/// Weighted multi-objective sweep (§5.5: the optimizer is "adaptive to
+/// different objectives"): maximize
+///   w_temp * T(cut) / T_max + w_recovery * R(cut) / R_max
+/// over end-time-prefix cuts, where T is the OptCheck1 saving, R the
+/// OptCheck2 expected recovery saving, and each term is normalized by its
+/// single-objective optimum so the weights are unitless. With one weight
+/// zero this reduces to (the prefix-family restriction of) the single
+/// objective.
+Result<CutResult> OptimizeWeighted(const dag::JobGraph& graph, const StageCosts& costs,
+                                   double delta, double w_temp, double w_recovery);
+
+// --- Baseline selectors (Figures 12 and 14). -------------------------------
+
+/// Random baseline: cut at a uniformly random prefix of the end-time order.
+Result<CutResult> RandomCut(const dag::JobGraph& graph, const StageCosts& costs,
+                            Rng* rng);
+
+/// Mid-point baseline: stages whose (estimated) end time falls in the first
+/// half of the (estimated) job runtime are placed before the cut.
+Result<CutResult> MidPointCut(const dag::JobGraph& graph, const StageCosts& costs);
+
+}  // namespace phoebe::core

@@ -1,0 +1,200 @@
+#include "core/checkpoint_ip.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace phoebe::core {
+
+namespace {
+constexpr double kByteScale = 1e-9;     // bytes -> GB
+constexpr double kTimeScale = 1.0 / 3600.0;  // seconds -> hours
+}  // namespace
+
+Result<IpResult> SolveTempStorageIp(const dag::JobGraph& graph, const StageCosts& costs,
+                                    const IpOptions& options) {
+  PHOEBE_RETURN_NOT_OK(costs.Validate(graph));
+  if (options.num_cuts < 1) return Status::InvalidArgument("num_cuts must be >= 1");
+  const int ns = static_cast<int>(graph.num_stages());
+  const int ne = static_cast<int>(graph.num_edges());
+  const int nc = options.num_cuts;
+  if (ns < 2) return Status::InvalidArgument("graph too small to cut");
+
+  // Scaled model primitives.
+  std::vector<double> o(static_cast<size_t>(ns)), t_u(static_cast<size_t>(ns));
+  double max_ttl = 0.0;
+  for (int u = 0; u < ns; ++u) {
+    o[static_cast<size_t>(u)] = costs.output_bytes[static_cast<size_t>(u)] * kByteScale;
+    t_u[static_cast<size_t>(u)] = costs.ttl[static_cast<size_t>(u)] * kTimeScale;
+    max_ttl = std::max(max_ttl, t_u[static_cast<size_t>(u)]);
+  }
+  const double big_m = max_ttl + 1.0;
+
+  solver::Model model;
+  // Variable layout.
+  auto z = [&](int c, int u) { return c * ns + u; };  // binaries, first block
+  for (int c = 0; c < nc; ++c) {
+    for (int u = 0; u < ns; ++u) {
+      model.AddBinary(StrFormat("z_%d_%d", c, u));
+    }
+  }
+  std::vector<int> g(static_cast<size_t>(ns));
+  for (int u = 0; u < ns; ++u) {
+    g[static_cast<size_t>(u)] = model.AddContinuous(0.0, 1.0, StrFormat("g_%d", u));
+  }
+  std::vector<std::vector<int>> d(static_cast<size_t>(nc),
+                                  std::vector<int>(static_cast<size_t>(ne)));
+  for (int c = 0; c < nc; ++c) {
+    for (int e = 0; e < ne; ++e) {
+      d[static_cast<size_t>(c)][static_cast<size_t>(e)] =
+          model.AddContinuous(0.0, 1.0, StrFormat("d_%d_%d", c, e));
+    }
+  }
+  std::vector<std::vector<int>> w(static_cast<size_t>(nc),
+                                  std::vector<int>(static_cast<size_t>(ns)));
+  std::vector<int> t_cut(static_cast<size_t>(nc));
+  for (int c = 0; c < nc; ++c) {
+    for (int u = 0; u < ns; ++u) {
+      w[static_cast<size_t>(c)][static_cast<size_t>(u)] =
+          model.AddContinuous(0.0, big_m, StrFormat("w_%d_%d", c, u));
+    }
+    t_cut[static_cast<size_t>(c)] =
+        model.AddContinuous(0.0, big_m, StrFormat("t_%d", c));
+  }
+
+  using solver::LinearExpr;
+  using solver::Sense;
+
+  // (11): d_uv^c - z_u^c + z_v^c >= 0.
+  for (int c = 0; c < nc; ++c) {
+    for (int e = 0; e < ne; ++e) {
+      const dag::Edge& edge = graph.edges()[static_cast<size_t>(e)];
+      LinearExpr ex;
+      ex.Add(d[static_cast<size_t>(c)][static_cast<size_t>(e)], 1.0);
+      ex.Add(z(c, edge.from), -1.0);
+      ex.Add(z(c, edge.to), 1.0);
+      model.AddConstraint(std::move(ex), Sense::kGe, 0.0);
+    }
+  }
+  // (9): g_u >= d_uv^c for edges leaving u.
+  for (int c = 0; c < nc; ++c) {
+    for (int e = 0; e < ne; ++e) {
+      const dag::Edge& edge = graph.edges()[static_cast<size_t>(e)];
+      LinearExpr ex;
+      ex.Add(g[static_cast<size_t>(edge.from)], 1.0);
+      ex.Add(d[static_cast<size_t>(c)][static_cast<size_t>(e)], -1.0);
+      model.AddConstraint(std::move(ex), Sense::kGe, 0.0);
+    }
+  }
+  // (12): sum_c d_uv^c <= 1.
+  if (nc > 1) {
+    for (int e = 0; e < ne; ++e) {
+      LinearExpr ex;
+      for (int c = 0; c < nc; ++c) {
+        ex.Add(d[static_cast<size_t>(c)][static_cast<size_t>(e)], 1.0);
+      }
+      model.AddConstraint(std::move(ex), Sense::kLe, 1.0);
+    }
+  }
+  // (10): z_u^{c-1} <= z_u^c.
+  for (int c = 1; c < nc; ++c) {
+    for (int u = 0; u < ns; ++u) {
+      LinearExpr ex;
+      ex.Add(z(c, u), 1.0);
+      ex.Add(z(c - 1, u), -1.0);
+      model.AddConstraint(std::move(ex), Sense::kGe, 0.0);
+    }
+  }
+  // (24): w_u^c <= t^c + M (1 - dz_u^c), dz^c = z^c - z^{c-1} (z^{-1} = 0).
+  // (25): w_u^c <= M dz_u^c.
+  for (int c = 0; c < nc; ++c) {
+    for (int u = 0; u < ns; ++u) {
+      {
+        LinearExpr ex;
+        ex.Add(w[static_cast<size_t>(c)][static_cast<size_t>(u)], 1.0);
+        ex.Add(t_cut[static_cast<size_t>(c)], -1.0);
+        ex.Add(z(c, u), big_m);
+        if (c > 0) ex.Add(z(c - 1, u), -big_m);
+        model.AddConstraint(std::move(ex), Sense::kLe, big_m);
+      }
+      {
+        LinearExpr ex;
+        ex.Add(w[static_cast<size_t>(c)][static_cast<size_t>(u)], 1.0);
+        ex.Add(z(c, u), -big_m);
+        if (c > 0) ex.Add(z(c - 1, u), big_m);
+        model.AddConstraint(std::move(ex), Sense::kLe, 0.0);
+      }
+      // (26): t^c <= t_u + M (1 - z_u^c).
+      {
+        LinearExpr ex;
+        ex.Add(t_cut[static_cast<size_t>(c)], 1.0);
+        ex.Add(z(c, u), big_m);
+        model.AddConstraint(std::move(ex), Sense::kLe,
+                            t_u[static_cast<size_t>(u)] + big_m);
+      }
+    }
+  }
+
+  // Objective: max sum_u o_u sum_c w_u^c - alpha sum_u o_u g_u.
+  LinearExpr obj;
+  for (int u = 0; u < ns; ++u) {
+    for (int c = 0; c < nc; ++c) {
+      obj.Add(w[static_cast<size_t>(c)][static_cast<size_t>(u)],
+              o[static_cast<size_t>(u)]);
+    }
+    if (options.alpha > 0.0) {
+      obj.Add(g[static_cast<size_t>(u)], -options.alpha * o[static_cast<size_t>(u)]);
+    }
+  }
+  model.SetObjective(std::move(obj), /*maximize=*/true);
+
+  PHOEBE_ASSIGN_OR_RETURN(solver::Solution sol, solver::SolveMilp(model, options.milp));
+
+  IpResult result;
+  result.nodes = sol.nodes;
+  result.pivots = sol.pivots;
+  result.optimal = sol.optimal;
+  result.objective = sol.objective / (kByteScale * kTimeScale);
+
+  // Extract nested cut sets (skip empty/duplicate/full ones).
+  std::vector<cluster::CutSet> raw;
+  for (int c = 0; c < nc; ++c) {
+    cluster::CutSet cut;
+    cut.before_cut.assign(static_cast<size_t>(ns), false);
+    int count = 0;
+    for (int u = 0; u < ns; ++u) {
+      if (sol.values[static_cast<size_t>(z(c, u))] > 0.5) {
+        cut.before_cut[static_cast<size_t>(u)] = true;
+        ++count;
+      }
+    }
+    if (count == 0 || count == ns) continue;
+    if (!raw.empty() && raw.back().before_cut == cut.before_cut) continue;
+    raw.push_back(std::move(cut));
+  }
+
+  // Global bytes: each persisting stage counted once across cuts.
+  std::vector<bool> persisted(static_cast<size_t>(ns), false);
+  for (const cluster::CutSet& cut : raw) {
+    for (dag::StageId u : cluster::CheckpointStages(graph, cut)) {
+      persisted[static_cast<size_t>(u)] = true;
+    }
+  }
+  for (int u = 0; u < ns; ++u) {
+    if (persisted[static_cast<size_t>(u)]) {
+      result.global_bytes += costs.output_bytes[static_cast<size_t>(u)];
+    }
+  }
+  for (cluster::CutSet& cut : raw) {
+    CutResult r;
+    r.global_bytes = EstimateGlobalBytes(graph, costs, cut);
+    r.cut = std::move(cut);
+    result.cuts.push_back(std::move(r));
+  }
+  if (!result.cuts.empty()) result.cuts.front().objective = result.objective;
+  return result;
+}
+
+}  // namespace phoebe::core

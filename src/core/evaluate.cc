@@ -1,0 +1,120 @@
+#include "core/evaluate.h"
+
+#include <algorithm>
+
+#include "cluster/failure.h"
+
+namespace phoebe::core {
+
+const std::string& ApproachName(Approach a) {
+  static const std::map<Approach, std::string> kNames = {
+      {Approach::kRandom, "Random"},
+      {Approach::kMidPoint, "Mid-Point"},
+      {Approach::kOptimizerEst, "Optimizer+EstimatedCost"},
+      {Approach::kConstant, "Optimizer+ConstantCost"},
+      {Approach::kMl, "Optimizer+MLCost"},
+      {Approach::kMlStacked, "Optimizer+MLCost+Stacking"},
+      {Approach::kOptimal, "Optimal"},
+  };
+  return kNames.at(a);
+}
+
+const std::vector<Approach>& AllApproaches() {
+  static const std::vector<Approach> kAll = {
+      Approach::kRandom,   Approach::kMidPoint,  Approach::kOptimizerEst,
+      Approach::kConstant, Approach::kMl,        Approach::kMlStacked,
+      Approach::kOptimal,
+  };
+  return kAll;
+}
+
+double RealizedTempSaving(const workload::JobInstance& job, const cluster::CutSet& cut) {
+  double total = job.TempByteSeconds();
+  if (total <= 0.0 || cut.empty()) return 0.0;
+  double clear = cluster::CutClearTime(job, cut);
+  double saved = 0.0;
+  for (size_t u = 0; u < job.truth.size(); ++u) {
+    if (!cut.before_cut[u]) continue;
+    const workload::StageTruth& t = job.truth[u];
+    double held = std::max(0.0, clear - t.end_time);
+    saved += t.output_bytes * std::max(0.0, t.ttl - held);
+  }
+  return std::clamp(saved / total, 0.0, 1.0);
+}
+
+BackTester::BackTester(const PhoebePipeline* pipeline, double mtbf_seconds,
+                       uint64_t seed)
+    : pipeline_(pipeline), mtbf_seconds_(mtbf_seconds), rng_(seed) {
+  PHOEBE_CHECK(pipeline != nullptr);
+  PHOEBE_CHECK(mtbf_seconds > 0.0);
+}
+
+CostSource BackTester::SourceFor(Approach approach) const {
+  switch (approach) {
+    case Approach::kOptimal: return CostSource::kTruth;
+    case Approach::kOptimizerEst: return CostSource::kOptimizerEstimates;
+    case Approach::kConstant: return CostSource::kConstant;
+    case Approach::kMl: return CostSource::kMlSimulator;
+    case Approach::kMlStacked: return CostSource::kMlStacked;
+    case Approach::kRandom:
+    case Approach::kMidPoint:
+      // Baselines position the cut on the simulated schedule with ML exec
+      // inputs (the schedule source does not matter for Random).
+      return CostSource::kMlSimulator;
+  }
+  return CostSource::kMlSimulator;
+}
+
+Result<CutResult> BackTester::ChooseCut(const workload::JobInstance& job,
+                                        Approach approach, Objective objective,
+                                        const telemetry::HistoricStats& stats) {
+  PHOEBE_ASSIGN_OR_RETURN(StageCosts costs,
+                          pipeline_->BuildCosts(job, SourceFor(approach), stats));
+  switch (approach) {
+    case Approach::kRandom:
+      return RandomCut(job.graph, costs, &rng_);
+    case Approach::kMidPoint:
+      return MidPointCut(job.graph, costs);
+    default:
+      break;
+  }
+  if (objective == Objective::kTempStorage) {
+    return OptimizeTempStorage(job.graph, costs);
+  }
+  return OptimizeRecovery(job.graph, costs, pipeline_->delta());
+}
+
+Result<std::map<Approach, RunningStats>> BackTester::EvaluateTempStorage(
+    const std::vector<workload::JobInstance>& jobs,
+    const telemetry::HistoricStats& stats, const std::vector<Approach>& approaches) {
+  std::map<Approach, RunningStats> out;
+  for (const workload::JobInstance& job : jobs) {
+    if (job.graph.num_stages() < 2) continue;
+    for (Approach a : approaches) {
+      PHOEBE_ASSIGN_OR_RETURN(CutResult cut,
+                              ChooseCut(job, a, Objective::kTempStorage, stats));
+      out[a].Add(RealizedTempSaving(job, cut.cut));
+    }
+  }
+  return out;
+}
+
+Result<std::map<Approach, RunningStats>> BackTester::EvaluateRecovery(
+    const std::vector<workload::JobInstance>& jobs,
+    const telemetry::HistoricStats& stats, const std::vector<Approach>& approaches) {
+  std::map<Approach, RunningStats> out;
+  for (const workload::JobInstance& job : jobs) {
+    if (job.graph.num_stages() < 2) continue;
+    cluster::FailureModel failure(job, mtbf_seconds_);
+    for (Approach a : approaches) {
+      PHOEBE_ASSIGN_OR_RETURN(CutResult cut,
+                              ChooseCut(job, a, Objective::kRecovery, stats));
+      // The paper's §5.3 metric: expected P_F * T-bar under the true
+      // schedule, relative to the expected uncheckpointed loss.
+      out[a].Add(failure.RestartSavingFraction(cut.cut));
+    }
+  }
+  return out;
+}
+
+}  // namespace phoebe::core

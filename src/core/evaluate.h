@@ -1,0 +1,70 @@
+// Back-testing evaluation (paper §6.2/§6.3): choose cuts with each approach's
+// (possibly wrong) estimates, then measure the *realized* value against the
+// ground truth — exactly the paper's ex-post methodology.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/pipeline.h"
+
+namespace phoebe::core {
+
+/// \brief Checkpoint-selection approaches compared in Figures 12 and 14.
+enum class Approach {
+  kRandom,        ///< random cut
+  kMidPoint,      ///< mid-point of the simulated schedule (MP)
+  kOptimizerEst,  ///< optimizer + estimated cost (OP)
+  kConstant,      ///< optimizer + constant cost (OCC)
+  kMl,            ///< optimizer + ML cost models (OML)
+  kMlStacked,     ///< optimizer + ML + stacking model (OMLS)
+  kOptimal,       ///< offline oracle with true costs
+};
+
+const std::string& ApproachName(Approach a);
+const std::vector<Approach>& AllApproaches();
+
+/// Realized temp-data saving fraction of a cut on one job: the byte-seconds
+/// of temp storage released early (at the true cut-clear time) divided by
+/// the job's total temp byte-seconds. In [0, 1].
+double RealizedTempSaving(const workload::JobInstance& job, const cluster::CutSet& cut);
+
+/// \brief Per-approach back-tester.
+class BackTester {
+ public:
+  /// \param pipeline trained Phoebe pipeline (for ML-based approaches)
+  /// \param mtbf_seconds cluster MTBF used for the recovery objective
+  BackTester(const PhoebePipeline* pipeline, double mtbf_seconds, uint64_t seed = 2024);
+
+  /// Choose a cut for `job` with `approach` toward `objective`. Uses the
+  /// given stats view for ML scoring.
+  Result<CutResult> ChooseCut(const workload::JobInstance& job, Approach approach,
+                              Objective objective,
+                              const telemetry::HistoricStats& stats);
+
+  /// Realized temp-saving fraction per approach over a set of jobs
+  /// (Figure 12: one call per day, aggregate across days outside).
+  Result<std::map<Approach, RunningStats>> EvaluateTempStorage(
+      const std::vector<workload::JobInstance>& jobs,
+      const telemetry::HistoricStats& stats,
+      const std::vector<Approach>& approaches = AllApproaches());
+
+  /// Realized recovery-time saving fraction per approach (Figure 14),
+  /// evaluated analytically under the true schedule and failure model.
+  Result<std::map<Approach, RunningStats>> EvaluateRecovery(
+      const std::vector<workload::JobInstance>& jobs,
+      const telemetry::HistoricStats& stats,
+      const std::vector<Approach>& approaches = AllApproaches());
+
+ private:
+  CostSource SourceFor(Approach approach) const;
+
+  const PhoebePipeline* pipeline_;
+  double mtbf_seconds_;
+  Rng rng_;
+};
+
+}  // namespace phoebe::core

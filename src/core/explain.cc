@@ -1,0 +1,94 @@
+#include "core/explain.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace phoebe::core {
+
+Result<std::string> ExplainDecisionJson(const workload::JobInstance& job,
+                                        const StageCosts& costs,
+                                        const CutResult& decision) {
+  PHOEBE_ASSIGN_OR_RETURN(std::vector<SweepPoint> sweep,
+                          TempStorageSweep(job.graph, costs));
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("job").BeginObject();
+  w.KV("id", job.job_id)
+      .KV("name", job.job_name)
+      .KV("template", job.template_id)
+      .KV("stages", job.graph.num_stages());
+  w.EndObject();
+
+  w.Key("sweep").BeginArray();
+  for (const SweepPoint& p : sweep) {
+    w.BeginObject()
+        .KV("stage", job.graph.stage(p.stage).name)
+        .KV("end_time", p.end_time)
+        .KV("cum_bytes", p.cum_bytes)
+        .KV("min_ttl", p.min_ttl)
+        .KV("objective", p.objective)
+        .EndObject();
+  }
+  w.EndArray();
+
+  w.Key("decision").BeginObject();
+  w.KV("has_cut", !decision.cut.empty());
+  w.KV("objective", decision.objective);
+  w.KV("global_bytes", decision.global_bytes);
+  size_t before = 0;
+  if (!decision.cut.empty()) {
+    for (bool b : decision.cut.before_cut) before += b ? 1 : 0;
+  }
+  w.KV("stages_before_cut", before);
+  w.Key("checkpoint_stages").BeginArray();
+  if (!decision.cut.empty()) {
+    for (dag::StageId u : cluster::CheckpointStages(job.graph, decision.cut)) {
+      w.BeginObject()
+          .KV("name", job.graph.stage(u).name)
+          .KV("est_output_bytes", costs.output_bytes[static_cast<size_t>(u)])
+          .KV("est_ttl", costs.ttl[static_cast<size_t>(u)])
+          .EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();  // decision
+  w.EndObject();  // root
+  return w.str();
+}
+
+Result<std::string> ExplainDecisionText(const workload::JobInstance& job,
+                                        const StageCosts& costs,
+                                        const CutResult& decision) {
+  PHOEBE_ASSIGN_OR_RETURN(std::vector<SweepPoint> sweep,
+                          TempStorageSweep(job.graph, costs));
+  std::string out = StrFormat("job '%s' (%zu stages)\n", job.job_name.c_str(),
+                              job.graph.num_stages());
+  if (decision.cut.empty()) {
+    out += "decision: no profitable checkpoint\n";
+    return out;
+  }
+  size_t before = 0;
+  for (bool b : decision.cut.before_cut) before += b ? 1 : 0;
+  out += StrFormat(
+      "decision: cut after %zu stages; predicted saving %.3g byte-seconds; "
+      "global storage %.3g bytes\n",
+      before, decision.objective, decision.global_bytes);
+  out += "checkpoint stages:\n";
+  for (dag::StageId u : cluster::CheckpointStages(job.graph, decision.cut)) {
+    out += StrFormat("  %-28s est output %.3g B, est TTL %.1f s\n",
+                     job.graph.stage(u).name.c_str(),
+                     costs.output_bytes[static_cast<size_t>(u)],
+                     costs.ttl[static_cast<size_t>(u)]);
+  }
+  // Where the chosen point sits on the sweep curve.
+  double peak = 0.0;
+  for (const SweepPoint& p : sweep) peak = std::max(peak, p.objective);
+  out += StrFormat("sweep: %zu candidates, curve peak %.3g byte-seconds\n",
+                   sweep.size(), peak);
+  return out;
+}
+
+}  // namespace phoebe::core

@@ -1,0 +1,25 @@
+// Decision explanation: render why Phoebe chose a cut, as human-readable
+// text or machine-readable JSON (for dashboards / the Workload Insight
+// Service UI the paper's Figure 3 screenshot comes from).
+#pragma once
+
+#include <string>
+
+#include "core/checkpoint.h"
+#include "workload/job_instance.h"
+
+namespace phoebe::core {
+
+/// JSON document describing the decision: job metadata, the sweep curve that
+/// was searched (Figure 6), the chosen cut, and per-checkpoint-stage detail.
+/// `costs` must be the StageCosts the optimizer saw (estimates, not truth).
+Result<std::string> ExplainDecisionJson(const workload::JobInstance& job,
+                                        const StageCosts& costs,
+                                        const CutResult& decision);
+
+/// Compact multi-line text rendering of the same content.
+Result<std::string> ExplainDecisionText(const workload::JobInstance& job,
+                                        const StageCosts& costs,
+                                        const CutResult& decision);
+
+}  // namespace phoebe::core

@@ -1,0 +1,107 @@
+#include "core/fleet.h"
+
+#include <cmath>
+
+#include "cluster/failure.h"
+
+namespace phoebe::core {
+
+std::vector<cluster::CutSet> FleetDayReport::AdmittedCuts() const {
+  std::vector<cluster::CutSet> cuts(outcomes.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].admitted) cuts[i] = outcomes[i].cut;
+  }
+  return cuts;
+}
+
+FleetDriver::FleetDriver(const PhoebePipeline* pipeline, FleetConfig config)
+    : pipeline_(pipeline), config_(config) {
+  PHOEBE_CHECK(pipeline != nullptr);
+}
+
+namespace {
+
+/// Per-job decision under the fleet's objective/source.
+Result<CutResult> DecideOne(const PhoebePipeline& pipeline, const FleetConfig& config,
+                            const workload::JobInstance& job,
+                            const telemetry::HistoricStats& stats) {
+  PHOEBE_ASSIGN_OR_RETURN(StageCosts costs,
+                          pipeline.BuildCosts(job, config.source, stats));
+  if (config.objective == Objective::kTempStorage) {
+    return OptimizeTempStorage(job.graph, costs);
+  }
+  return OptimizeRecovery(job.graph, costs, pipeline.delta());
+}
+
+}  // namespace
+
+Status FleetDriver::Calibrate(const std::vector<workload::JobInstance>& history_jobs,
+                              const telemetry::HistoricStats& history_stats) {
+  calibration_.clear();
+  for (const auto& job : history_jobs) {
+    if (job.graph.num_stages() < 2) continue;
+    PHOEBE_ASSIGN_OR_RETURN(CutResult cut,
+                            DecideOne(*pipeline_, config_, job, history_stats));
+    if (cut.cut.empty() || cut.global_bytes <= 0.0) continue;
+    calibration_.push_back(KnapsackItem{cut.global_bytes, cut.objective});
+  }
+  if (calibration_.empty()) {
+    return Status::FailedPrecondition("no checkpointable jobs in calibration history");
+  }
+  calibrated_ = true;
+  return Status::OK();
+}
+
+Result<FleetDayReport> FleetDriver::RunDay(
+    const std::vector<workload::JobInstance>& jobs,
+    const telemetry::HistoricStats& stats) {
+  const bool budgeted = std::isfinite(config_.storage_budget_bytes);
+  if (budgeted && !calibrated_) {
+    return Status::FailedPrecondition("Calibrate must run before a budgeted RunDay");
+  }
+
+  // Admission policy for the day.
+  std::unique_ptr<OnlineKnapsack> knapsack;
+  if (budgeted) {
+    double arrivals = config_.expected_arrivals > 0.0
+                          ? config_.expected_arrivals
+                          : static_cast<double>(calibration_.size());
+    PHOEBE_ASSIGN_OR_RETURN(
+        OnlineKnapsack k,
+        OnlineKnapsack::Calibrate(config_.storage_budget_bytes, arrivals, calibration_));
+    knapsack = std::make_unique<OnlineKnapsack>(std::move(k));
+  }
+
+  FleetDayReport report;
+  report.outcomes.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    FleetJobOutcome out;
+    out.job_id = job.job_id;
+    report.total_temp_byte_seconds += job.TempByteSeconds();
+    if (job.graph.num_stages() >= 2) {
+      ++report.jobs_considered;
+      PHOEBE_ASSIGN_OR_RETURN(CutResult cut, DecideOne(*pipeline_, config_, job, stats));
+      if (!cut.cut.empty()) {
+        ++report.jobs_with_cut;
+        out.cut = cut.cut;
+        out.predicted_value = cut.objective;
+        bool admit = !knapsack ||
+                     knapsack->Offer(KnapsackItem{cut.global_bytes, cut.objective});
+        if (admit) {
+          out.admitted = true;
+          out.global_bytes = cut.global_bytes;
+          out.realized_value =
+              RealizedTempSaving(job, cut.cut) * job.TempByteSeconds();
+          ++report.jobs_admitted;
+          report.storage_used_bytes += cut.global_bytes;
+          report.realized_saving_byte_seconds += out.realized_value;
+        }
+      }
+    }
+    report.outcomes.push_back(std::move(out));
+  }
+  if (knapsack) report.knapsack_threshold = knapsack->threshold();
+  return report;
+}
+
+}  // namespace phoebe::core

@@ -1,0 +1,82 @@
+// Fleet driver: the day-level production loop (paper §5.4/§5.5, two-step
+// design). For every job submitted in a day it makes the per-job cut
+// decision, admits jobs under the global-storage budget with the online
+// knapsack, and reports what the fleet realized — the layer the Workload
+// Insight Service runs in Figure 4.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/evaluate.h"
+#include "core/knapsack.h"
+#include "core/pipeline.h"
+
+namespace phoebe::core {
+
+/// \brief Fleet-level configuration for one day of decisions.
+struct FleetConfig {
+  Objective objective = Objective::kTempStorage;
+  CostSource source = CostSource::kMlStacked;
+  /// Global-storage budget for the day, in bytes. Infinite admits everything.
+  double storage_budget_bytes = std::numeric_limits<double>::infinity();
+  /// Expected number of checkpointable arrivals per day (lambda * T for the
+  /// knapsack threshold); <= 0 means "use the calibration sample size".
+  double expected_arrivals = 0.0;
+};
+
+/// \brief Decision and outcome for one job of the day.
+struct FleetJobOutcome {
+  int64_t job_id = 0;
+  cluster::CutSet cut;          ///< empty if not checkpointed
+  bool admitted = false;        ///< passed the budget admission
+  double global_bytes = 0.0;    ///< estimated storage (0 if not admitted)
+  double predicted_value = 0.0; ///< optimizer objective (estimate-based)
+  double realized_value = 0.0;  ///< realized byte-seconds saved (admitted only)
+};
+
+/// \brief Aggregate report for the day.
+struct FleetDayReport {
+  std::vector<FleetJobOutcome> outcomes;  ///< one per input job, same order
+  int jobs_considered = 0;
+  int jobs_with_cut = 0;
+  int jobs_admitted = 0;
+  double storage_used_bytes = 0.0;
+  double total_temp_byte_seconds = 0.0;     ///< fleet total (all jobs)
+  double realized_saving_byte_seconds = 0.0;
+  double knapsack_threshold = 0.0;
+
+  double SavingFraction() const {
+    return total_temp_byte_seconds > 0.0
+               ? realized_saving_byte_seconds / total_temp_byte_seconds
+               : 0.0;
+  }
+
+  /// The admitted cuts, aligned with the input job vector (empty CutSet for
+  /// non-admitted jobs) — ready for cluster::ClusterSimulator::SimulateTempUsage.
+  std::vector<cluster::CutSet> AdmittedCuts() const;
+};
+
+/// \brief Runs the per-day decision loop.
+class FleetDriver {
+ public:
+  /// \param pipeline trained pipeline (borrowed; must outlive the driver)
+  FleetDriver(const PhoebePipeline* pipeline, FleetConfig config);
+
+  /// Calibrate the admission threshold from a historical day's decisions.
+  /// Must be called before RunDay when the budget is finite.
+  Status Calibrate(const std::vector<workload::JobInstance>& history_jobs,
+                   const telemetry::HistoricStats& history_stats);
+
+  /// Decide + admit every job of the day (arrival order = vector order).
+  Result<FleetDayReport> RunDay(const std::vector<workload::JobInstance>& jobs,
+                                const telemetry::HistoricStats& stats);
+
+ private:
+  const PhoebePipeline* pipeline_;
+  FleetConfig config_;
+  std::vector<KnapsackItem> calibration_;
+  bool calibrated_ = false;
+};
+
+}  // namespace phoebe::core

@@ -1,0 +1,60 @@
+#include "core/knapsack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace phoebe::core {
+
+Result<OnlineKnapsack> OnlineKnapsack::Calibrate(
+    double capacity, double expected_items, const std::vector<KnapsackItem>& history) {
+  if (capacity < 0.0) return Status::InvalidArgument("capacity must be >= 0");
+  if (expected_items <= 0.0) {
+    return Status::InvalidArgument("expected_items must be > 0");
+  }
+  if (history.empty()) return Status::InvalidArgument("empty calibration history");
+
+  double mean_w = 0.0;
+  std::vector<double> ratios;
+  ratios.reserve(history.size());
+  for (const KnapsackItem& it : history) {
+    if (it.weight < 0.0 || it.value < 0.0) {
+      return Status::InvalidArgument("negative weight or value in history");
+    }
+    mean_w += it.weight;
+    ratios.push_back(it.Ratio());
+  }
+  mean_w /= static_cast<double>(history.size());
+
+  OnlineKnapsack k;
+  k.capacity_ = capacity;
+  k.remaining_ = capacity;
+
+  // p = W / (lambda T E[w]); with zero mean weight everything fits.
+  double expected_total_weight = expected_items * mean_w;
+  k.p_ = expected_total_weight > 0.0
+             ? std::clamp(capacity / expected_total_weight, 0.0, 1.0)
+             : 1.0;
+
+  // pi* = Phi_pi^{-1}(1 - p): the (1 - p) quantile of the ratio sample.
+  std::sort(ratios.begin(), ratios.end());
+  double q = 1.0 - k.p_;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(ratios.size()));
+  if (idx >= ratios.size()) idx = ratios.size() - 1;
+  k.threshold_ = (k.p_ >= 1.0) ? 0.0 : ratios[idx];
+  return k;
+}
+
+bool OnlineKnapsack::Offer(const KnapsackItem& item) {
+  ++offered_;
+  if (item.Ratio() >= threshold_ && item.weight <= remaining_ && item.weight >= 0.0) {
+    remaining_ -= item.weight;
+    accepted_value_ += item.value;
+    ++accepted_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace phoebe::core

@@ -1,0 +1,60 @@
+// Online-knapsack admission for the global storage budget (paper §5.4).
+//
+// Jobs arrive in a stream; each has an (estimated) global-storage weight w_i
+// and a value-to-weight ratio pi_i. The threshold policy accepts a job when
+// pi_i >= pi*, where pi* is the (1 - p) quantile of the pi distribution and
+// p = W / (lambda * T * E[w]) — the fraction of total arriving weight the
+// budget W can hold over period T with arrival rate lambda (Little's law).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace phoebe::core {
+
+/// \brief One candidate job for checkpoint admission.
+struct KnapsackItem {
+  double weight = 0.0;  ///< estimated global storage bytes
+  double value = 0.0;   ///< estimated objective value (byte-seconds saved)
+
+  double Ratio() const { return weight > 0.0 ? value / weight : 0.0; }
+};
+
+/// \brief Threshold-based online knapsack admission policy.
+class OnlineKnapsack {
+ public:
+  /// Calibrate the threshold from a historical sample of items.
+  /// \param capacity     global storage budget W for the period (bytes)
+  /// \param expected_items  lambda * T, the expected number of arrivals
+  /// \param history      sample used to estimate E[w] and the pi quantile
+  static Result<OnlineKnapsack> Calibrate(double capacity, double expected_items,
+                                          const std::vector<KnapsackItem>& history);
+
+  /// Decision rule (eq. 37): accept iff pi_i >= pi* and weight fits the
+  /// remaining budget. Accepting decrements the remaining budget.
+  bool Offer(const KnapsackItem& item);
+
+  double threshold() const { return threshold_; }
+  double remaining() const { return remaining_; }
+  double capacity() const { return capacity_; }
+  double accepted_weight() const { return capacity_ - remaining_; }
+  double accepted_value() const { return accepted_value_; }
+  int64_t accepted_count() const { return accepted_; }
+  int64_t offered_count() const { return offered_; }
+  /// The calibrated selection probability p = W / (lambda T E[w]).
+  double selection_fraction() const { return p_; }
+
+ private:
+  OnlineKnapsack() = default;
+
+  double capacity_ = 0.0;
+  double remaining_ = 0.0;
+  double threshold_ = 0.0;
+  double p_ = 1.0;
+  double accepted_value_ = 0.0;
+  int64_t accepted_ = 0;
+  int64_t offered_ = 0;
+};
+
+}  // namespace phoebe::core

@@ -1,0 +1,219 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "core/simulator.h"
+
+namespace phoebe::core {
+
+PipelineConfig PhoebePipeline::DefaultConfig() {
+  PipelineConfig cfg;
+  cfg.exec_predictor.kind = ModelKind::kGbdtPerStageType;
+  cfg.exec_predictor.gbdt.num_trees = 80;
+  cfg.exec_predictor.gbdt.num_leaves = 31;
+  cfg.exec_predictor.gbdt.min_data_in_leaf = 20;
+  cfg.size_predictor = cfg.exec_predictor;
+  cfg.size_predictor.gbdt.seed = 1043;
+  return cfg;
+}
+
+PhoebePipeline::PhoebePipeline(PipelineConfig config) : config_(std::move(config)) {
+  exec_ = std::make_unique<StageCostPredictor>(config_.exec_predictor,
+                                               Target::kExecSeconds);
+  size_ = std::make_unique<StageCostPredictor>(config_.size_predictor,
+                                               Target::kOutputBytes);
+  ttl_ = std::make_unique<TtlEstimator>(config_.ttl);
+}
+
+Status PhoebePipeline::Train(const telemetry::WorkloadRepository& repo, int first_day,
+                             int num_days) {
+  if (num_days < 1) return Status::InvalidArgument("num_days must be >= 1");
+
+  // Each training day is featurized against the stats available before it
+  // (mirrors production retraining; avoids peeking at the day's own runs).
+  std::deque<telemetry::HistoricStats> stats_store;
+  std::vector<TrainExample> examples;
+  for (int d = first_day; d < first_day + num_days; ++d) {
+    if (!repo.HasDay(d)) {
+      return Status::NotFound(StrFormat("day %d not in repository", d));
+    }
+    stats_store.push_back(repo.StatsBefore(d));
+    const telemetry::HistoricStats* stats = &stats_store.back();
+    for (const workload::JobInstance& job : repo.Day(d)) {
+      examples.push_back({&job, stats});
+    }
+  }
+  if (examples.empty()) return Status::InvalidArgument("no training jobs");
+
+  PHOEBE_RETURN_NOT_OK(exec_->Train(examples));
+  PHOEBE_RETURN_NOT_OK(size_->Train(examples));
+  PHOEBE_RETURN_NOT_OK(ttl_->Train(examples, *exec_));
+
+  stats_ = repo.StatsBefore(first_day + num_days);
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<StageCosts> PhoebePipeline::BuildCosts(const workload::JobInstance& job,
+                                              CostSource source) const {
+  return BuildCosts(job, source, stats_);
+}
+
+Result<StageCosts> PhoebePipeline::BuildCosts(const workload::JobInstance& job,
+                                              CostSource source,
+                                              const telemetry::HistoricStats& stats) const {
+  const size_t n = job.graph.num_stages();
+  StageCosts costs;
+  costs.num_tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    costs.num_tasks.push_back(job.truth[i].num_tasks);
+  }
+
+  if (source == CostSource::kTruth) {
+    costs.output_bytes.reserve(n);
+    costs.ttl.reserve(n);
+    costs.end_time.reserve(n);
+    costs.tfs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const workload::StageTruth& t = job.truth[i];
+      costs.output_bytes.push_back(t.output_bytes);
+      costs.ttl.push_back(t.ttl);
+      costs.end_time.push_back(t.end_time);
+      costs.tfs.push_back(t.tfs);
+    }
+    return costs;
+  }
+
+  // Per-stage execution time and output size from the chosen source.
+  std::vector<double> exec(n), output(n);
+  switch (source) {
+    case CostSource::kOptimizerEstimates:
+      for (size_t i = 0; i < n; ++i) {
+        exec[i] = std::max(0.0, job.est[i].est_exclusive_cost);
+        output[i] = std::max(0.0, job.est[i].est_output_bytes);
+      }
+      break;
+    case CostSource::kConstant:
+      for (size_t i = 0; i < n; ++i) {
+        exec[i] = 1.0;
+        output[i] = 1.0;
+      }
+      break;
+    case CostSource::kMlSimulator:
+    case CostSource::kMlStacked: {
+      if (!trained_) return Status::FailedPrecondition("pipeline not trained");
+      exec = exec_->PredictJob(job, stats);
+      output = size_->PredictJob(job, stats);
+      break;
+    }
+    case CostSource::kTruth:
+      PHOEBE_CHECK(false);
+  }
+
+  PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule sim, SimulateSchedule(job.graph, exec));
+
+  costs.output_bytes = std::move(output);
+  costs.end_time = sim.end;
+  costs.tfs = sim.start;
+  if (source == CostSource::kMlStacked && trained_) {
+    costs.ttl = ttl_->Predict(job, sim);
+  } else {
+    costs.ttl.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      costs.ttl[i] = sim.Ttl(static_cast<dag::StageId>(i));
+    }
+  }
+  return costs;
+}
+
+Result<PipelineDecision> PhoebePipeline::Decide(const workload::JobInstance& job,
+                                                Objective objective,
+                                                CostSource source) const {
+  using Clock = std::chrono::steady_clock;
+  PipelineDecision decision;
+
+  auto t0 = Clock::now();
+  // Metadata/model lookup: resolve stats entries for every stage type in the
+  // plan (in production this is the Workload Insight Service round trip).
+  for (size_t i = 0; i < job.graph.num_stages(); ++i) {
+    (void)stats_.Get(job.template_id, job.graph.stage(static_cast<int>(i)).stage_type);
+  }
+  auto t1 = Clock::now();
+
+  PHOEBE_ASSIGN_OR_RETURN(StageCosts costs, BuildCosts(job, source));
+  auto t2 = Clock::now();
+
+  switch (objective) {
+    case Objective::kTempStorage: {
+      PHOEBE_ASSIGN_OR_RETURN(decision.cut, OptimizeTempStorage(job.graph, costs));
+      break;
+    }
+    case Objective::kRecovery: {
+      PHOEBE_ASSIGN_OR_RETURN(decision.cut,
+                              OptimizeRecovery(job.graph, costs, config_.delta));
+      break;
+    }
+  }
+  auto t3 = Clock::now();
+
+  auto secs = [](auto a, auto b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  decision.lookup_seconds = secs(t0, t1);
+  decision.scoring_seconds = secs(t1, t2);
+  decision.optimize_seconds = secs(t2, t3);
+  return decision;
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  f << content;
+  if (!f.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+Status PhoebePipeline::Save(const std::string& dir) const {
+  if (!trained_) return Status::FailedPrecondition("pipeline not trained");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create directory: " + dir);
+  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/exec.model", exec_->ToText()));
+  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/size.model", size_->ToText()));
+  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/ttl.model", ttl_->ToText()));
+  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/stats.txt", stats_.ToText()));
+  return Status::OK();
+}
+
+Status PhoebePipeline::Load(const std::string& dir) {
+  PHOEBE_ASSIGN_OR_RETURN(std::string exec_text, ReadFile(dir + "/exec.model"));
+  PHOEBE_ASSIGN_OR_RETURN(std::string size_text, ReadFile(dir + "/size.model"));
+  PHOEBE_ASSIGN_OR_RETURN(std::string ttl_text, ReadFile(dir + "/ttl.model"));
+  PHOEBE_ASSIGN_OR_RETURN(std::string stats_text, ReadFile(dir + "/stats.txt"));
+  PHOEBE_RETURN_NOT_OK(exec_->LoadFromText(exec_text));
+  PHOEBE_RETURN_NOT_OK(size_->LoadFromText(size_text));
+  PHOEBE_RETURN_NOT_OK(ttl_->LoadFromText(ttl_text));
+  PHOEBE_ASSIGN_OR_RETURN(stats_, telemetry::HistoricStats::FromText(stats_text));
+  trained_ = true;
+  return Status::OK();
+}
+
+}  // namespace phoebe::core

@@ -1,0 +1,95 @@
+// End-to-end Phoebe pipeline (Figure 4): train the three predictors from the
+// workload repository, then — at "compile time" for a new job — score stage
+// costs, simulate the schedule, stack the TTL, and pick the checkpoint cut.
+#pragma once
+
+#include <memory>
+
+#include "core/checkpoint.h"
+#include "core/predictors.h"
+#include "core/ttl.h"
+#include "telemetry/repository.h"
+
+namespace phoebe::core {
+
+/// \brief Which cost inputs feed the optimizer — the Figure 12/14 variants.
+enum class CostSource {
+  kTruth,               ///< Optimal: true outputs/TTL/schedule (offline oracle)
+  kOptimizerEstimates,  ///< OP: raw query-optimizer estimates + simulator
+  kConstant,            ///< OCC: constant per-stage costs + simulator
+  kMlSimulator,         ///< OML: ML cost models + simulator TTL
+  kMlStacked,           ///< OMLS: ML cost models + stacking-model TTL
+};
+
+/// \brief Checkpoint objective to optimize.
+enum class Objective {
+  kTempStorage,  ///< free temp data on hotspots (OptCheck1)
+  kRecovery,     ///< fast restart of failed jobs (OptCheck2)
+};
+
+/// \brief Pipeline configuration.
+struct PipelineConfig {
+  PredictorConfig exec_predictor;
+  PredictorConfig size_predictor;
+  TtlConfig ttl;
+  /// Per-task failure probability delta ~ E[task runtime] / MTBF (eq. 31).
+  double delta = 0.0005;
+};
+
+/// \brief A compile-time checkpoint decision with overhead breakdown (§6.4).
+struct PipelineDecision {
+  CutResult cut;
+  double lookup_seconds = 0.0;    ///< metadata/model lookup
+  double scoring_seconds = 0.0;   ///< ML scoring + schedule simulation
+  double optimize_seconds = 0.0;  ///< cut search
+};
+
+/// \brief Trained Phoebe instance.
+class PhoebePipeline {
+ public:
+  explicit PhoebePipeline(PipelineConfig config = DefaultConfig());
+
+  /// A config tuned for the experiment scale in this repo.
+  static PipelineConfig DefaultConfig();
+
+  /// Train all models from the repository days in [first_day, first_day +
+  /// num_days). Each day's features use historic stats from days before it.
+  /// Inference-time stats are those available after the last training day.
+  Status Train(const telemetry::WorkloadRepository& repo, int first_day, int num_days);
+
+  bool trained() const { return trained_; }
+  const telemetry::HistoricStats& inference_stats() const { return stats_; }
+  const StageCostPredictor& exec_predictor() const { return *exec_; }
+  const StageCostPredictor& size_predictor() const { return *size_; }
+  const TtlEstimator& ttl_estimator() const { return *ttl_; }
+  double delta() const { return config_.delta; }
+
+  /// Build the optimizer inputs for one job under a cost source, using only
+  /// compile-time information (plus truth for the kTruth oracle).
+  Result<StageCosts> BuildCosts(const workload::JobInstance& job,
+                                CostSource source) const;
+  /// Same, with an explicit historic-stats view (e.g. for later days).
+  Result<StageCosts> BuildCosts(const workload::JobInstance& job, CostSource source,
+                                const telemetry::HistoricStats& stats) const;
+
+  /// Full compile-time decision for one job.
+  Result<PipelineDecision> Decide(const workload::JobInstance& job, Objective objective,
+                                  CostSource source = CostSource::kMlStacked) const;
+
+  /// Persist the trained models plus the inference-time statistics snapshot
+  /// to `dir` (created if missing): exec.model, size.model, ttl.model,
+  /// stats.txt. Load restores them into a pipeline constructed with the same
+  /// configuration (model kind / feature groups must match).
+  Status Save(const std::string& dir) const;
+  Status Load(const std::string& dir);
+
+ private:
+  PipelineConfig config_;
+  std::unique_ptr<StageCostPredictor> exec_;
+  std::unique_ptr<StageCostPredictor> size_;
+  std::unique_ptr<TtlEstimator> ttl_;
+  telemetry::HistoricStats stats_;
+  bool trained_ = false;
+};
+
+}  // namespace phoebe::core

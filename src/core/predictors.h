@@ -1,0 +1,99 @@
+// Stage-level cost predictors (paper §4.1): execution time and output size.
+//
+// The default configuration is the paper's best: one LightGBM-style GBDT per
+// stage type ("stage-type specific models"), trained on Table-1 features,
+// falling back to a general model for rare types. A general GBDT and a
+// general MLP-with-text-features ("DNN benchmark") are available for the
+// §6.1 ablations. Targets are modeled in log1p space and expanded back.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/features.h"
+#include "ml/gbdt.h"
+#include "ml/mlp.h"
+
+namespace phoebe::core {
+
+/// \brief Which learner architecture to use.
+enum class ModelKind {
+  kGbdtPerStageType,  ///< paper default: stage-type specific LightGBM models
+  kGbdtGeneral,       ///< one GBDT for all stages
+  kMlpGeneral,        ///< DNN benchmark (pair with FeatureConfig.text = true)
+};
+
+/// \brief Configuration of one stage cost predictor.
+struct PredictorConfig {
+  ModelKind kind = ModelKind::kGbdtPerStageType;
+  FeatureConfig features;
+  ml::GbdtParams gbdt;
+  ml::MlpParams mlp;
+  /// Stage types with fewer training rows than this use the general model.
+  int min_samples_per_type = 100;
+};
+
+/// \brief One training example: a job paired with the historic statistics
+/// that were available when it was compiled (days strictly before its own).
+struct TrainExample {
+  const workload::JobInstance* job = nullptr;
+  const telemetry::HistoricStats* stats = nullptr;
+};
+
+/// \brief Predicts one target (exec time or output size) per stage.
+class StageCostPredictor {
+ public:
+  StageCostPredictor(PredictorConfig config, Target target);
+
+  /// Train on per-job examples, each carrying its own historic-stats view.
+  Status Train(const std::vector<TrainExample>& examples);
+
+  /// Convenience: all jobs share one stats view (`stats` must be computed
+  /// from days at or before the training days; the caller controls leakage).
+  Status Train(const std::vector<workload::JobInstance>& jobs,
+               const telemetry::HistoricStats& stats);
+
+  bool trained() const { return trained_; }
+  Target target() const { return target_; }
+  const PredictorConfig& config() const { return config_; }
+  const StageFeaturizer& featurizer() const { return featurizer_; }
+
+  /// Predict the target (origin scale, >= 0) for one stage of a job, using
+  /// only compile-time information.
+  double PredictStage(const workload::JobInstance& job, int stage_id,
+                      const telemetry::HistoricStats& stats) const;
+
+  /// Predict all stages of a job.
+  std::vector<double> PredictJob(const workload::JobInstance& job,
+                                 const telemetry::HistoricStats& stats) const;
+
+  /// Number of per-stage-type models actually trained (0 for general kinds).
+  size_t num_type_models() const { return per_type_.size(); }
+
+  /// The general (fallback) model, for feature-importance analysis.
+  const ml::Regressor* general_model() const { return general_.get(); }
+
+  /// Serialize the trained models (general + per-type + calibrations) to a
+  /// text blob. LoadFromText restores them into a predictor constructed with
+  /// a matching configuration.
+  std::string ToText() const;
+  Status LoadFromText(const std::string& text);
+
+ private:
+  std::unique_ptr<ml::Regressor> MakeGeneral() const;
+
+  PredictorConfig config_;
+  Target target_;
+  StageFeaturizer featurizer_;
+  std::unique_ptr<ml::Regressor> general_;
+  std::map<int, ml::GbdtRegressor> per_type_;  ///< stage_type -> model
+  // Smearing correction: training in log1p space under-predicts origin-scale
+  // means (E[exp(x)] > exp(E[x])); each model carries a multiplicative
+  // calibration fitted on its training rows.
+  std::map<int, double> calibration_;
+  double general_calibration_ = 1.0;
+  bool trained_ = false;
+};
+
+}  // namespace phoebe::core

@@ -1,0 +1,56 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+
+#include "core/evaluate.h"
+
+namespace phoebe::core {
+
+StageCosts PerturbCosts(const StageCosts& costs, const CostPerturbation& p, Rng* rng) {
+  StageCosts out = costs;
+  const size_t n = costs.size();
+  double job_end = 0.0;
+  for (double e : costs.end_time) job_end = std::max(job_end, e);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (p.output_sigma > 0.0) {
+      out.output_bytes[i] *= rng->LogNormal(0.0, p.output_sigma);
+    }
+    if (p.ttl_sigma > 0.0) {
+      out.ttl[i] *= rng->LogNormal(0.0, p.ttl_sigma);
+      // Keep the schedule view consistent with the perturbed lifetime: a
+      // stage with a longer TTL "ended earlier" relative to the job end.
+      out.end_time[i] = std::max(0.0, job_end - out.ttl[i]);
+    }
+    if (p.exec_sigma > 0.0) {
+      out.tfs[i] *= rng->LogNormal(0.0, p.exec_sigma);
+    }
+  }
+  return out;
+}
+
+Result<SensitivityResult> EvaluateCutSensitivity(const workload::JobInstance& job,
+                                                 const StageCosts& clean_costs,
+                                                 const CostPerturbation& p, Rng* rng) {
+  PHOEBE_ASSIGN_OR_RETURN(CutResult clean, OptimizeTempStorage(job.graph, clean_costs));
+  StageCosts noisy_costs = PerturbCosts(clean_costs, p, rng);
+  PHOEBE_ASSIGN_OR_RETURN(CutResult noisy, OptimizeTempStorage(job.graph, noisy_costs));
+
+  SensitivityResult result;
+  result.realized_clean = RealizedTempSaving(job, clean.cut);
+  result.realized_noisy = RealizedTempSaving(job, noisy.cut);
+  result.regret = result.realized_clean - result.realized_noisy;
+
+  size_t inter = 0, uni = 0;
+  const size_t n = job.graph.num_stages();
+  for (size_t i = 0; i < n; ++i) {
+    bool a = !clean.cut.empty() && clean.cut.before_cut[i];
+    bool b = !noisy.cut.empty() && noisy.cut.before_cut[i];
+    inter += (a && b) ? 1 : 0;
+    uni += (a || b) ? 1 : 0;
+  }
+  result.jaccard = uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+  return result;
+}
+
+}  // namespace phoebe::core

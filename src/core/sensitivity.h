@@ -1,0 +1,45 @@
+// Sensitivity analysis: how much cost-estimation error can the checkpoint
+// optimizer absorb before its cuts degrade?
+//
+// This makes the paper's implicit claim measurable: stage-level models with
+// R^2 ~ 0.85 are "good enough" because the TTL-threshold sweep only needs
+// the relative ordering of stages and the rough byte weighting, not exact
+// values (§6.1: "the absolute values for TTL are not as important as the
+// relative scale").
+#pragma once
+
+#include "common/rng.h"
+#include "core/checkpoint.h"
+#include "workload/job_instance.h"
+
+namespace phoebe::core {
+
+/// \brief Multiplicative log-normal noise applied to each cost channel.
+struct CostPerturbation {
+  double exec_sigma = 0.0;    ///< on end_time/ttl/tfs via a re-simulated schedule?
+                              ///< No: applied directly to ttl & schedule columns.
+  double output_sigma = 0.0;  ///< on output_bytes
+  double ttl_sigma = 0.0;     ///< on ttl (schedule columns follow consistently)
+};
+
+/// Return a copy of `costs` with per-stage multiplicative log-normal noise:
+/// output_bytes *= LogNormal(0, output_sigma); ttl *= LogNormal(0,
+/// ttl_sigma); end_time is recomputed as (max end) - ttl' so the end-time
+/// ordering follows the perturbed TTLs; tfs *= LogNormal(0, exec_sigma).
+StageCosts PerturbCosts(const StageCosts& costs, const CostPerturbation& p, Rng* rng);
+
+/// \brief How a perturbed decision compares to the clean-cost decision.
+struct SensitivityResult {
+  double jaccard = 1.0;        ///< |A ∩ B| / |A ∪ B| of the before-cut sets
+  double realized_clean = 0.0; ///< realized temp saving of the clean cut
+  double realized_noisy = 0.0; ///< realized temp saving of the perturbed cut
+  double regret = 0.0;         ///< realized_clean - realized_noisy (>= 0 usually)
+};
+
+/// Optimize under clean and perturbed costs and compare realized (truth)
+/// temp savings for `job`.
+Result<SensitivityResult> EvaluateCutSensitivity(const workload::JobInstance& job,
+                                                 const StageCosts& clean_costs,
+                                                 const CostPerturbation& p, Rng* rng);
+
+}  // namespace phoebe::core

@@ -1,0 +1,59 @@
+#include "dag/dot_export.h"
+
+#include "common/strings.h"
+
+namespace phoebe::dag {
+
+namespace {
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+std::string ToDot(const JobGraph& graph, const DotOptions& options) {
+  PHOEBE_CHECK(options.before_cut.empty() ||
+               options.before_cut.size() == graph.num_stages());
+  PHOEBE_CHECK(options.annotations.empty() ||
+               options.annotations.size() == graph.num_stages());
+
+  std::string out = "digraph \"" + EscapeLabel(graph.name()) + "\" {\n";
+  if (options.left_to_right) out += "  rankdir=LR;\n";
+  out += "  node [shape=box, fontsize=10];\n";
+
+  for (StageId u = 0; u < static_cast<StageId>(graph.num_stages()); ++u) {
+    const Stage& s = graph.stage(u);
+    std::string label = EscapeLabel(s.name);
+    if (!options.annotations.empty() &&
+        !options.annotations[static_cast<size_t>(u)].empty()) {
+      label += "\\n" + EscapeLabel(options.annotations[static_cast<size_t>(u)]);
+    }
+    std::string attrs = StrFormat("label=\"%s\"", label.c_str());
+    if (!options.before_cut.empty() && options.before_cut[static_cast<size_t>(u)]) {
+      attrs += ", style=filled, fillcolor=lightgrey";
+      // Checkpoint stage: an edge crosses the cut.
+      for (StageId v : graph.downstream(u)) {
+        if (!options.before_cut[static_cast<size_t>(v)]) {
+          attrs += ", penwidth=2.5";
+          break;
+        }
+      }
+    }
+    out += StrFormat("  s%d [%s];\n", u, attrs.c_str());
+  }
+  for (const Edge& e : graph.edges()) {
+    bool crossing = !options.before_cut.empty() &&
+                    options.before_cut[static_cast<size_t>(e.from)] &&
+                    !options.before_cut[static_cast<size_t>(e.to)];
+    out += StrFormat("  s%d -> s%d%s;\n", e.from, e.to,
+                     crossing ? " [style=dashed]" : "");
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace phoebe::dag

@@ -1,0 +1,25 @@
+// Graphviz export of job graphs, optionally annotated with a checkpoint cut
+// (before-cut stages shaded, checkpoint stages outlined).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/job_graph.h"
+
+namespace phoebe::dag {
+
+/// \brief Rendering options for ToDot.
+struct DotOptions {
+  /// before_cut[stage] shades the stage; producers of crossing edges are
+  /// drawn with a bold border. Empty = no annotation.
+  std::vector<bool> before_cut;
+  /// Extra per-stage label lines (e.g. "12.3 GB"); empty = names only.
+  std::vector<std::string> annotations;
+  bool left_to_right = true;
+};
+
+/// Render the graph as a Graphviz dot document.
+std::string ToDot(const JobGraph& graph, const DotOptions& options = {});
+
+}  // namespace phoebe::dag

@@ -1,0 +1,48 @@
+#include "dag/graph_metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace phoebe::dag {
+
+namespace {
+/// Disjoint-set find with path halving.
+int Find(std::vector<int>& parent, int x) {
+  while (parent[static_cast<size_t>(x)] != x) {
+    parent[static_cast<size_t>(x)] = parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+    x = parent[static_cast<size_t>(x)];
+  }
+  return x;
+}
+}  // namespace
+
+Result<GraphMetrics> ComputeMetrics(const JobGraph& graph) {
+  GraphMetrics m;
+  m.num_stages = static_cast<int>(graph.num_stages());
+  m.num_edges = static_cast<int>(graph.num_edges());
+  for (const Stage& s : graph.stages()) m.num_tasks += s.num_tasks;
+
+  PHOEBE_ASSIGN_OR_RETURN(m.critical_path, graph.CriticalPathLength());
+
+  for (StageId u = 0; u < static_cast<StageId>(graph.num_stages()); ++u) {
+    m.max_fan_in = std::max(m.max_fan_in, static_cast<int>(graph.upstream(u).size()));
+    m.max_fan_out = std::max(m.max_fan_out, static_cast<int>(graph.downstream(u).size()));
+  }
+  m.num_roots = static_cast<int>(graph.Roots().size());
+  m.num_leaves = static_cast<int>(graph.Leaves().size());
+
+  if (graph.num_stages() > 0) {
+    std::vector<int> parent(graph.num_stages());
+    std::iota(parent.begin(), parent.end(), 0);
+    for (const Edge& e : graph.edges()) {
+      int a = Find(parent, e.from), b = Find(parent, e.to);
+      if (a != b) parent[static_cast<size_t>(a)] = b;
+    }
+    for (int i = 0; i < m.num_stages; ++i) {
+      if (Find(parent, i) == i) ++m.num_components;
+    }
+  }
+  return m;
+}
+
+}  // namespace phoebe::dag

@@ -1,0 +1,26 @@
+// Structural metrics of a job graph, used for workload characterization
+// (Figure 1/2 motivation) and for binning jobs by size/shape.
+#pragma once
+
+#include "common/status.h"
+#include "dag/job_graph.h"
+
+namespace phoebe::dag {
+
+/// \brief Shape summary of one job graph.
+struct GraphMetrics {
+  int num_stages = 0;
+  int num_edges = 0;
+  int num_tasks = 0;        ///< sum of per-stage task counts
+  int critical_path = 0;    ///< longest path in stages
+  int max_fan_in = 0;
+  int max_fan_out = 0;
+  int num_roots = 0;
+  int num_leaves = 0;
+  int num_components = 0;   ///< weakly-connected components (free-cut candidates)
+};
+
+/// Compute all metrics in one pass. Fails on cyclic graphs.
+Result<GraphMetrics> ComputeMetrics(const JobGraph& graph);
+
+}  // namespace phoebe::dag

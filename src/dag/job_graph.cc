@@ -1,0 +1,221 @@
+#include "dag/job_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace phoebe::dag {
+
+bool Stage::HasOperator(OperatorKind kind) const {
+  return std::find(operators.begin(), operators.end(), kind) != operators.end();
+}
+
+StageId JobGraph::AddStage(Stage stage) {
+  stage.id = static_cast<StageId>(stages_.size());
+  stages_.push_back(std::move(stage));
+  upstream_.emplace_back();
+  downstream_.emplace_back();
+  return stages_.back().id;
+}
+
+Status JobGraph::AddEdge(StageId from, StageId to) {
+  auto in_range = [this](StageId id) {
+    return id >= 0 && static_cast<size_t>(id) < stages_.size();
+  };
+  if (!in_range(from) || !in_range(to)) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%d, %d) references unknown stage", from, to));
+  }
+  if (from == to) {
+    return Status::InvalidArgument(StrFormat("self-loop on stage %d", from));
+  }
+  const auto& down = downstream_[static_cast<size_t>(from)];
+  if (std::find(down.begin(), down.end(), to) != down.end()) {
+    return Status::AlreadyExists(StrFormat("duplicate edge (%d, %d)", from, to));
+  }
+  edges_.push_back(Edge{from, to});
+  downstream_[static_cast<size_t>(from)].push_back(to);
+  upstream_[static_cast<size_t>(to)].push_back(from);
+  return Status::OK();
+}
+
+const Stage& JobGraph::stage(StageId id) const {
+  PHOEBE_CHECK(id >= 0 && static_cast<size_t>(id) < stages_.size());
+  return stages_[static_cast<size_t>(id)];
+}
+
+Stage& JobGraph::mutable_stage(StageId id) {
+  PHOEBE_CHECK(id >= 0 && static_cast<size_t>(id) < stages_.size());
+  return stages_[static_cast<size_t>(id)];
+}
+
+const std::vector<StageId>& JobGraph::upstream(StageId id) const {
+  PHOEBE_CHECK(id >= 0 && static_cast<size_t>(id) < upstream_.size());
+  return upstream_[static_cast<size_t>(id)];
+}
+
+const std::vector<StageId>& JobGraph::downstream(StageId id) const {
+  PHOEBE_CHECK(id >= 0 && static_cast<size_t>(id) < downstream_.size());
+  return downstream_[static_cast<size_t>(id)];
+}
+
+std::vector<StageId> JobGraph::Roots() const {
+  std::vector<StageId> roots;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (upstream_[i].empty()) roots.push_back(static_cast<StageId>(i));
+  }
+  return roots;
+}
+
+std::vector<StageId> JobGraph::Leaves() const {
+  std::vector<StageId> leaves;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (downstream_[i].empty()) leaves.push_back(static_cast<StageId>(i));
+  }
+  return leaves;
+}
+
+Status JobGraph::Validate() const {
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].id != static_cast<StageId>(i)) {
+      return Status::Internal(StrFormat("stage %zu has id %d", i, stages_[i].id));
+    }
+    if (stages_[i].num_tasks < 1) {
+      return Status::InvalidArgument(
+          StrFormat("stage %zu has %d tasks", i, stages_[i].num_tasks));
+    }
+  }
+  auto order = TopologicalOrder();
+  if (!order.ok()) return order.status();
+  return Status::OK();
+}
+
+Result<std::vector<StageId>> JobGraph::TopologicalOrder() const {
+  std::vector<int> indeg(stages_.size(), 0);
+  for (const Edge& e : edges_) ++indeg[static_cast<size_t>(e.to)];
+
+  // Min-id-first ready set keeps the order deterministic; with dense ids a
+  // sorted deque insertion is fine for the graph sizes we handle.
+  std::vector<StageId> ready;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (indeg[i] == 0) ready.push_back(static_cast<StageId>(i));
+  }
+  // Process in ascending id order via a sorted stack (reverse-sorted vector).
+  std::sort(ready.rbegin(), ready.rend());
+
+  std::vector<StageId> order;
+  order.reserve(stages_.size());
+  while (!ready.empty()) {
+    StageId u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (StageId v : downstream_[static_cast<size_t>(u)]) {
+      if (--indeg[static_cast<size_t>(v)] == 0) {
+        // Insert keeping reverse-sorted order.
+        auto it = std::lower_bound(ready.begin(), ready.end(), v, std::greater<>());
+        ready.insert(it, v);
+      }
+    }
+  }
+  if (order.size() != stages_.size()) {
+    return Status::FailedPrecondition("job graph contains a cycle");
+  }
+  return order;
+}
+
+Result<int> JobGraph::CriticalPathLength() const {
+  PHOEBE_ASSIGN_OR_RETURN(std::vector<StageId> order, TopologicalOrder());
+  if (order.empty()) return 0;
+  std::vector<int> depth(stages_.size(), 1);
+  for (StageId u : order) {
+    for (StageId v : downstream_[static_cast<size_t>(u)]) {
+      depth[static_cast<size_t>(v)] =
+          std::max(depth[static_cast<size_t>(v)], depth[static_cast<size_t>(u)] + 1);
+    }
+  }
+  return *std::max_element(depth.begin(), depth.end());
+}
+
+bool JobGraph::Reaches(StageId ancestor, StageId descendant) const {
+  if (ancestor == descendant) return true;
+  std::vector<bool> seen(stages_.size(), false);
+  std::deque<StageId> frontier{ancestor};
+  seen[static_cast<size_t>(ancestor)] = true;
+  while (!frontier.empty()) {
+    StageId u = frontier.front();
+    frontier.pop_front();
+    for (StageId v : downstream_[static_cast<size_t>(u)]) {
+      if (v == descendant) return true;
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+std::string JobGraph::ToText() const {
+  std::string out = "job " + name_ + "\n";
+  for (const Stage& s : stages_) {
+    std::vector<std::string> ops;
+    ops.reserve(s.operators.size());
+    for (OperatorKind k : s.operators) ops.push_back(OperatorKindName(k));
+    out += StrFormat("stage %s %d %d %s\n", s.name.c_str(), s.stage_type, s.num_tasks,
+                     Join(ops, ",").c_str());
+  }
+  for (const Edge& e : edges_) out += StrFormat("edge %d %d\n", e.from, e.to);
+  return out;
+}
+
+Result<JobGraph> JobGraph::FromText(const std::string& text) {
+  JobGraph g;
+  int lineno = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++lineno;
+    std::string line = raw;
+    // Trim trailing CR and surrounding whitespace.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    line = line.substr(start);
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string> tok = Split(line, ' ');
+    if (tok[0] == "job") {
+      g.set_name(tok.size() > 1 ? tok[1] : "");
+    } else if (tok[0] == "stage") {
+      if (tok.size() != 5) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: expected 'stage <name> <type> <tasks> <ops>'", lineno));
+      }
+      Stage s;
+      s.name = tok[1];
+      s.stage_type = std::atoi(tok[2].c_str());
+      s.num_tasks = std::atoi(tok[3].c_str());
+      for (const std::string& op : Split(tok[4], ',')) {
+        OperatorKind k = OperatorKindFromName(op);
+        if (k == OperatorKind::kMaxValue) {
+          return Status::InvalidArgument(
+              StrFormat("line %d: unknown operator '%s'", lineno, op.c_str()));
+        }
+        s.operators.push_back(k);
+      }
+      g.AddStage(std::move(s));
+    } else if (tok[0] == "edge") {
+      if (tok.size() != 3) {
+        return Status::InvalidArgument(StrFormat("line %d: expected 'edge <u> <v>'", lineno));
+      }
+      PHOEBE_RETURN_NOT_OK(
+          g.AddEdge(std::atoi(tok[1].c_str()), std::atoi(tok[2].c_str())));
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %d: unknown directive '%s'", lineno, tok[0].c_str()));
+    }
+  }
+  PHOEBE_RETURN_NOT_OK(g.Validate());
+  return g;
+}
+
+}  // namespace phoebe::dag

@@ -1,0 +1,65 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace phoebe::ml {
+
+void FeatureMatrix::AddRow(std::span<const double> row) {
+  PHOEBE_CHECK(row.size() == names_.size());
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+std::span<const double> FeatureMatrix::Row(size_t i) const {
+  PHOEBE_CHECK(i < num_rows());
+  return {data_.data() + i * names_.size(), names_.size()};
+}
+
+std::span<double> FeatureMatrix::MutableRow(size_t i) {
+  PHOEBE_CHECK(i < num_rows());
+  return {data_.data() + i * names_.size(), names_.size()};
+}
+
+int FeatureMatrix::FeatureIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Dataset::Validate() const {
+  if (x.num_rows() != y.size()) {
+    return Status::InvalidArgument(StrFormat("feature rows (%zu) != targets (%zu)",
+                                             x.num_rows(), y.size()));
+  }
+  if (x.num_features() == 0 && !y.empty()) {
+    return Status::InvalidArgument("dataset has rows but no features");
+  }
+  return Status::OK();
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction, Rng* rng) const {
+  PHOEBE_CHECK(train_fraction >= 0.0 && train_fraction <= 1.0);
+  std::vector<size_t> idx(size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+  size_t n_train = static_cast<size_t>(train_fraction * static_cast<double>(size()));
+  std::vector<size_t> train_idx(idx.begin(), idx.begin() + static_cast<long>(n_train));
+  std::vector<size_t> test_idx(idx.begin() + static_cast<long>(n_train), idx.end());
+  return {Subset(train_idx), Subset(test_idx)};
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& rows) const {
+  Dataset out;
+  out.x = FeatureMatrix(x.feature_names());
+  out.y.reserve(rows.size());
+  for (size_t r : rows) {
+    out.x.AddRow(x.Row(r));
+    out.y.push_back(y[r]);
+  }
+  return out;
+}
+
+}  // namespace phoebe::ml

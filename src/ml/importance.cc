@@ -1,0 +1,49 @@
+#include "ml/importance.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace phoebe::ml {
+
+std::vector<FeatureImportance> PermutationImportance(const Regressor& model,
+                                                     const Dataset& data, Rng* rng,
+                                                     int repeats) {
+  PHOEBE_CHECK(model.fitted());
+  PHOEBE_CHECK(repeats >= 1);
+  const size_t nr = data.size();
+  const size_t nf = data.x.num_features();
+
+  std::vector<double> base_pred = model.PredictBatch(data.x);
+  double base_r2 = RSquared(data.y, base_pred);
+
+  std::vector<FeatureImportance> out;
+  out.reserve(nf);
+
+  // Work on a mutable copy of the matrix, one column at a time.
+  FeatureMatrix shuffled = data.x;
+  std::vector<double> col(nr), perm(nr), pred(nr);
+
+  for (size_t f = 0; f < nf; ++f) {
+    for (size_t r = 0; r < nr; ++r) col[r] = data.x.At(r, f);
+    double delta_sum = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      perm = col;
+      rng->Shuffle(&perm);
+      for (size_t r = 0; r < nr; ++r) shuffled.Set(r, f, perm[r]);
+      for (size_t r = 0; r < nr; ++r) pred[r] = model.Predict(shuffled.Row(r));
+      delta_sum += base_r2 - RSquared(data.y, pred);
+    }
+    // Restore the column.
+    for (size_t r = 0; r < nr; ++r) shuffled.Set(r, f, col[r]);
+    out.push_back(FeatureImportance{data.x.feature_names()[f],
+                                    delta_sum / static_cast<double>(repeats)});
+  }
+
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.delta_r2 > b.delta_r2;
+  });
+  return out;
+}
+
+}  // namespace phoebe::ml

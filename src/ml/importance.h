@@ -1,0 +1,27 @@
+// Permutation Feature Importance (PFI): the drop in R^2 when one feature
+// column is shuffled, as used in Section 6.1 of the paper to rank the cost
+// model inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace phoebe::ml {
+
+/// \brief Importance of one feature.
+struct FeatureImportance {
+  std::string name;
+  double delta_r2 = 0.0;  ///< baseline R^2 minus shuffled R^2
+};
+
+/// Compute PFI of `model` on `data`. Each feature column is shuffled
+/// `repeats` times (results averaged); output is sorted by descending
+/// importance. The model must already be fitted.
+std::vector<FeatureImportance> PermutationImportance(const Regressor& model,
+                                                     const Dataset& data, Rng* rng,
+                                                     int repeats = 3);
+
+}  // namespace phoebe::ml

@@ -1,0 +1,12 @@
+#include "ml/model.h"
+
+namespace phoebe::ml {
+
+std::vector<double> Regressor::PredictBatch(const FeatureMatrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.num_rows());
+  for (size_t i = 0; i < x.num_rows(); ++i) out.push_back(Predict(x.Row(i)));
+  return out;
+}
+
+}  // namespace phoebe::ml

@@ -1,0 +1,31 @@
+// Common interface for all regressors in the ML substrate.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace phoebe::ml {
+
+/// \brief Abstract regression model: fit on a Dataset, predict per row.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Train on `data`. Implementations must be deterministic given their seed.
+  virtual Status Fit(const Dataset& data) = 0;
+
+  /// Predict one row (length must equal the training feature count).
+  virtual double Predict(std::span<const double> features) const = 0;
+
+  /// Predict all rows of a matrix.
+  std::vector<double> PredictBatch(const FeatureMatrix& x) const;
+
+  /// True once Fit succeeded.
+  virtual bool fitted() const = 0;
+};
+
+}  // namespace phoebe::ml

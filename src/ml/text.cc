@@ -1,0 +1,53 @@
+#include "ml/text.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace phoebe::ml {
+
+uint64_t Fnv1a64(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+TextHasher::TextHasher(size_t dims, int min_n, int max_n)
+    : dims_(dims), min_n_(min_n), max_n_(max_n) {
+  PHOEBE_CHECK(dims_ > 0 && min_n_ >= 1 && max_n_ >= min_n_);
+}
+
+std::vector<double> TextHasher::Embed(const std::string& text) const {
+  std::vector<double> out;
+  out.reserve(dims_);
+  EmbedInto(text, &out);
+  return std::vector<double>(out.end() - static_cast<long>(dims_), out.end());
+}
+
+void TextHasher::EmbedInto(const std::string& text, std::vector<double>* out) const {
+  size_t base = out->size();
+  out->resize(base + dims_, 0.0);
+  std::string s = ToLower(text);
+  for (int n = min_n_; n <= max_n_; ++n) {
+    if (s.size() < static_cast<size_t>(n)) break;
+    for (size_t i = 0; i + static_cast<size_t>(n) <= s.size(); ++i) {
+      uint64_t h = Fnv1a64(s.data() + i, static_cast<size_t>(n));
+      // Signed hashing (sign from one hash bit) reduces bucket-collision bias.
+      double sign = (h & 1) ? 1.0 : -1.0;
+      (*out)[base + (h >> 1) % dims_] += sign;
+    }
+  }
+  double norm = 0.0;
+  for (size_t d = 0; d < dims_; ++d) norm += (*out)[base + d] * (*out)[base + d];
+  if (norm > 0.0) {
+    norm = std::sqrt(norm);
+    for (size_t d = 0; d < dims_; ++d) (*out)[base + d] /= norm;
+  }
+}
+
+}  // namespace phoebe::ml

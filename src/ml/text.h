@@ -1,0 +1,41 @@
+// Text featurization for job names and normalized input paths.
+//
+// The paper trains a word embedding + DNN over "Norm Job Name" / "Norm Input
+// Name". We reproduce the role of that component with a character n-gram
+// hashing embedder: each n-gram is FNV-hashed into a fixed number of buckets,
+// giving a dense fixed-width vector that any regressor can consume. This
+// preserves the property the paper relies on — lexically similar paths (e.g.
+// anything containing "log", or ending in ".ss") map to nearby vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phoebe::ml {
+
+/// \brief Character n-gram hashing featurizer.
+class TextHasher {
+ public:
+  /// \param dims output vector width (number of hash buckets)
+  /// \param min_n,max_n n-gram sizes to extract (inclusive)
+  TextHasher(size_t dims = 16, int min_n = 3, int max_n = 4);
+
+  /// Embed a string into `dims` buckets; counts are L2-normalized so that
+  /// string length does not dominate.
+  std::vector<double> Embed(const std::string& text) const;
+
+  /// Append the embedding of `text` to `out`.
+  void EmbedInto(const std::string& text, std::vector<double>* out) const;
+
+  size_t dims() const { return dims_; }
+
+ private:
+  size_t dims_;
+  int min_n_, max_n_;
+};
+
+/// 64-bit FNV-1a hash.
+uint64_t Fnv1a64(const void* data, size_t len);
+
+}  // namespace phoebe::ml

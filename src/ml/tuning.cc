@@ -1,0 +1,92 @@
+#include "ml/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace phoebe::ml {
+
+Result<CvResult> CrossValidate(
+    const std::function<std::unique_ptr<Regressor>()>& make_model,
+    const Dataset& data, int folds, uint64_t seed) {
+  PHOEBE_RETURN_NOT_OK(data.Validate());
+  if (folds < 2) return Status::InvalidArgument("folds must be >= 2");
+  if (data.size() < static_cast<size_t>(folds)) {
+    return Status::InvalidArgument(
+        StrFormat("%zu rows cannot fill %d folds", data.size(), folds));
+  }
+
+  // Deterministic shuffled fold assignment.
+  std::vector<size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&idx);
+
+  CvResult result;
+  RunningStats stats;
+  for (int f = 0; f < folds; ++f) {
+    std::vector<size_t> train_rows, test_rows;
+    for (size_t i = 0; i < idx.size(); ++i) {
+      (static_cast<int>(i % static_cast<size_t>(folds)) == f ? test_rows : train_rows)
+          .push_back(idx[i]);
+    }
+    Dataset train = data.Subset(train_rows);
+    Dataset test = data.Subset(test_rows);
+
+    std::unique_ptr<Regressor> model = make_model();
+    PHOEBE_CHECK(model != nullptr);
+    PHOEBE_RETURN_NOT_OK(model->Fit(train));
+    double r2 = RSquared(test.y, model->PredictBatch(test.x));
+    result.fold_r2.push_back(r2);
+    stats.Add(r2);
+  }
+  result.mean_r2 = stats.mean();
+  result.stddev_r2 = stats.stddev();
+  return result;
+}
+
+Result<std::vector<GridSearchEntry>> GridSearch(const GbdtParams& base,
+                                                const GbdtGrid& grid,
+                                                const Dataset& data, int folds,
+                                                uint64_t seed) {
+  auto axis = [](auto grid_values, auto base_value) {
+    using T = decltype(base_value);
+    std::vector<T> out(grid_values.begin(), grid_values.end());
+    if (out.empty()) out.push_back(base_value);
+    return out;
+  };
+  std::vector<int> trees = axis(grid.num_trees, base.num_trees);
+  std::vector<int> leaves = axis(grid.num_leaves, base.num_leaves);
+  std::vector<double> rates = axis(grid.learning_rate, base.learning_rate);
+  std::vector<int> min_leaf = axis(grid.min_data_in_leaf, base.min_data_in_leaf);
+
+  std::vector<GridSearchEntry> entries;
+  for (int t : trees) {
+    for (int l : leaves) {
+      for (double r : rates) {
+        for (int m : min_leaf) {
+          GbdtParams p = base;
+          p.num_trees = t;
+          p.num_leaves = l;
+          p.learning_rate = r;
+          p.min_data_in_leaf = m;
+          PHOEBE_RETURN_NOT_OK(p.Validate());
+          PHOEBE_ASSIGN_OR_RETURN(
+              CvResult cv,
+              CrossValidate([&p] { return std::make_unique<GbdtRegressor>(p); }, data,
+                            folds, seed));
+          entries.push_back(GridSearchEntry{p, std::move(cv)});
+        }
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return a.cv.mean_r2 > b.cv.mean_r2;
+  });
+  return entries;
+}
+
+}  // namespace phoebe::ml

@@ -1,0 +1,49 @@
+// Model selection utilities: k-fold cross-validation and grid search over
+// GBDT hyperparameters. Used to pick the stage-cost model configuration the
+// way the paper's Azure ML experiments did, but offline and in-process.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/gbdt.h"
+
+namespace phoebe::ml {
+
+/// \brief Result of one cross-validation run.
+struct CvResult {
+  double mean_r2 = 0.0;
+  double stddev_r2 = 0.0;
+  std::vector<double> fold_r2;  ///< one entry per fold
+};
+
+/// K-fold cross-validation of an arbitrary regressor factory: for each fold,
+/// a fresh model is built, trained on the other folds, and scored (R^2, in
+/// target space) on the held-out fold. Folds are split deterministically
+/// from `seed`.
+Result<CvResult> CrossValidate(
+    const std::function<std::unique_ptr<Regressor>()>& make_model,
+    const Dataset& data, int folds = 5, uint64_t seed = 99);
+
+/// \brief One evaluated grid-search candidate.
+struct GridSearchEntry {
+  GbdtParams params;
+  CvResult cv;
+};
+
+/// Exhaustive grid search over GBDT hyperparameters, ranked by mean CV R^2
+/// (best first). Empty axes keep the base value.
+struct GbdtGrid {
+  std::vector<int> num_trees;
+  std::vector<int> num_leaves;
+  std::vector<double> learning_rate;
+  std::vector<int> min_data_in_leaf;
+};
+
+Result<std::vector<GridSearchEntry>> GridSearch(const GbdtParams& base,
+                                                const GbdtGrid& grid,
+                                                const Dataset& data, int folds = 3,
+                                                uint64_t seed = 99);
+
+}  // namespace phoebe::ml

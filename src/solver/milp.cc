@@ -1,0 +1,154 @@
+#include "solver/milp.h"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace phoebe::solver {
+
+namespace {
+
+using Bounds = std::vector<std::pair<double, double>>;
+
+struct Node {
+  Bounds bounds;
+  double parent_bound;  // LP objective of the parent (for ordering/pruning)
+};
+
+/// Index of the most fractional integer variable, or -1 if all integral.
+int MostFractional(const Model& model, const std::vector<double>& x, double tol) {
+  int best = -1;
+  double best_dist = tol;
+  for (size_t v = 0; v < model.num_variables(); ++v) {
+    if (!model.variables()[v].integer) continue;
+    double frac = x[v] - std::floor(x[v]);
+    double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = static_cast<int>(v);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<Solution> SolveMilp(const Model& model, const MilpOptions& options) {
+  PHOEBE_RETURN_NOT_OK(model.Validate());
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  const double sign = model.maximize() ? 1.0 : -1.0;  // compare in max space
+
+  Bounds root_bounds;
+  root_bounds.reserve(model.num_variables());
+  for (const Variable& v : model.variables()) {
+    // Integer bounds can be tightened to whole numbers up front.
+    double lo = v.integer ? std::ceil(v.lo - options.int_tol) : v.lo;
+    double hi = v.integer && std::isfinite(v.hi) ? std::floor(v.hi + options.int_tol) : v.hi;
+    root_bounds.emplace_back(lo, hi);
+  }
+
+  bool have_incumbent = false;
+  Solution incumbent;
+  int64_t nodes = 0, pivots = 0;
+  bool hit_limit = false;
+
+  // DFS uses the vector as a stack; best-first pops the node with the best
+  // parent LP bound (in maximization space).
+  const bool best_first = options.node_selection == NodeSelection::kBestFirst;
+  std::vector<Node> stack;
+  stack.push_back(Node{std::move(root_bounds), sign * kInfinity});
+
+  auto pop_node = [&]() -> Node {
+    size_t pick = stack.size() - 1;
+    if (best_first) {
+      for (size_t i = 0; i < stack.size(); ++i) {
+        if (sign * stack[i].parent_bound > sign * stack[pick].parent_bound) pick = i;
+      }
+    }
+    Node node = std::move(stack[pick]);
+    stack.erase(stack.begin() + static_cast<long>(pick));
+    return node;
+  };
+
+  while (!stack.empty()) {
+    if (nodes >= options.max_nodes || elapsed() > options.time_limit_seconds) {
+      hit_limit = true;
+      break;
+    }
+    Node node = pop_node();
+    ++nodes;
+
+    // Prune by parent bound before paying for the LP.
+    if (have_incumbent &&
+        sign * node.parent_bound <= sign * incumbent.objective + options.gap_tol) {
+      continue;
+    }
+
+    Result<Solution> lp = SolveLp(model, options.lp, &node.bounds);
+    if (!lp.ok()) {
+      if (lp.status().IsInfeasible()) continue;  // dead branch
+      return lp.status();
+    }
+    pivots += lp->pivots;
+    if (have_incumbent &&
+        sign * lp->objective <= sign * incumbent.objective + options.gap_tol) {
+      continue;
+    }
+
+    int branch_var = MostFractional(model, lp->values, options.int_tol);
+    if (branch_var < 0) {
+      // Integer feasible: snap and accept as the new incumbent.
+      for (size_t v = 0; v < model.num_variables(); ++v) {
+        if (model.variables()[v].integer) {
+          lp->values[v] = std::round(lp->values[v]);
+        }
+      }
+      incumbent = std::move(*lp);
+      have_incumbent = true;
+      continue;
+    }
+
+    double x = lp->values[static_cast<size_t>(branch_var)];
+    double floor_hi = std::floor(x);
+    double ceil_lo = floor_hi + 1.0;
+
+    Node down{node.bounds, lp->objective};
+    down.bounds[static_cast<size_t>(branch_var)].second =
+        std::min(down.bounds[static_cast<size_t>(branch_var)].second, floor_hi);
+    Node up{std::move(node.bounds), lp->objective};
+    up.bounds[static_cast<size_t>(branch_var)].first =
+        std::max(up.bounds[static_cast<size_t>(branch_var)].first, ceil_lo);
+
+    // DFS; push the branch nearer the LP value last so it is explored first.
+    double frac = x - floor_hi;
+    if (frac > 0.5) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  if (!have_incumbent) {
+    if (hit_limit) {
+      return Status::Internal(
+          StrFormat("MILP limits reached after %lld nodes with no incumbent",
+                    static_cast<long long>(nodes)));
+    }
+    return Status::Infeasible("no integer-feasible solution");
+  }
+  incumbent.nodes = nodes;
+  incumbent.pivots = pivots;
+  incumbent.optimal = !hit_limit;
+  return incumbent;
+}
+
+}  // namespace phoebe::solver

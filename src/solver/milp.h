@@ -1,0 +1,35 @@
+// Branch-and-bound solver for mixed 0/1-integer programs on top of the
+// simplex LP engine. Depth-first search with best-LP-bound child ordering,
+// most-fractional branching, and incumbent pruning.
+#pragma once
+
+#include "common/status.h"
+#include "solver/model.h"
+#include "solver/simplex.h"
+
+namespace phoebe::solver {
+
+/// \brief Node-selection strategy for the branch-and-bound search.
+enum class NodeSelection {
+  kDepthFirst,  ///< finds incumbents fast, low memory (default)
+  kBestFirst,   ///< explores by best parent LP bound; fewer nodes on models
+                ///< with tight relaxations, more memory
+};
+
+/// \brief Limits and tolerances for one MILP solve.
+struct MilpOptions {
+  int64_t max_nodes = 200000;
+  double time_limit_seconds = 60.0;
+  double int_tol = 1e-6;    ///< integrality tolerance
+  double gap_tol = 1e-9;    ///< prune when bound <= incumbent + gap_tol
+  NodeSelection node_selection = NodeSelection::kDepthFirst;
+  LpOptions lp;
+};
+
+/// Solve `model` to optimality (within tolerances). Returns kInfeasible if no
+/// integer-feasible point exists. If a limit stops the search with an
+/// incumbent in hand, that incumbent is returned with `optimal == false`; if
+/// no incumbent was found before the limit, Internal is returned.
+Result<Solution> SolveMilp(const Model& model, const MilpOptions& options = {});
+
+}  // namespace phoebe::solver

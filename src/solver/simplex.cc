@@ -1,0 +1,276 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace phoebe::solver {
+
+namespace {
+
+/// Dense simplex tableau. Columns: structural vars first, then slack/surplus,
+/// then artificial. The cost row holds reduced costs (maximization).
+struct Tableau {
+  int m = 0;             // rows (constraints)
+  int n = 0;             // columns (all variables)
+  int n_structural = 0;  // structural columns
+  int first_artificial = 0;
+  std::vector<double> a;     // m * n
+  std::vector<double> rhs;   // m
+  std::vector<double> cost;  // n, reduced costs
+  double obj = 0.0;          // current objective value
+  std::vector<int> basis;    // m
+
+  double& At(int i, int j) { return a[static_cast<size_t>(i) * n + j]; }
+  double At(int i, int j) const { return a[static_cast<size_t>(i) * n + j]; }
+
+  void Pivot(int row, int col) {
+    double p = At(row, col);
+    double inv = 1.0 / p;
+    for (int j = 0; j < n; ++j) At(row, j) *= inv;
+    rhs[static_cast<size_t>(row)] *= inv;
+    At(row, col) = 1.0;  // cancel rounding
+    for (int i = 0; i < m; ++i) {
+      if (i == row) continue;
+      double f = At(i, col);
+      if (f == 0.0) continue;
+      for (int j = 0; j < n; ++j) At(i, j) -= f * At(row, j);
+      At(i, col) = 0.0;
+      rhs[static_cast<size_t>(i)] -= f * rhs[static_cast<size_t>(row)];
+    }
+    double cf = cost[static_cast<size_t>(col)];
+    if (cf != 0.0) {
+      for (int j = 0; j < n; ++j) cost[static_cast<size_t>(j)] -= cf * At(row, j);
+      cost[static_cast<size_t>(col)] = 0.0;
+      obj += cf * rhs[static_cast<size_t>(row)];
+    }
+    basis[static_cast<size_t>(row)] = col;
+  }
+};
+
+enum class IterResult { kOptimal, kUnbounded, kPivotLimit };
+
+/// Run simplex iterations until optimal/unbounded/limit. `allow_col` filters
+/// columns eligible to enter (used to block artificials in phase 2).
+IterResult Iterate(Tableau* t, const LpOptions& opt, int64_t* pivots,
+                   const std::vector<bool>& allow_col) {
+  const double eps = opt.eps;
+  int64_t stall = 0;
+  while (true) {
+    if (*pivots >= opt.max_pivots) return IterResult::kPivotLimit;
+
+    // Entering column: Dantzig (largest reduced cost); Bland after stalls.
+    bool bland = stall > 2LL * (t->m + t->n);
+    int enter = -1;
+    double best = eps;
+    for (int j = 0; j < t->n; ++j) {
+      if (!allow_col[static_cast<size_t>(j)]) continue;
+      double c = t->cost[static_cast<size_t>(j)];
+      if (c > eps) {
+        if (bland) {
+          enter = j;
+          break;
+        }
+        if (c > best) {
+          best = c;
+          enter = j;
+        }
+      }
+    }
+    if (enter < 0) return IterResult::kOptimal;
+
+    // Ratio test; ties broken by smallest basis index (lexicographic-lite).
+    int leave = -1;
+    double best_ratio = 0.0;
+    for (int i = 0; i < t->m; ++i) {
+      double aij = t->At(i, enter);
+      if (aij > eps) {
+        double ratio = t->rhs[static_cast<size_t>(i)] / aij;
+        if (leave < 0 || ratio < best_ratio - eps ||
+            (ratio < best_ratio + eps &&
+             t->basis[static_cast<size_t>(i)] < t->basis[static_cast<size_t>(leave)])) {
+          leave = i;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave < 0) return IterResult::kUnbounded;
+
+    stall = (best_ratio < eps) ? stall + 1 : 0;
+    t->Pivot(leave, enter);
+    ++*pivots;
+  }
+}
+
+}  // namespace
+
+Result<Solution> SolveLp(const Model& model, const LpOptions& options,
+                         const std::vector<std::pair<double, double>>* bound_override) {
+  PHOEBE_RETURN_NOT_OK(model.Validate());
+  const size_t nv = model.num_variables();
+  if (bound_override) PHOEBE_CHECK(bound_override->size() == nv);
+
+  // Effective bounds, with lower bounds shifted to zero: x = x' + lo.
+  std::vector<double> lo(nv), hi(nv);
+  for (size_t v = 0; v < nv; ++v) {
+    lo[v] = bound_override ? (*bound_override)[v].first : model.variables()[v].lo;
+    hi[v] = bound_override ? (*bound_override)[v].second : model.variables()[v].hi;
+    if (lo[v] > hi[v] + 1e-12) return Status::Infeasible("contradictory bounds");
+  }
+
+  // Count rows: model constraints + finite upper bounds.
+  struct Row {
+    LinearExpr expr;
+    Sense sense;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(model.num_constraints() + nv);
+  for (const Constraint& c : model.constraints()) {
+    double shift = 0.0;
+    for (const auto& [var, coeff] : c.expr.terms) shift += coeff * lo[static_cast<size_t>(var)];
+    rows.push_back(Row{c.expr, c.sense, c.rhs - shift});
+  }
+  for (size_t v = 0; v < nv; ++v) {
+    if (std::isfinite(hi[v])) {
+      LinearExpr e;
+      e.Add(static_cast<int>(v), 1.0);
+      rows.push_back(Row{std::move(e), Sense::kLe, hi[v] - lo[v]});
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+  const int ns = static_cast<int>(nv);
+
+  // Normalize rhs >= 0 and count auxiliary columns.
+  int n_slack = 0, n_art = 0;
+  std::vector<int> slack_col(rows.size(), -1), art_col(rows.size(), -1);
+  for (Row& r : rows) {
+    if (r.rhs < 0.0) {
+      for (auto& [var, coeff] : r.expr.terms) coeff = -coeff;
+      r.rhs = -r.rhs;
+      if (r.sense == Sense::kLe) r.sense = Sense::kGe;
+      else if (r.sense == Sense::kGe) r.sense = Sense::kLe;
+    }
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].sense != Sense::kEq) slack_col[i] = n_slack++;
+    if (rows[i].sense != Sense::kLe) art_col[i] = n_art++;
+  }
+
+  Tableau t;
+  t.m = m;
+  t.n_structural = ns;
+  t.first_artificial = ns + n_slack;
+  t.n = ns + n_slack + n_art;
+  t.a.assign(static_cast<size_t>(t.m) * t.n, 0.0);
+  t.rhs.resize(static_cast<size_t>(m));
+  t.cost.assign(static_cast<size_t>(t.n), 0.0);
+  t.basis.assign(static_cast<size_t>(m), -1);
+
+  for (int i = 0; i < m; ++i) {
+    const Row& r = rows[static_cast<size_t>(i)];
+    for (const auto& [var, coeff] : r.expr.terms) t.At(i, var) += coeff;
+    t.rhs[static_cast<size_t>(i)] = r.rhs;
+    if (slack_col[static_cast<size_t>(i)] >= 0) {
+      int sc = ns + slack_col[static_cast<size_t>(i)];
+      t.At(i, sc) = (r.sense == Sense::kLe) ? 1.0 : -1.0;  // slack or surplus
+      if (r.sense == Sense::kLe) t.basis[static_cast<size_t>(i)] = sc;
+    }
+    if (art_col[static_cast<size_t>(i)] >= 0) {
+      int ac = t.first_artificial + art_col[static_cast<size_t>(i)];
+      t.At(i, ac) = 1.0;
+      t.basis[static_cast<size_t>(i)] = ac;
+    }
+  }
+
+  int64_t pivots = 0;
+  std::vector<bool> allow_all(static_cast<size_t>(t.n), true);
+
+  // ---- Phase 1: drive artificials to zero (maximize -sum artificials).
+  if (n_art > 0) {
+    for (int j = t.first_artificial; j < t.n; ++j) t.cost[static_cast<size_t>(j)] = -1.0;
+    t.obj = 0.0;
+    // Price out basic artificials so their reduced costs start at zero; the
+    // running objective is -sum of basic artificial values.
+    for (int i = 0; i < m; ++i) {
+      int b = t.basis[static_cast<size_t>(i)];
+      if (b >= t.first_artificial) {
+        for (int j = 0; j < t.n; ++j) t.cost[static_cast<size_t>(j)] += t.At(i, j);
+        t.obj -= t.rhs[static_cast<size_t>(i)];
+      }
+    }
+
+    IterResult r = Iterate(&t, options, &pivots, allow_all);
+    if (r == IterResult::kPivotLimit) {
+      return Status::Internal("simplex pivot limit reached in phase 1");
+    }
+    // Phase-1 optimum should be 0 for a feasible model.
+    if (t.obj < -1e-7) {
+      return Status::Infeasible(
+          StrFormat("phase-1 objective %g (artificials remain)", -t.obj));
+    }
+    // Pivot remaining basic artificials out (degenerate) or drop their rows.
+    for (int i = 0; i < m; ++i) {
+      if (t.basis[static_cast<size_t>(i)] < t.first_artificial) continue;
+      int enter = -1;
+      for (int j = 0; j < t.first_artificial; ++j) {
+        if (std::abs(t.At(i, j)) > 1e-7) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter >= 0) {
+        t.Pivot(i, enter);
+        ++pivots;
+      }
+      // else: redundant row; the artificial stays basic at value ~0, and its
+      // column can never re-enter, so it is harmless.
+    }
+  }
+
+  // ---- Phase 2: original objective over structural columns.
+  {
+    std::fill(t.cost.begin(), t.cost.end(), 0.0);
+    double sign = model.maximize() ? 1.0 : -1.0;
+    double const_term = 0.0;
+    for (const auto& [var, coeff] : model.objective().terms) {
+      t.cost[static_cast<size_t>(var)] += sign * coeff;
+      const_term += sign * coeff * lo[static_cast<size_t>(var)];
+    }
+    t.obj = const_term;
+    // Price out the current basis.
+    for (int i = 0; i < m; ++i) {
+      int b = t.basis[static_cast<size_t>(i)];
+      double cb = t.cost[static_cast<size_t>(b)];
+      if (cb != 0.0) {
+        for (int j = 0; j < t.n; ++j) t.cost[static_cast<size_t>(j)] -= cb * t.At(i, j);
+        t.cost[static_cast<size_t>(b)] = 0.0;
+        t.obj += cb * t.rhs[static_cast<size_t>(i)];
+      }
+    }
+    std::vector<bool> allow(static_cast<size_t>(t.n), true);
+    for (int j = t.first_artificial; j < t.n; ++j) allow[static_cast<size_t>(j)] = false;
+
+    IterResult r = Iterate(&t, options, &pivots, allow);
+    if (r == IterResult::kPivotLimit) {
+      return Status::Internal("simplex pivot limit reached in phase 2");
+    }
+    if (r == IterResult::kUnbounded) return Status::Unbounded("LP is unbounded");
+
+    Solution sol;
+    sol.pivots = pivots;
+    sol.values.assign(nv, 0.0);
+    for (int i = 0; i < m; ++i) {
+      int b = t.basis[static_cast<size_t>(i)];
+      if (b < ns) sol.values[static_cast<size_t>(b)] = t.rhs[static_cast<size_t>(i)];
+    }
+    for (size_t v = 0; v < nv; ++v) sol.values[v] += lo[v];
+    sol.objective = model.maximize() ? t.obj : -t.obj;
+    return sol;
+  }
+}
+
+}  // namespace phoebe::solver

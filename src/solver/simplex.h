@@ -1,0 +1,30 @@
+// Dense two-phase primal simplex for LPs built with solver::Model.
+//
+// Scope: exact-arithmetic-free teaching-grade simplex that is nonetheless
+// robust enough for Phoebe's checkpoint IPs (hundreds of variables). Finite
+// lower bounds are shifted to zero; finite upper bounds become explicit
+// constraints; >=/= rows get artificial variables driven out in phase 1.
+// Dantzig pricing with a Bland's-rule fallback guards against cycling.
+#pragma once
+
+#include "common/status.h"
+#include "solver/model.h"
+
+namespace phoebe::solver {
+
+/// \brief Limits for one LP solve.
+struct LpOptions {
+  int64_t max_pivots = 200000;
+  double eps = 1e-9;
+};
+
+/// Solve the LP relaxation of `model` (integrality is ignored).
+/// `bound_override`, if non-null, replaces the variable bounds (used by
+/// branch-and-bound); it must have one (lo, hi) pair per variable.
+///
+/// Returns kInfeasible / kUnbounded statuses for those outcomes.
+Result<Solution> SolveLp(const Model& model, const LpOptions& options = {},
+                         const std::vector<std::pair<double, double>>* bound_override =
+                             nullptr);
+
+}  // namespace phoebe::solver

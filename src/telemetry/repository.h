@@ -1,0 +1,111 @@
+// Workload repository: the telemetry store Phoebe trains from.
+//
+// Mirrors the role of the Cosmos workload repository in Figure 4 of the
+// paper: per-stage execution records accumulate per day, and the "Historic
+// Statistics" feature group of Table 1 (average exclusive time and output
+// size per job template + stage type) is computed from days strictly before
+// the day being predicted, so there is no train/test leakage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/job_instance.h"
+
+namespace phoebe::telemetry {
+
+/// \brief One flattened per-stage telemetry row (what the engine emits).
+struct StageRecord {
+  int64_t job_id = 0;
+  int template_id = 0;
+  int day = 0;
+  int stage_id = 0;
+  int stage_type = 0;
+  std::string job_name;
+  std::string norm_input_name;
+  int num_tasks = 1;
+
+  // Measured.
+  double input_bytes = 0.0;
+  double output_bytes = 0.0;
+  double exec_seconds = 0.0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  double ttl = 0.0;
+  double tfs = 0.0;
+
+  // Compile-time estimates attached for later model training.
+  workload::StageEstimates est;
+};
+
+/// Flatten a job instance into per-stage rows.
+std::vector<StageRecord> Flatten(const workload::JobInstance& instance);
+
+/// \brief Historic per-(template, stage-type) averages with fallbacks.
+class HistoricStats {
+ public:
+  /// Aggregated statistics for one lookup.
+  struct Entry {
+    double avg_exclusive_time = 0.0;  ///< mean stage exec seconds
+    double avg_output_bytes = 0.0;
+    double avg_ttl = 0.0;
+    int64_t support = 0;  ///< number of observations behind the averages
+  };
+
+  /// Fold one executed instance into the statistics.
+  void Accumulate(const workload::JobInstance& instance);
+
+  /// Lookup with fallback: (template, stage_type) -> stage_type -> global.
+  /// `support` reports the observation count at the level that answered.
+  Entry Get(int template_id, int stage_type) const;
+
+  /// True if the exact (template, stage_type) combination has been seen.
+  bool HasExact(int template_id, int stage_type) const;
+
+  int64_t total_observations() const { return global_.n; }
+
+  /// Serialize to a line-oriented text format; FromText round-trips it.
+  std::string ToText() const;
+  static Result<HistoricStats> FromText(const std::string& text);
+
+ private:
+  struct Acc {
+    double sum_exec = 0.0;
+    double sum_output = 0.0;
+    double sum_ttl = 0.0;
+    int64_t n = 0;
+    Entry ToEntry() const;
+  };
+
+  std::map<std::pair<int, int>, Acc> by_template_type_;
+  std::map<int, Acc> by_type_;
+  Acc global_;
+};
+
+/// \brief Day-partitioned store of executed job instances.
+class WorkloadRepository {
+ public:
+  /// Store the instances executed on `day`. A day can only be added once.
+  Status AddDay(int day, std::vector<workload::JobInstance> instances);
+
+  bool HasDay(int day) const { return days_.count(day) > 0; }
+  const std::vector<workload::JobInstance>& Day(int day) const;
+  std::vector<int> Days() const;
+
+  size_t TotalJobs() const;
+  size_t TotalStageRecords() const;
+
+  /// Historic statistics over all stored days strictly before `day`.
+  HistoricStats StatsBefore(int day) const;
+
+  /// Export all stored records as CSV (one row per stage).
+  std::string ToCsv() const;
+
+ private:
+  std::map<int, std::vector<workload::JobInstance>> days_;
+};
+
+}  // namespace phoebe::telemetry

@@ -1,0 +1,31 @@
+#include "workload/job_instance.h"
+
+#include <algorithm>
+
+namespace phoebe::workload {
+
+double JobInstance::JobRuntime() const {
+  double end = 0.0;
+  for (const StageTruth& t : truth) end = std::max(end, t.end_time);
+  return end;
+}
+
+double JobInstance::TotalTempBytes() const {
+  double total = 0.0;
+  for (const StageTruth& t : truth) total += t.output_bytes;
+  return total;
+}
+
+double JobInstance::TempByteSeconds() const {
+  double total = 0.0;
+  for (const StageTruth& t : truth) total += t.output_bytes * t.ttl;
+  return total;
+}
+
+int JobInstance::TotalTasks() const {
+  int total = 0;
+  for (const StageTruth& t : truth) total += t.num_tasks;
+  return total;
+}
+
+}  // namespace phoebe::workload

@@ -1,0 +1,66 @@
+// One executed occurrence of a recurring job, with per-stage ground truth
+// (what the cluster would have measured) and per-stage query-optimizer
+// estimates (what the compiler knows at submission time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/job_graph.h"
+
+namespace phoebe::workload {
+
+/// \brief Ground-truth per-stage execution facts (telemetry).
+struct StageTruth {
+  double input_bytes = 0.0;
+  double output_bytes = 0.0;
+  double exec_seconds = 0.0;  ///< average task latency of the stage
+  double wall_seconds = 0.0;  ///< stage wall-clock duration (>= exec_seconds
+                              ///< under stragglers; what the schedule sees)
+  int num_tasks = 1;
+
+  // Ground-truth schedule (relative to job start).
+  double start_time = 0.0;
+  double end_time = 0.0;
+  double ttl = 0.0;  ///< job end time - stage end time
+  double tfs = 0.0;  ///< stage start time (time from start)
+};
+
+/// \brief Compile-time query-optimizer estimates (CLEO-style channel).
+///
+/// These are intentionally biased and noisy, with errors compounding along
+/// the DAG depth — Phoebe uses them only as model *features*.
+struct StageEstimates {
+  double est_cost = 0.0;               ///< estimated total stage cost (s)
+  double est_exclusive_cost = 0.0;     ///< estimated exclusive cost (s)
+  double est_input_cardinality = 0.0;  ///< rows in
+  double est_cardinality = 0.0;        ///< rows out of the last operator
+  double est_output_bytes = 0.0;       ///< bytes out
+};
+
+/// \brief One job occurrence on one day.
+struct JobInstance {
+  int64_t job_id = 0;
+  int template_id = 0;
+  int day = 0;                 ///< day index since workload epoch
+  double submit_time = 0.0;    ///< seconds within the day
+
+  std::string job_name;        ///< normalized job name (text feature)
+  std::string norm_input_name; ///< normalized input path (text feature)
+
+  dag::JobGraph graph;
+  std::vector<StageTruth> truth;     ///< indexed by StageId
+  std::vector<StageEstimates> est;   ///< indexed by StageId
+
+  /// Ground-truth job runtime: max stage end time.
+  double JobRuntime() const;
+  /// Sum of per-stage output bytes (total temp data written).
+  double TotalTempBytes() const;
+  /// Total temp-storage occupancy in byte-seconds: sum_u o_u * ttl_u.
+  double TempByteSeconds() const;
+  /// Total task count.
+  int TotalTasks() const;
+};
+
+}  // namespace phoebe::workload

@@ -1,0 +1,133 @@
+#include "workload/trace.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace phoebe::workload {
+
+std::string SerializeTrace(const std::vector<JobInstance>& jobs) {
+  std::string out = StrFormat("trace v1 %zu\n", jobs.size());
+  for (const JobInstance& job : jobs) {
+    PHOEBE_CHECK_MSG(job.truth.size() == job.graph.num_stages() &&
+                         job.est.size() == job.graph.num_stages(),
+                     "job arrays inconsistent with graph");
+    out += StrFormat("beginjob %lld %d %d %.17g %s %s\n",
+                     static_cast<long long>(job.job_id), job.template_id, job.day,
+                     job.submit_time, job.job_name.c_str(),
+                     job.norm_input_name.c_str());
+    out += job.graph.ToText();
+    out += "endgraph\n";
+    for (const StageTruth& t : job.truth) {
+      out += StrFormat("truth %.17g %.17g %.17g %.17g %d %.17g %.17g %.17g %.17g\n",
+                       t.input_bytes, t.output_bytes, t.exec_seconds, t.wall_seconds,
+                       t.num_tasks, t.start_time, t.end_time, t.ttl, t.tfs);
+    }
+    for (const StageEstimates& e : job.est) {
+      out += StrFormat("est %.17g %.17g %.17g %.17g %.17g\n", e.est_cost,
+                       e.est_exclusive_cost, e.est_input_cardinality,
+                       e.est_cardinality, e.est_output_bytes);
+    }
+    out += "endjob\n";
+  }
+  return out;
+}
+
+Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  size_t i = 0;
+  auto next = [&]() -> const std::string* {
+    while (i < lines.size() && lines[i].empty()) ++i;
+    return i < lines.size() ? &lines[i++] : nullptr;
+  };
+
+  const std::string* line = next();
+  if (!line) return Status::InvalidArgument("empty trace");
+  std::vector<std::string> hdr = Split(*line, ' ');
+  if (hdr.size() != 3 || hdr[0] != "trace" || hdr[1] != "v1") {
+    return Status::InvalidArgument("bad trace header (expected 'trace v1 <n>')");
+  }
+  size_t n_jobs = static_cast<size_t>(std::atoll(hdr[2].c_str()));
+
+  std::vector<JobInstance> jobs;
+  jobs.reserve(n_jobs);
+  for (size_t j = 0; j < n_jobs; ++j) {
+    line = next();
+    if (!line) return Status::InvalidArgument("truncated trace: missing beginjob");
+    std::vector<std::string> jh = Split(*line, ' ');
+    if (jh.size() != 7 || jh[0] != "beginjob") {
+      return Status::InvalidArgument(
+          StrFormat("job %zu: bad beginjob line '%s'", j, line->c_str()));
+    }
+    JobInstance job;
+    job.job_id = std::atoll(jh[1].c_str());
+    job.template_id = std::atoi(jh[2].c_str());
+    job.day = std::atoi(jh[3].c_str());
+    job.submit_time = std::atof(jh[4].c_str());
+    job.job_name = jh[5];
+    job.norm_input_name = jh[6];
+
+    // Graph block up to 'endgraph'.
+    std::string graph_text;
+    while (true) {
+      line = next();
+      if (!line) return Status::InvalidArgument("truncated trace: missing endgraph");
+      if (*line == "endgraph") break;
+      graph_text += *line;
+      graph_text += '\n';
+    }
+    PHOEBE_ASSIGN_OR_RETURN(job.graph, dag::JobGraph::FromText(graph_text));
+
+    const size_t n = job.graph.num_stages();
+    job.truth.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      line = next();
+      if (!line) return Status::InvalidArgument("truncated trace: missing truth");
+      std::vector<std::string> tok = Split(*line, ' ');
+      if (tok.size() != 10 || tok[0] != "truth") {
+        return Status::InvalidArgument(
+            StrFormat("job %zu stage %zu: bad truth line", j, s));
+      }
+      StageTruth t;
+      t.input_bytes = std::atof(tok[1].c_str());
+      t.output_bytes = std::atof(tok[2].c_str());
+      t.exec_seconds = std::atof(tok[3].c_str());
+      t.wall_seconds = std::atof(tok[4].c_str());
+      t.num_tasks = std::atoi(tok[5].c_str());
+      t.start_time = std::atof(tok[6].c_str());
+      t.end_time = std::atof(tok[7].c_str());
+      t.ttl = std::atof(tok[8].c_str());
+      t.tfs = std::atof(tok[9].c_str());
+      if (t.num_tasks < 1) {
+        return Status::InvalidArgument(
+            StrFormat("job %zu stage %zu: num_tasks < 1", j, s));
+      }
+      job.truth.push_back(t);
+    }
+    job.est.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      line = next();
+      if (!line) return Status::InvalidArgument("truncated trace: missing est");
+      std::vector<std::string> tok = Split(*line, ' ');
+      if (tok.size() != 6 || tok[0] != "est") {
+        return Status::InvalidArgument(
+            StrFormat("job %zu stage %zu: bad est line", j, s));
+      }
+      StageEstimates e;
+      e.est_cost = std::atof(tok[1].c_str());
+      e.est_exclusive_cost = std::atof(tok[2].c_str());
+      e.est_input_cardinality = std::atof(tok[3].c_str());
+      e.est_cardinality = std::atof(tok[4].c_str());
+      e.est_output_bytes = std::atof(tok[5].c_str());
+      job.est.push_back(e);
+    }
+    line = next();
+    if (!line || *line != "endjob") {
+      return Status::InvalidArgument(StrFormat("job %zu: missing endjob", j));
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace phoebe::workload

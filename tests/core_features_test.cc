@@ -1,0 +1,129 @@
+// Tests for the Table-1 featurizer: group toggles, row shapes, target
+// transforms, and leak-freedom (features never read truth).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/features.h"
+#include "workload/generator.h"
+
+namespace phoebe::core {
+namespace {
+
+workload::WorkloadGenerator MakeGen() {
+  workload::WorkloadConfig cfg;
+  cfg.num_templates = 8;
+  cfg.seed = 60;
+  return workload::WorkloadGenerator(cfg);
+}
+
+TEST(FeaturizerTest, DefaultGroups) {
+  StageFeaturizer f;
+  auto names = f.FeatureNames();
+  EXPECT_EQ(names.size(), 10u);  // 6 QO + 4 historic
+  EXPECT_EQ(names[0], "log_est_cost");
+  EXPECT_EQ(names.back(), "hist_exact");
+}
+
+TEST(FeaturizerTest, GroupTogglesChangeWidth) {
+  FeatureConfig qo_only;
+  qo_only.historic = false;
+  EXPECT_EQ(StageFeaturizer(qo_only).FeatureNames().size(), 6u);
+
+  FeatureConfig hist_only;
+  hist_only.query_optimizer = false;
+  EXPECT_EQ(StageFeaturizer(hist_only).FeatureNames().size(), 4u);
+
+  FeatureConfig with_type;
+  with_type.stage_type_id = true;
+  EXPECT_EQ(StageFeaturizer(with_type).FeatureNames().size(), 11u);
+
+  FeatureConfig with_text;
+  with_text.text = true;
+  with_text.text_dims = 8;
+  EXPECT_EQ(StageFeaturizer(with_text).FeatureNames().size(), 10u + 16u);
+}
+
+TEST(FeaturizerTest, RowMatchesNames) {
+  auto gen = MakeGen();
+  auto jobs = gen.GenerateDay(0);
+  telemetry::HistoricStats stats;
+  for (const auto& j : jobs) stats.Accumulate(j);
+
+  FeatureConfig cfg;
+  cfg.text = true;
+  cfg.stage_type_id = true;
+  StageFeaturizer f(cfg);
+  auto row = f.Features(jobs[0], 0, stats);
+  EXPECT_EQ(row.size(), f.FeatureNames().size());
+  for (double v : row) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(FeaturizerTest, HistExactFlagReflectsStats) {
+  auto gen = MakeGen();
+  auto jobs = gen.GenerateDay(0);
+  StageFeaturizer f;
+  int idx = -1;
+  auto names = f.FeatureNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "hist_exact") idx = static_cast<int>(i);
+  }
+  ASSERT_GE(idx, 0);
+
+  telemetry::HistoricStats empty;
+  auto row_cold = f.Features(jobs[0], 0, empty);
+  EXPECT_EQ(row_cold[static_cast<size_t>(idx)], 0.0);
+
+  telemetry::HistoricStats warm;
+  warm.Accumulate(jobs[0]);
+  auto row_warm = f.Features(jobs[0], 0, warm);
+  EXPECT_EQ(row_warm[static_cast<size_t>(idx)], 1.0);
+}
+
+TEST(FeaturizerTest, FeaturesIgnoreTruthPerturbation) {
+  // Compile-time features must not depend on measured truth (except the
+  // published task count, which the compiler legitimately knows).
+  auto gen = MakeGen();
+  auto jobs = gen.GenerateDay(0);
+  telemetry::HistoricStats stats;
+  StageFeaturizer f;
+  workload::JobInstance job = jobs[0];
+  auto before = f.Features(job, 0, stats);
+  job.truth[0].exec_seconds *= 100;
+  job.truth[0].output_bytes *= 100;
+  job.truth[0].ttl += 1e6;
+  auto after = f.Features(job, 0, stats);
+  EXPECT_EQ(before, after);
+}
+
+TEST(FeaturizerTest, DatasetOneRowPerStage) {
+  auto gen = MakeGen();
+  auto jobs = gen.GenerateDay(0);
+  telemetry::HistoricStats stats;
+  StageFeaturizer f;
+  auto ds = f.BuildDataset(jobs, stats, Target::kExecSeconds);
+  size_t expected = 0;
+  for (const auto& j : jobs) expected += j.graph.num_stages();
+  EXPECT_EQ(ds.size(), expected);
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(FeaturizerTest, TargetTransformRoundTrips) {
+  for (double y : {0.0, 0.5, 10.0, 1e9}) {
+    EXPECT_NEAR(StageFeaturizer::ExpandTarget(StageFeaturizer::CompressTarget(y)), y,
+                1e-6 * std::max(1.0, y));
+  }
+  EXPECT_EQ(StageFeaturizer::CompressTarget(-5.0), 0.0);  // clamped
+}
+
+TEST(FeaturizerTest, TargetValueSelectsField) {
+  auto gen = MakeGen();
+  auto jobs = gen.GenerateDay(0);
+  EXPECT_DOUBLE_EQ(StageFeaturizer::TargetValue(jobs[0], 0, Target::kExecSeconds),
+                   jobs[0].truth[0].exec_seconds);
+  EXPECT_DOUBLE_EQ(StageFeaturizer::TargetValue(jobs[0], 0, Target::kOutputBytes),
+                   jobs[0].truth[0].output_bytes);
+}
+
+}  // namespace
+}  // namespace phoebe::core

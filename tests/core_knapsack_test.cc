@@ -1,0 +1,119 @@
+// Tests for the online-knapsack admission policy (§5.4).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/knapsack.h"
+
+namespace phoebe::core {
+namespace {
+
+std::vector<KnapsackItem> RandomHistory(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KnapsackItem> h;
+  h.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double w = rng.LogNormal(20.0, 1.0);  // ~ bytes
+    double ratio = rng.LogNormal(2.0, 1.0);
+    h.push_back(KnapsackItem{w, w * ratio});
+  }
+  return h;
+}
+
+TEST(KnapsackTest, CalibrationValidation) {
+  EXPECT_FALSE(OnlineKnapsack::Calibrate(-1, 10, RandomHistory(10, 1)).ok());
+  EXPECT_FALSE(OnlineKnapsack::Calibrate(10, 0, RandomHistory(10, 1)).ok());
+  EXPECT_FALSE(OnlineKnapsack::Calibrate(10, 10, {}).ok());
+  std::vector<KnapsackItem> bad = {{-1.0, 2.0}};
+  EXPECT_FALSE(OnlineKnapsack::Calibrate(10, 10, bad).ok());
+}
+
+TEST(KnapsackTest, UnlimitedCapacityAcceptsEverything) {
+  auto history = RandomHistory(500, 2);
+  double total_w = 0;
+  for (const auto& it : history) total_w += it.weight;
+  auto k = OnlineKnapsack::Calibrate(total_w * 10, 500, history);
+  ASSERT_TRUE(k.ok());
+  EXPECT_DOUBLE_EQ(k->selection_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(k->threshold(), 0.0);
+  int accepted = 0;
+  for (const auto& it : history) accepted += k->Offer(it) ? 1 : 0;
+  EXPECT_EQ(accepted, 500);
+}
+
+TEST(KnapsackTest, BudgetNeverExceeded) {
+  auto history = RandomHistory(500, 3);
+  double total_w = 0;
+  for (const auto& it : history) total_w += it.weight;
+  double cap = total_w * 0.1;
+  auto k = OnlineKnapsack::Calibrate(cap, 500, history);
+  ASSERT_TRUE(k.ok());
+  Rng rng(4);
+  for (const auto& it : RandomHistory(500, 5)) k->Offer(it);
+  EXPECT_GE(k->remaining(), 0.0);
+  EXPECT_LE(k->accepted_weight(), cap + 1e-6);
+}
+
+TEST(KnapsackTest, ThresholdSelectsHighRatioItems) {
+  auto history = RandomHistory(2000, 6);
+  double total_w = 0;
+  for (const auto& it : history) total_w += it.weight;
+  auto k = OnlineKnapsack::Calibrate(total_w * 0.2, 2000, history);
+  ASSERT_TRUE(k.ok());
+  EXPECT_GT(k->threshold(), 0.0);
+  EXPECT_NEAR(k->selection_fraction(), 0.2, 0.01);
+
+  // Accepted items all meet the threshold.
+  auto stream = RandomHistory(2000, 7);
+  double min_accepted_ratio = 1e300;
+  for (const auto& it : stream) {
+    if (k->Offer(it)) min_accepted_ratio = std::min(min_accepted_ratio, it.Ratio());
+  }
+  EXPECT_GE(min_accepted_ratio, k->threshold());
+  EXPECT_GT(k->accepted_count(), 0);
+  EXPECT_EQ(k->offered_count(), 2000);
+}
+
+TEST(KnapsackTest, TighterBudgetRaisesThreshold) {
+  auto history = RandomHistory(2000, 8);
+  double total_w = 0;
+  for (const auto& it : history) total_w += it.weight;
+  auto loose = OnlineKnapsack::Calibrate(total_w * 0.5, 2000, history);
+  auto tight = OnlineKnapsack::Calibrate(total_w * 0.05, 2000, history);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GT(tight->threshold(), loose->threshold());
+}
+
+TEST(KnapsackTest, AcceptedValueAccumulates) {
+  auto history = RandomHistory(100, 9);
+  auto k = OnlineKnapsack::Calibrate(1e30, 100, history);
+  ASSERT_TRUE(k.ok());
+  double expect = 0;
+  for (const auto& it : history) {
+    ASSERT_TRUE(k->Offer(it));
+    expect += it.value;
+  }
+  EXPECT_DOUBLE_EQ(k->accepted_value(), expect);
+}
+
+TEST(KnapsackTest, OversizedItemRejectedEvenWithGoodRatio) {
+  std::vector<KnapsackItem> history = {{10.0, 100.0}, {10.0, 1.0}};
+  auto k = OnlineKnapsack::Calibrate(5.0, 2, history);
+  ASSERT_TRUE(k.ok());
+  EXPECT_FALSE(k->Offer(KnapsackItem{10.0, 1e9}));  // exceeds budget
+  EXPECT_TRUE(k->Offer(KnapsackItem{4.0, 1e9}));
+}
+
+TEST(KnapsackTest, ZeroWeightItemsAlwaysFit) {
+  auto history = RandomHistory(100, 10);
+  auto k = OnlineKnapsack::Calibrate(1.0, 100, history);
+  ASSERT_TRUE(k.ok());
+  // Zero weight, enormous value -> ratio 0 by convention; accepted only if
+  // threshold is 0. Verify no crash and budget unchanged.
+  double before = k->remaining();
+  k->Offer(KnapsackItem{0.0, 1e9});
+  EXPECT_DOUBLE_EQ(k->remaining(), before);
+}
+
+}  // namespace
+}  // namespace phoebe::core

@@ -1,0 +1,124 @@
+// Tests for the job runtime simulator (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/simulator.h"
+#include "dag/job_graph.h"
+
+namespace phoebe::core {
+namespace {
+
+dag::Stage S(const std::string& name) {
+  dag::Stage s;
+  s.name = name;
+  s.operators = {dag::OperatorKind::kFilter};
+  return s;
+}
+
+TEST(SimulatorTest, ChainAccumulates) {
+  dag::JobGraph g;
+  for (int i = 0; i < 3; ++i) g.AddStage(S("s"));
+  g.AddEdge(0, 1).Check();
+  g.AddEdge(1, 2).Check();
+  auto sim = SimulateSchedule(g, {10, 20, 5});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_DOUBLE_EQ(sim->start[0], 0);
+  EXPECT_DOUBLE_EQ(sim->end[0], 10);
+  EXPECT_DOUBLE_EQ(sim->start[1], 10);
+  EXPECT_DOUBLE_EQ(sim->end[1], 30);
+  EXPECT_DOUBLE_EQ(sim->start[2], 30);
+  EXPECT_DOUBLE_EQ(sim->end[2], 35);
+  EXPECT_DOUBLE_EQ(sim->job_end, 35);
+  EXPECT_DOUBLE_EQ(sim->Ttl(0), 25);
+  EXPECT_DOUBLE_EQ(sim->Ttl(2), 0);
+  EXPECT_DOUBLE_EQ(sim->Tfs(1), 10);
+}
+
+TEST(SimulatorTest, DiamondWaitsForSlowestUpstream) {
+  dag::JobGraph g;
+  for (int i = 0; i < 4; ++i) g.AddStage(S("s"));
+  g.AddEdge(0, 1).Check();
+  g.AddEdge(0, 2).Check();
+  g.AddEdge(1, 3).Check();
+  g.AddEdge(2, 3).Check();
+  auto sim = SimulateSchedule(g, {5, 100, 10, 1});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_DOUBLE_EQ(sim->start[3], 105);  // max(5+100, 5+10)
+  EXPECT_DOUBLE_EQ(sim->job_end, 106);
+}
+
+TEST(SimulatorTest, ParallelRootsOverlap) {
+  dag::JobGraph g;
+  g.AddStage(S("a"));
+  g.AddStage(S("b"));
+  auto sim = SimulateSchedule(g, {7, 3});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_DOUBLE_EQ(sim->start[0], 0);
+  EXPECT_DOUBLE_EQ(sim->start[1], 0);
+  EXPECT_DOUBLE_EQ(sim->job_end, 7);
+  EXPECT_DOUBLE_EQ(sim->Ttl(1), 4);
+}
+
+TEST(SimulatorTest, NegativeExecClampedToZero) {
+  dag::JobGraph g;
+  g.AddStage(S("a"));
+  g.AddStage(S("b"));
+  g.AddEdge(0, 1).Check();
+  auto sim = SimulateSchedule(g, {-5, 3});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_DOUBLE_EQ(sim->end[0], 0);
+  EXPECT_DOUBLE_EQ(sim->job_end, 3);
+}
+
+TEST(SimulatorTest, SizeMismatchRejected) {
+  dag::JobGraph g;
+  g.AddStage(S("a"));
+  EXPECT_FALSE(SimulateSchedule(g, {1.0, 2.0}).ok());
+}
+
+TEST(SimulatorTest, CycleRejected) {
+  dag::JobGraph g;
+  g.AddStage(S("a"));
+  g.AddStage(S("b"));
+  g.AddEdge(0, 1).Check();
+  g.AddEdge(1, 0).Check();
+  EXPECT_FALSE(SimulateSchedule(g, {1.0, 1.0}).ok());
+}
+
+// Property: start >= every upstream end, job_end = max end, TTL >= 0.
+class SimulatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorPropertyTest, ScheduleInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 50);
+  int n = static_cast<int>(rng.UniformInt(2, 30));
+  dag::JobGraph g;
+  for (int i = 0; i < n; ++i) g.AddStage(S("s"));
+  for (int v = 1; v < n; ++v) {
+    int k = static_cast<int>(rng.UniformInt(1, 2));
+    for (int j = 0; j < k; ++j) {
+      (void)g.AddEdge(static_cast<dag::StageId>(rng.UniformInt(0, v - 1)),
+                      static_cast<dag::StageId>(v));
+    }
+  }
+  std::vector<double> exec(static_cast<size_t>(n));
+  for (double& e : exec) e = rng.Uniform(0.1, 50.0);
+  auto sim = SimulateSchedule(g, exec);
+  ASSERT_TRUE(sim.ok());
+  double max_end = 0;
+  for (int u = 0; u < n; ++u) {
+    max_end = std::max(max_end, sim->end[static_cast<size_t>(u)]);
+    EXPECT_NEAR(sim->end[static_cast<size_t>(u)],
+                sim->start[static_cast<size_t>(u)] + exec[static_cast<size_t>(u)], 1e-9);
+    for (dag::StageId up : g.upstream(static_cast<dag::StageId>(u))) {
+      EXPECT_GE(sim->start[static_cast<size_t>(u)],
+                sim->end[static_cast<size_t>(up)] - 1e-9);
+    }
+    EXPECT_GE(sim->Ttl(static_cast<dag::StageId>(u)), -1e-9);
+  }
+  EXPECT_DOUBLE_EQ(sim->job_end, max_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertyTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace phoebe::core

@@ -1,0 +1,301 @@
+// Unit and property tests for src/dag: graph construction, validation,
+// topological ordering, reachability, metrics, and text round-trips.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "dag/dot_export.h"
+#include "dag/graph_metrics.h"
+#include "dag/job_graph.h"
+#include "dag/operator_kind.h"
+
+namespace phoebe::dag {
+namespace {
+
+Stage MakeStage(const std::string& name, OperatorKind op, int tasks = 1) {
+  Stage s;
+  s.name = name;
+  s.operators = {op};
+  s.stage_type = static_cast<int>(op);
+  s.num_tasks = tasks;
+  return s;
+}
+
+/// a -> b -> d, a -> c -> d  (diamond)
+JobGraph Diamond() {
+  JobGraph g("diamond");
+  g.AddStage(MakeStage("a", OperatorKind::kExtract));
+  g.AddStage(MakeStage("b", OperatorKind::kFilter));
+  g.AddStage(MakeStage("c", OperatorKind::kAggregate));
+  g.AddStage(MakeStage("d", OperatorKind::kOutput));
+  g.AddEdge(0, 1).Check();
+  g.AddEdge(0, 2).Check();
+  g.AddEdge(1, 3).Check();
+  g.AddEdge(2, 3).Check();
+  return g;
+}
+
+// ---------- OperatorKind ----------
+
+TEST(OperatorKindTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumOperatorKinds; ++i) {
+    OperatorKind k = static_cast<OperatorKind>(i);
+    EXPECT_EQ(OperatorKindFromName(OperatorKindName(k)), k);
+  }
+}
+
+TEST(OperatorKindTest, UnknownNameReturnsSentinel) {
+  EXPECT_EQ(OperatorKindFromName("NotAnOp"), OperatorKind::kMaxValue);
+}
+
+TEST(OperatorKindTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumOperatorKinds; ++i) {
+    names.insert(OperatorKindName(static_cast<OperatorKind>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumOperatorKinds));
+}
+
+// ---------- JobGraph basics ----------
+
+TEST(JobGraphTest, AddStageAssignsDenseIds) {
+  JobGraph g;
+  EXPECT_EQ(g.AddStage(MakeStage("a", OperatorKind::kExtract)), 0);
+  EXPECT_EQ(g.AddStage(MakeStage("b", OperatorKind::kFilter)), 1);
+  EXPECT_EQ(g.num_stages(), 2u);
+  EXPECT_EQ(g.stage(1).name, "b");
+}
+
+TEST(JobGraphTest, AddEdgeRejectsBadIds) {
+  JobGraph g;
+  g.AddStage(MakeStage("a", OperatorKind::kExtract));
+  EXPECT_TRUE(g.AddEdge(0, 5).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(-1, 0).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(0, 0).IsInvalidArgument());  // self loop
+}
+
+TEST(JobGraphTest, AddEdgeRejectsDuplicates) {
+  JobGraph g;
+  g.AddStage(MakeStage("a", OperatorKind::kExtract));
+  g.AddStage(MakeStage("b", OperatorKind::kFilter));
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(JobGraphTest, AdjacencyIsSymmetricallyRecorded) {
+  JobGraph g = Diamond();
+  EXPECT_EQ(g.downstream(0), (std::vector<StageId>{1, 2}));
+  EXPECT_EQ(g.upstream(3), (std::vector<StageId>{1, 2}));
+  EXPECT_TRUE(g.upstream(0).empty());
+  EXPECT_TRUE(g.downstream(3).empty());
+}
+
+TEST(JobGraphTest, RootsAndLeaves) {
+  JobGraph g = Diamond();
+  EXPECT_EQ(g.Roots(), (std::vector<StageId>{0}));
+  EXPECT_EQ(g.Leaves(), (std::vector<StageId>{3}));
+}
+
+TEST(JobGraphTest, ValidateRejectsZeroTasks) {
+  JobGraph g;
+  Stage s = MakeStage("a", OperatorKind::kExtract);
+  s.num_tasks = 0;
+  g.AddStage(s);
+  EXPECT_TRUE(g.Validate().IsInvalidArgument());
+}
+
+// ---------- Topological order ----------
+
+TEST(TopoTest, DiamondOrderRespectsEdges) {
+  JobGraph g = Diamond();
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> pos(4);
+  for (size_t i = 0; i < order->size(); ++i) pos[static_cast<size_t>((*order)[i])] = static_cast<int>(i);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(pos[static_cast<size_t>(e.from)], pos[static_cast<size_t>(e.to)]);
+  }
+}
+
+TEST(TopoTest, DeterministicMinIdFirst) {
+  JobGraph g;
+  for (int i = 0; i < 4; ++i) g.AddStage(MakeStage("s", OperatorKind::kFilter));
+  // No edges: expect identity order.
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<StageId>{0, 1, 2, 3}));
+}
+
+TEST(TopoTest, CycleDetected) {
+  JobGraph g;
+  g.AddStage(MakeStage("a", OperatorKind::kFilter));
+  g.AddStage(MakeStage("b", OperatorKind::kFilter));
+  g.AddStage(MakeStage("c", OperatorKind::kFilter));
+  g.AddEdge(0, 1).Check();
+  g.AddEdge(1, 2).Check();
+  g.AddEdge(2, 0).Check();
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(TopoTest, EmptyGraph) {
+  JobGraph g;
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order->empty());
+}
+
+// Property: random DAGs (edges only forward) always produce a valid order.
+class RandomDagTopoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagTopoTest, OrderIsConsistent) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  int n = static_cast<int>(rng.UniformInt(2, 40));
+  JobGraph g;
+  for (int i = 0; i < n; ++i) g.AddStage(MakeStage("s", OperatorKind::kFilter));
+  for (int v = 1; v < n; ++v) {
+    int k = static_cast<int>(rng.UniformInt(0, 2));
+    for (int j = 0; j < k; ++j) {
+      StageId u = static_cast<StageId>(rng.UniformInt(0, v - 1));
+      (void)g.AddEdge(u, v);  // duplicates rejected, fine
+    }
+  }
+  ASSERT_TRUE(g.Validate().ok());
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order->size(), static_cast<size_t>(n));
+  std::vector<int> pos(static_cast<size_t>(n));
+  for (size_t i = 0; i < order->size(); ++i) pos[static_cast<size_t>((*order)[i])] = static_cast<int>(i);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(pos[static_cast<size_t>(e.from)], pos[static_cast<size_t>(e.to)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTopoTest, ::testing::Range(0, 25));
+
+// ---------- Reachability & metrics ----------
+
+TEST(ReachTest, DiamondReachability) {
+  JobGraph g = Diamond();
+  EXPECT_TRUE(g.Reaches(0, 3));
+  EXPECT_TRUE(g.Reaches(1, 3));
+  EXPECT_FALSE(g.Reaches(3, 0));
+  EXPECT_FALSE(g.Reaches(1, 2));
+  EXPECT_TRUE(g.Reaches(2, 2));
+}
+
+TEST(MetricsTest, DiamondMetrics) {
+  JobGraph g = Diamond();
+  auto m = ComputeMetrics(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_stages, 4);
+  EXPECT_EQ(m->num_edges, 4);
+  EXPECT_EQ(m->critical_path, 3);
+  EXPECT_EQ(m->max_fan_in, 2);
+  EXPECT_EQ(m->max_fan_out, 2);
+  EXPECT_EQ(m->num_roots, 1);
+  EXPECT_EQ(m->num_leaves, 1);
+  EXPECT_EQ(m->num_components, 1);
+}
+
+TEST(MetricsTest, CountsComponents) {
+  JobGraph g;
+  for (int i = 0; i < 4; ++i) g.AddStage(MakeStage("s", OperatorKind::kFilter));
+  g.AddEdge(0, 1).Check();
+  g.AddEdge(2, 3).Check();
+  auto m = ComputeMetrics(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_components, 2);
+}
+
+TEST(MetricsTest, SumsTasks) {
+  JobGraph g;
+  g.AddStage(MakeStage("a", OperatorKind::kExtract, 10));
+  g.AddStage(MakeStage("b", OperatorKind::kFilter, 5));
+  auto m = ComputeMetrics(g);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_tasks, 15);
+}
+
+// ---------- Serialization ----------
+
+TEST(SerializationTest, RoundTrip) {
+  JobGraph g = Diamond();
+  g.mutable_stage(0).num_tasks = 17;
+  std::string text = g.ToText();
+  auto parsed = JobGraph::FromText(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name(), "diamond");
+  EXPECT_EQ(parsed->num_stages(), 4u);
+  EXPECT_EQ(parsed->num_edges(), 4u);
+  EXPECT_EQ(parsed->stage(0).num_tasks, 17);
+  EXPECT_EQ(parsed->stage(2).operators,
+            (std::vector<OperatorKind>{OperatorKind::kAggregate}));
+  EXPECT_EQ(parsed->ToText(), text);
+}
+
+TEST(SerializationTest, CommentsAndBlanksIgnored) {
+  auto parsed = JobGraph::FromText(
+      "# header\n\njob j\nstage a 0 1 Extract\nstage b 1 2 Filter,Project\n"
+      "edge 0 1\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_stages(), 2u);
+  EXPECT_EQ(parsed->stage(1).operators.size(), 2u);
+}
+
+TEST(SerializationTest, RejectsUnknownOperator) {
+  EXPECT_FALSE(JobGraph::FromText("stage a 0 1 Bogus\n").ok());
+}
+
+TEST(SerializationTest, RejectsUnknownDirective) {
+  EXPECT_FALSE(JobGraph::FromText("frobnicate\n").ok());
+}
+
+TEST(SerializationTest, RejectsBadEdge) {
+  EXPECT_FALSE(JobGraph::FromText("stage a 0 1 Filter\nedge 0 7\n").ok());
+}
+
+TEST(SerializationTest, RejectsCycleOnParse) {
+  EXPECT_FALSE(JobGraph::FromText(
+                   "stage a 0 1 Filter\nstage b 0 1 Filter\nedge 0 1\nedge 1 0\n")
+                   .ok());
+}
+
+// ---------- Graphviz export ----------
+
+TEST(DotExportTest, ContainsNodesAndEdges) {
+  JobGraph g = Diamond();
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("digraph \"diamond\""), std::string::npos);
+  EXPECT_NE(dot.find("s0 ["), std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+  EXPECT_NE(dot.find("s2 -> s3"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+}
+
+TEST(DotExportTest, CutAnnotation) {
+  JobGraph g = Diamond();
+  DotOptions opt;
+  opt.before_cut = {true, true, false, false};
+  std::string dot = ToDot(g, opt);
+  // Before-cut stages are shaded; crossing producers bold; crossing edges
+  // dashed.
+  EXPECT_NE(dot.find("fillcolor=lightgrey"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);
+  EXPECT_NE(dot.find("s1 -> s3 [style=dashed]"), std::string::npos);
+  // Inside-cut edge is not dashed.
+  EXPECT_NE(dot.find("s0 -> s1;"), std::string::npos);
+}
+
+TEST(DotExportTest, AnnotationsAppendToLabels) {
+  JobGraph g = Diamond();
+  DotOptions opt;
+  opt.annotations = {"10 GB", "", "", "final"};
+  std::string dot = ToDot(g, opt);
+  EXPECT_NE(dot.find("10 GB"), std::string::npos);
+  EXPECT_NE(dot.find("final"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phoebe::dag

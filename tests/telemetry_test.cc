@@ -1,0 +1,140 @@
+// Tests for the telemetry substrate: record flattening, the day-partitioned
+// repository, and leak-free historic statistics with fallback.
+#include <gtest/gtest.h>
+
+#include "telemetry/repository.h"
+#include "workload/generator.h"
+
+namespace phoebe::telemetry {
+namespace {
+
+workload::WorkloadGenerator MakeGen(uint64_t seed = 3) {
+  workload::WorkloadConfig cfg;
+  cfg.num_templates = 10;
+  cfg.seed = seed;
+  return workload::WorkloadGenerator(cfg);
+}
+
+TEST(FlattenTest, OneRowPerStage) {
+  auto gen = MakeGen();
+  auto jobs = gen.GenerateDay(0);
+  ASSERT_FALSE(jobs.empty());
+  const auto& job = jobs[0];
+  auto rows = Flatten(job);
+  ASSERT_EQ(rows.size(), job.graph.num_stages());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].stage_id, static_cast<int>(i));
+    EXPECT_EQ(rows[i].job_id, job.job_id);
+    EXPECT_EQ(rows[i].template_id, job.template_id);
+    EXPECT_EQ(rows[i].stage_type,
+              job.graph.stage(static_cast<dag::StageId>(i)).stage_type);
+    EXPECT_DOUBLE_EQ(rows[i].exec_seconds, job.truth[i].exec_seconds);
+    EXPECT_DOUBLE_EQ(rows[i].est.est_cost, job.est[i].est_cost);
+  }
+}
+
+TEST(RepositoryTest, AddAndQueryDays) {
+  auto gen = MakeGen();
+  WorkloadRepository repo;
+  EXPECT_FALSE(repo.HasDay(0));
+  ASSERT_TRUE(repo.AddDay(0, gen.GenerateDay(0)).ok());
+  ASSERT_TRUE(repo.AddDay(2, gen.GenerateDay(2)).ok());
+  EXPECT_TRUE(repo.HasDay(0));
+  EXPECT_FALSE(repo.HasDay(1));
+  EXPECT_EQ(repo.Days(), (std::vector<int>{0, 2}));
+  EXPECT_GT(repo.TotalJobs(), 0u);
+  EXPECT_GT(repo.TotalStageRecords(), repo.TotalJobs());
+}
+
+TEST(RepositoryTest, RejectsDuplicateDay) {
+  auto gen = MakeGen();
+  WorkloadRepository repo;
+  ASSERT_TRUE(repo.AddDay(0, gen.GenerateDay(0)).ok());
+  EXPECT_EQ(repo.AddDay(0, gen.GenerateDay(0)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RepositoryTest, StatsBeforeExcludesFutureDays) {
+  auto gen = MakeGen();
+  WorkloadRepository repo;
+  repo.AddDay(0, gen.GenerateDay(0)).Check();
+  repo.AddDay(1, gen.GenerateDay(1)).Check();
+  repo.AddDay(2, gen.GenerateDay(2)).Check();
+
+  HistoricStats before0 = repo.StatsBefore(0);
+  EXPECT_EQ(before0.total_observations(), 0);
+
+  HistoricStats before1 = repo.StatsBefore(1);
+  HistoricStats before3 = repo.StatsBefore(3);
+  EXPECT_GT(before1.total_observations(), 0);
+  EXPECT_GT(before3.total_observations(), before1.total_observations());
+  // All three stored days counted for day 3.
+  EXPECT_EQ(before3.total_observations(),
+            static_cast<int64_t>(repo.TotalStageRecords()));
+}
+
+TEST(HistoricStatsTest, ExactAveragesMatchManualComputation) {
+  auto gen = MakeGen();
+  auto jobs = gen.GenerateDay(0);
+  HistoricStats stats;
+  for (const auto& j : jobs) stats.Accumulate(j);
+
+  // Manual average for one (template, stage_type) pair.
+  int tid = jobs[0].template_id;
+  int stype = jobs[0].graph.stage(0).stage_type;
+  double sum = 0;
+  int64_t n = 0;
+  for (const auto& j : jobs) {
+    if (j.template_id != tid) continue;
+    for (size_t s = 0; s < j.graph.num_stages(); ++s) {
+      if (j.graph.stage(static_cast<dag::StageId>(s)).stage_type == stype) {
+        sum += j.truth[s].exec_seconds;
+        ++n;
+      }
+    }
+  }
+  ASSERT_GT(n, 0);
+  auto entry = stats.Get(tid, stype);
+  EXPECT_EQ(entry.support, n);
+  EXPECT_NEAR(entry.avg_exclusive_time, sum / static_cast<double>(n), 1e-9);
+  EXPECT_TRUE(stats.HasExact(tid, stype));
+}
+
+TEST(HistoricStatsTest, FallbackHierarchy) {
+  auto gen = MakeGen();
+  auto jobs = gen.GenerateDay(0);
+  HistoricStats stats;
+  for (const auto& j : jobs) stats.Accumulate(j);
+
+  int seen_type = jobs[0].graph.stage(0).stage_type;
+  // Unknown template falls back to the stage-type aggregate.
+  auto type_level = stats.Get(/*template_id=*/99999, seen_type);
+  EXPECT_GT(type_level.support, 0);
+  EXPECT_FALSE(stats.HasExact(99999, seen_type));
+
+  // Unknown type falls back to the global aggregate.
+  auto global_level = stats.Get(99999, /*stage_type=*/32000);
+  EXPECT_EQ(global_level.support, stats.total_observations());
+}
+
+TEST(HistoricStatsTest, EmptyStatsReturnZeros) {
+  HistoricStats stats;
+  auto e = stats.Get(0, 0);
+  EXPECT_EQ(e.support, 0);
+  EXPECT_EQ(e.avg_exclusive_time, 0.0);
+  EXPECT_EQ(e.avg_output_bytes, 0.0);
+}
+
+TEST(CsvTest, HeaderAndRowCount) {
+  auto gen = MakeGen();
+  WorkloadRepository repo;
+  repo.AddDay(0, gen.GenerateDay(0)).Check();
+  std::string csv = repo.ToCsv();
+  // Lines = header + one per stage record.
+  size_t lines = 0;
+  for (char c : csv) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, repo.TotalStageRecords() + 1);
+  EXPECT_EQ(csv.rfind("job_id,template_id,day,", 0), 0u);
+}
+
+}  // namespace
+}  // namespace phoebe::telemetry

@@ -1,0 +1,393 @@
+// phoebe_cli — operational command-line front end for the library.
+//
+// Subcommands:
+//   generate   generate a synthetic workload and export per-stage telemetry CSV
+//   inspect    print one job's execution graph, metrics, and schedule
+//   train      train the pipeline and report held-out accuracy
+//   decide     make a checkpoint decision for one job and explain it
+//   backtest   compare checkpoint-selection approaches on a held-out day
+//
+// Run with no arguments for usage. All commands are deterministic given
+// --seed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "dag/dot_export.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/evaluate.h"
+#include "core/explain.h"
+#include "core/pipeline.h"
+#include "dag/graph_metrics.h"
+#include "telemetry/repository.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+using namespace phoebe;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  static Args Parse(int argc, char** argv, int first) {
+    Args a;
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+        std::exit(2);
+      }
+      std::string key = arg.substr(2);
+      std::string value = "1";
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      a.kv[key] = value;
+    }
+    return a;
+  }
+
+  int Int(const std::string& key, int fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  std::string Str(const std::string& key, const std::string& fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+};
+
+workload::WorkloadGenerator MakeGen(const Args& args) {
+  workload::WorkloadConfig cfg;
+  cfg.num_templates = args.Int("templates", 60);
+  cfg.seed = static_cast<uint64_t>(args.Int("seed", 7));
+  return workload::WorkloadGenerator(cfg);
+}
+
+int CmdGenerate(const Args& args) {
+  auto gen = MakeGen(args);
+  int days = args.Int("days", 3);
+  telemetry::WorkloadRepository repo;
+  for (int d = 0; d < days; ++d) repo.AddDay(d, gen.GenerateDay(d)).Check();
+
+  std::string out = args.Str("out", "");
+  std::string csv = repo.ToCsv();
+  if (out.empty()) {
+    std::fputs(csv.c_str(), stdout);
+  } else {
+    std::ofstream f(out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", out.c_str());
+      return 1;
+    }
+    f << csv;
+    std::fprintf(stderr, "wrote %zu jobs / %zu stage records to %s\n",
+                 repo.TotalJobs(), repo.TotalStageRecords(), out.c_str());
+  }
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  auto gen = MakeGen(args);
+  int day = args.Int("day", 0);
+  auto jobs = gen.GenerateDay(day);
+  int index = args.Int("job", 0);
+  if (index < 0 || static_cast<size_t>(index) >= jobs.size()) {
+    std::fprintf(stderr, "day %d has %zu jobs; --job out of range\n", day,
+                 jobs.size());
+    return 1;
+  }
+  const workload::JobInstance& job = jobs[static_cast<size_t>(index)];
+
+  std::printf("job %lld  template %d  name '%s'  input '%s'\n",
+              static_cast<long long>(job.job_id), job.template_id,
+              job.job_name.c_str(), job.norm_input_name.c_str());
+  auto metrics = dag::ComputeMetrics(job.graph);
+  metrics.status().Check();
+  std::printf("stages %d  edges %d  tasks %d  critical path %d  components %d\n",
+              metrics->num_stages, metrics->num_edges, metrics->num_tasks,
+              metrics->critical_path, metrics->num_components);
+  std::printf("runtime %s  temp data %s\n\n", HumanDuration(job.JobRuntime()).c_str(),
+              HumanBytes(job.TotalTempBytes()).c_str());
+
+  if (args.kv.count("graph")) {
+    std::fputs(job.graph.ToText().c_str(), stdout);
+    return 0;
+  }
+
+  TablePrinter t({"stage", "tasks", "input", "output", "exec s", "start", "ttl"});
+  for (size_t i = 0; i < job.graph.num_stages(); ++i) {
+    const auto& tr = job.truth[i];
+    t.AddRow({job.graph.stage(static_cast<dag::StageId>(i)).name,
+              StrFormat("%d", tr.num_tasks), HumanBytes(tr.input_bytes),
+              HumanBytes(tr.output_bytes), StrFormat("%.1f", tr.exec_seconds),
+              StrFormat("%.1f", tr.start_time), StrFormat("%.1f", tr.ttl)});
+  }
+  t.Print();
+  return 0;
+}
+
+struct Trained {
+  workload::WorkloadGenerator gen;
+  telemetry::WorkloadRepository repo;
+  core::PhoebePipeline phoebe;
+  int train_days;
+};
+
+Trained TrainFromArgs(const Args& args) {
+  Trained t{MakeGen(args), {}, core::PhoebePipeline(), args.Int("train-days", 5)};
+  int total = t.train_days + std::max(1, args.Int("test-days", 1));
+  for (int d = 0; d < total; ++d) t.repo.AddDay(d, t.gen.GenerateDay(d)).Check();
+  t.phoebe.Train(t.repo, 0, t.train_days).Check();
+  return t;
+}
+
+int CmdTrain(const Args& args) {
+  Trained t = TrainFromArgs(args);
+  const auto& jobs = t.repo.Day(t.train_days);
+  auto stats = t.repo.StatsBefore(t.train_days);
+
+  std::vector<double> et, ep, ot, op, tt, tp;
+  for (const auto& job : jobs) {
+    auto exec = t.phoebe.exec_predictor().PredictJob(job, stats);
+    auto out = t.phoebe.size_predictor().PredictJob(job, stats);
+    auto costs = t.phoebe.BuildCosts(job, core::CostSource::kMlStacked, stats);
+    costs.status().Check();
+    for (size_t i = 0; i < job.graph.num_stages(); ++i) {
+      et.push_back(job.truth[i].exec_seconds);
+      ep.push_back(exec[i]);
+      ot.push_back(job.truth[i].output_bytes);
+      op.push_back(out[i]);
+      tt.push_back(job.truth[i].ttl);
+      tp.push_back(costs->ttl[i]);
+    }
+  }
+  std::printf("trained on days 0..%d (%zu jobs), evaluated on day %d\n",
+              t.train_days - 1, t.repo.TotalJobs() - jobs.size(), t.train_days);
+  TablePrinter tab({"target", "R^2", "corr"});
+  tab.AddRow("exec time", {RSquared(et, ep), PearsonCorrelation(et, ep)});
+  tab.AddRow("output size", {RSquared(ot, op), PearsonCorrelation(ot, op)});
+  tab.AddRow("TTL (stacked)", {RSquared(tt, tp), PearsonCorrelation(tt, tp)});
+  tab.Print();
+  return 0;
+}
+
+int CmdDecide(const Args& args) {
+  Trained t = TrainFromArgs(args);
+  const auto& jobs = t.repo.Day(t.train_days);
+  int index = args.Int("job", 0);
+  if (index < 0 || static_cast<size_t>(index) >= jobs.size()) {
+    std::fprintf(stderr, "day has %zu jobs; --job out of range\n", jobs.size());
+    return 1;
+  }
+  const auto& job = jobs[static_cast<size_t>(index)];
+  core::Objective objective = args.Str("objective", "temp") == "recovery"
+                                  ? core::Objective::kRecovery
+                                  : core::Objective::kTempStorage;
+  auto decision = t.phoebe.Decide(job, objective);
+  decision.status().Check();
+
+  std::printf("job '%s' (%zu stages, runtime %s)\n", job.job_name.c_str(),
+              job.graph.num_stages(), HumanDuration(job.JobRuntime()).c_str());
+  std::printf("overhead: lookup %.2f ms, scoring %.2f ms, optimize %.3f ms\n",
+              1e3 * decision->lookup_seconds, 1e3 * decision->scoring_seconds,
+              1e3 * decision->optimize_seconds);
+  if (decision->cut.cut.empty()) {
+    std::printf("no profitable checkpoint for this job\n");
+    return 0;
+  }
+  size_t before = 0;
+  for (bool b : decision->cut.cut.before_cut) before += b ? 1 : 0;
+  std::printf("cut: %zu of %zu stages before the cut; est. global storage %s\n",
+              before, job.graph.num_stages(),
+              HumanBytes(decision->cut.global_bytes).c_str());
+  std::printf("checkpoint stages:\n");
+  for (dag::StageId u : cluster::CheckpointStages(job.graph, decision->cut.cut)) {
+    std::printf("  %-28s output %s\n", job.graph.stage(u).name.c_str(),
+                HumanBytes(job.truth[static_cast<size_t>(u)].output_bytes).c_str());
+  }
+  std::printf("realized temp saving (ex-post): %.1f%%\n",
+              100.0 * core::RealizedTempSaving(job, decision->cut.cut));
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  Trained t = TrainFromArgs(args);
+  const auto& jobs = t.repo.Day(t.train_days);
+  int index = args.Int("job", 0);
+  if (index < 0 || static_cast<size_t>(index) >= jobs.size()) {
+    std::fprintf(stderr, "day has %zu jobs; --job out of range\n", jobs.size());
+    return 1;
+  }
+  const auto& job = jobs[static_cast<size_t>(index)];
+  auto costs = t.phoebe.BuildCosts(job, core::CostSource::kMlStacked);
+  costs.status().Check();
+  auto cut = core::OptimizeTempStorage(job.graph, *costs);
+  cut.status().Check();
+  if (args.kv.count("json")) {
+    auto json = core::ExplainDecisionJson(job, *costs, *cut);
+    json.status().Check();
+    std::printf("%s\n", json->c_str());
+  } else {
+    auto text = core::ExplainDecisionText(job, *costs, *cut);
+    text.status().Check();
+    std::fputs(text->c_str(), stdout);
+  }
+  return 0;
+}
+
+int CmdDot(const Args& args) {
+  Trained t = TrainFromArgs(args);
+  const auto& jobs = t.repo.Day(t.train_days);
+  int index = args.Int("job", 0);
+  if (index < 0 || static_cast<size_t>(index) >= jobs.size()) {
+    std::fprintf(stderr, "day has %zu jobs; --job out of range\n", jobs.size());
+    return 1;
+  }
+  const auto& job = jobs[static_cast<size_t>(index)];
+  auto decision = t.phoebe.Decide(job, core::Objective::kTempStorage);
+  decision.status().Check();
+
+  dag::DotOptions opt;
+  opt.before_cut = decision->cut.cut.before_cut;
+  opt.annotations.resize(job.graph.num_stages());
+  for (size_t i = 0; i < job.graph.num_stages(); ++i) {
+    opt.annotations[i] = HumanBytes(job.truth[i].output_bytes);
+  }
+  std::fputs(dag::ToDot(job.graph, opt).c_str(), stdout);
+  return 0;
+}
+
+int CmdTraceExport(const Args& args) {
+  auto gen = MakeGen(args);
+  int days = args.Int("days", 1);
+  std::vector<workload::JobInstance> jobs;
+  for (int d = 0; d < days; ++d) {
+    auto day_jobs = gen.GenerateDay(d);
+    jobs.insert(jobs.end(), day_jobs.begin(), day_jobs.end());
+  }
+  std::string out = args.Str("out", "");
+  std::string text = workload::SerializeTrace(jobs);
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream f(out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", out.c_str());
+      return 1;
+    }
+    f << text;
+    std::fprintf(stderr, "wrote %zu jobs to %s\n", jobs.size(), out.c_str());
+  }
+  return 0;
+}
+
+int CmdTraceInfo(const Args& args) {
+  std::string in = args.Str("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "trace-info requires --in <file>\n");
+    return 2;
+  }
+  std::ifstream f(in);
+  if (!f) {
+    std::fprintf(stderr, "cannot open '%s'\n", in.c_str());
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  auto jobs = workload::ParseTrace(text);
+  if (!jobs.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", jobs.status().ToString().c_str());
+    return 1;
+  }
+  RunningStats stages, runtime, temp;
+  for (const auto& job : *jobs) {
+    stages.Add(static_cast<double>(job.graph.num_stages()));
+    runtime.Add(job.JobRuntime());
+    temp.Add(job.TotalTempBytes());
+  }
+  std::printf("trace: %zu jobs\n", jobs->size());
+  std::printf("stages/job: mean %.1f max %.0f\n", stages.mean(), stages.max());
+  std::printf("runtime: mean %s max %s\n", HumanDuration(runtime.mean()).c_str(),
+              HumanDuration(runtime.max()).c_str());
+  std::printf("temp data/job: mean %s\n", HumanBytes(temp.mean()).c_str());
+  return 0;
+}
+
+int CmdSaveModels(const Args& args) {
+  Trained t = TrainFromArgs(args);
+  std::string dir = args.Str("dir", "phoebe_models");
+  t.phoebe.Save(dir).Check();
+  std::fprintf(stderr, "saved trained models to %s/\n", dir.c_str());
+  return 0;
+}
+
+int CmdBacktest(const Args& args) {
+  Trained t = TrainFromArgs(args);
+  core::BackTester tester(&t.phoebe, /*mtbf_seconds=*/12 * 3600.0);
+  const auto& jobs = t.repo.Day(t.train_days);
+  auto stats = t.repo.StatsBefore(t.train_days);
+  bool recovery = args.Str("objective", "temp") == "recovery";
+
+  auto result = recovery ? tester.EvaluateRecovery(jobs, stats)
+                         : tester.EvaluateTempStorage(jobs, stats);
+  result.status().Check();
+  std::printf("%s back-test over %zu jobs (day %d)\n",
+              recovery ? "recovery" : "temp-storage", jobs.size(), t.train_days);
+  TablePrinter tab({"approach", "mean saving %", "stddev"});
+  for (core::Approach a : core::AllApproaches()) {
+    auto& s = (*result)[a];
+    tab.AddRow({core::ApproachName(a), StrFormat("%.1f", 100 * s.mean()),
+                StrFormat("%.1f", 100 * s.stddev())});
+  }
+  tab.Print();
+  return 0;
+}
+
+void Usage() {
+  std::fputs(
+      "phoebe_cli <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  generate  --templates N --days D --seed S [--out file.csv]\n"
+      "  inspect   --seed S --day D --job K [--graph]\n"
+      "  train     --templates N --train-days D --seed S\n"
+      "  decide    --seed S --job K [--objective temp|recovery]\n"
+      "  backtest  --seed S [--objective temp|recovery]\n"
+      "  dot       --seed S --job K          (Graphviz of the job + cut)\n"
+      "  explain   --seed S --job K [--json]  (why this cut was chosen)\n"
+      "  trace-export --seed S --days D [--out file.trace]\n"
+      "  trace-info   --in file.trace\n"
+      "  save-models  --seed S --dir DIR     (train, then persist models)\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  std::string cmd = argv[1];
+  Args args = Args::Parse(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "inspect") return CmdInspect(args);
+  if (cmd == "train") return CmdTrain(args);
+  if (cmd == "decide") return CmdDecide(args);
+  if (cmd == "backtest") return CmdBacktest(args);
+  if (cmd == "dot") return CmdDot(args);
+  if (cmd == "explain") return CmdExplain(args);
+  if (cmd == "trace-export") return CmdTraceExport(args);
+  if (cmd == "trace-info") return CmdTraceInfo(args);
+  if (cmd == "save-models") return CmdSaveModels(args);
+  Usage();
+  return 2;
+}
