@@ -7,6 +7,7 @@
 // budget W can hold over period T with arrival rate lambda (Little's law).
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "common/status.h"
@@ -18,7 +19,13 @@ struct KnapsackItem {
   double weight = 0.0;  ///< estimated global storage bytes
   double value = 0.0;   ///< estimated objective value (byte-seconds saved)
 
-  double Ratio() const { return weight > 0.0 ? value / weight : 0.0; }
+  /// Value density pi_i. A zero-weight item with positive value consumes no
+  /// budget and is infinitely attractive (it passes every threshold); only a
+  /// worthless zero-weight item has ratio 0.
+  double Ratio() const {
+    if (weight > 0.0) return value / weight;
+    return value > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
 };
 
 /// \brief Threshold-based online knapsack admission policy.

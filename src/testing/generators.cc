@@ -1,0 +1,146 @@
+#include "testing/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "core/simulator.h"
+#include "workload/generator.h"
+
+namespace phoebe::testing {
+
+namespace {
+
+double LogUniform(double lo, double hi, Rng* rng) {
+  return std::exp(rng->Uniform(std::log(lo), std::log(hi)));
+}
+
+dag::Stage MakeStage(int index, int max_tasks, Rng* rng) {
+  dag::Stage s;
+  s.name = "s" + std::to_string(index);
+  s.operators = {dag::OperatorKind::kFilter};
+  s.stage_type = static_cast<int>(rng->UniformInt(0, 7));
+  s.num_tasks = static_cast<int>(rng->UniformInt(1, std::max(1, max_tasks)));
+  return s;
+}
+
+}  // namespace
+
+dag::JobGraph RandomGraph(const GraphGenOptions& opt, Rng* rng) {
+  const int n = static_cast<int>(
+      rng->UniformInt(std::max(1, opt.min_stages), std::max(1, opt.max_stages)));
+  dag::JobGraph g("random");
+
+  if (opt.num_layers > 0) {
+    // Layered DAG: assign each stage a layer (layer 0 non-empty), connect
+    // each stage in layer l > 0 to 1..max_fan_in stages of layer l - 1.
+    const int layers = std::min(opt.num_layers, n);
+    std::vector<int> layer_of(static_cast<size_t>(n), 0);
+    std::vector<std::vector<dag::StageId>> members(static_cast<size_t>(layers));
+    for (int i = 0; i < n; ++i) {
+      layer_of[static_cast<size_t>(i)] =
+          (i < layers) ? i : static_cast<int>(rng->UniformInt(0, layers - 1));
+    }
+    std::sort(layer_of.begin(), layer_of.end());
+    for (int i = 0; i < n; ++i) {
+      dag::StageId id = g.AddStage(MakeStage(i, opt.max_tasks, rng));
+      members[static_cast<size_t>(layer_of[static_cast<size_t>(i)])].push_back(id);
+    }
+    for (int l = 1; l < layers; ++l) {
+      for (dag::StageId v : members[static_cast<size_t>(l)]) {
+        const auto& prev = members[static_cast<size_t>(l - 1)];
+        int fan = static_cast<int>(
+            rng->UniformInt(1, std::max(1, std::min<int>(opt.max_fan_in,
+                                                         static_cast<int>(prev.size())))));
+        for (int e = 0; e < fan; ++e) {
+          dag::StageId u =
+              prev[static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(prev.size()) - 1))];
+          (void)g.AddEdge(u, v);  // duplicate draws are rejected; fine
+        }
+      }
+    }
+    return g;
+  }
+
+  // Free-form DAG: stage v draws upstream edges among stages < v, unless it
+  // starts a fresh component.
+  for (int i = 0; i < n; ++i) g.AddStage(MakeStage(i, opt.max_tasks, rng));
+  for (int v = 1; v < n; ++v) {
+    if (rng->Bernoulli(opt.p_new_root)) continue;
+    int fan = static_cast<int>(
+        rng->UniformInt(1, std::max(1, std::min(opt.max_fan_in, v))));
+    for (int e = 0; e < fan; ++e) {
+      dag::StageId u = static_cast<dag::StageId>(rng->UniformInt(0, v - 1));
+      (void)g.AddEdge(u, static_cast<dag::StageId>(v));
+    }
+    if (v >= 2 && rng->Bernoulli(opt.p_extra_edge)) {
+      dag::StageId u = static_cast<dag::StageId>(rng->UniformInt(0, v - 1));
+      (void)g.AddEdge(u, static_cast<dag::StageId>(v));
+    }
+  }
+  return g;
+}
+
+std::vector<double> RandomExecSeconds(const dag::JobGraph& graph,
+                                      const CostGenOptions& opt, Rng* rng) {
+  std::vector<double> exec(graph.num_stages());
+  for (double& e : exec) e = LogUniform(opt.exec_lo, opt.exec_hi, rng);
+  return exec;
+}
+
+core::StageCosts RandomCosts(const dag::JobGraph& graph, const CostGenOptions& opt,
+                             Rng* rng) {
+  const size_t n = graph.num_stages();
+  std::vector<double> exec = RandomExecSeconds(graph, opt, rng);
+  auto sim = core::SimulateSchedule(graph, exec);
+  sim.status().Check();  // generated graphs are acyclic by construction
+
+  core::StageCosts costs;
+  costs.end_time = sim->end;
+  costs.tfs = sim->start;
+  costs.ttl.resize(n);
+  costs.output_bytes.resize(n);
+  costs.num_tasks.resize(n);
+  for (size_t u = 0; u < n; ++u) {
+    costs.ttl[u] = sim->Ttl(static_cast<dag::StageId>(u));
+    costs.output_bytes[u] = rng->Bernoulli(opt.p_zero_output)
+                                ? 0.0
+                                : LogUniform(opt.bytes_lo, opt.bytes_hi, rng);
+    costs.num_tasks[u] = graph.stage(static_cast<dag::StageId>(u)).num_tasks;
+  }
+  return costs;
+}
+
+std::string JobCase::ToText() const {
+  std::string out = graph.ToText();
+  for (size_t u = 0; u < costs.size(); ++u) {
+    out += StrFormat("cost %zu out=%.6g ttl=%.6g end=%.6g tfs=%.6g tasks=%d\n", u,
+                     costs.output_bytes[u], costs.ttl[u], costs.end_time[u],
+                     costs.tfs[u], costs.num_tasks[u]);
+  }
+  return out;
+}
+
+JobCase RandomJobCase(const GraphGenOptions& gopt, const CostGenOptions& copt,
+                      Rng* rng) {
+  JobCase c;
+  c.graph = RandomGraph(gopt, rng);
+  c.costs = RandomCosts(c.graph, copt, rng);
+  return c;
+}
+
+std::vector<workload::JobInstance> RandomTrace(int num_templates, int days,
+                                               uint64_t seed) {
+  workload::WorkloadConfig cfg;
+  cfg.seed = seed;
+  cfg.num_templates = num_templates;
+  workload::WorkloadGenerator gen(cfg);
+  std::vector<workload::JobInstance> jobs;
+  for (int d = 0; d < days; ++d) {
+    auto day = gen.GenerateDay(d);
+    jobs.insert(jobs.end(), day.begin(), day.end());
+  }
+  return jobs;
+}
+
+}  // namespace phoebe::testing

@@ -1,0 +1,76 @@
+// Random-structure generators for property-based tests.
+//
+// Everything here is deterministic given an Rng: the same seed regenerates
+// the same graphs, costs, and traces, so a failing property run can be
+// replayed exactly from the seed printed in its report. Graphs are built
+// "edges point forward" (stage v only receives edges from stages with a
+// smaller id), which makes them acyclic by construction while still covering
+// chains, diamonds, layered DAGs, and disconnected unions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/checkpoint.h"
+#include "dag/job_graph.h"
+#include "workload/job_instance.h"
+
+namespace phoebe::testing {
+
+/// \brief Shape parameters for random JobGraphs.
+struct GraphGenOptions {
+  int min_stages = 2;
+  int max_stages = 24;
+  int max_fan_in = 3;          ///< upstream edges drawn per non-root stage
+  double p_extra_edge = 0.25;  ///< chance of one extra (possibly transitive) edge
+  double p_new_root = 0.10;    ///< chance a non-first stage starts a new component
+  int num_layers = 0;          ///< 0 = free-form; > 0 = layered (edges only
+                               ///< between consecutive layers)
+  int max_tasks = 50;          ///< per-stage task count in [1, max_tasks]
+};
+
+/// Random acyclic JobGraph. Always passes JobGraph::Validate().
+dag::JobGraph RandomGraph(const GraphGenOptions& opt, Rng* rng);
+
+/// \brief Shape parameters for random StageCosts.
+struct CostGenOptions {
+  double exec_lo = 1.0;  ///< per-stage execution seconds, log-uniform
+  double exec_hi = 3600.0;
+  double bytes_lo = 1e8;  ///< per-stage output bytes, log-uniform
+  double bytes_hi = 50e9;
+  double p_zero_output = 0.05;  ///< fraction of stages that write nothing
+};
+
+/// Random per-stage execution times, log-uniform in [exec_lo, exec_hi].
+std::vector<double> RandomExecSeconds(const dag::JobGraph& graph,
+                                      const CostGenOptions& opt, Rng* rng);
+
+/// Random StageCosts whose schedule columns (end_time / ttl / tfs) come from
+/// running Algorithm 1 on random execution times, so they are mutually
+/// consistent; output_bytes and num_tasks are drawn independently. Always
+/// passes StageCosts::Validate(graph).
+core::StageCosts RandomCosts(const dag::JobGraph& graph, const CostGenOptions& opt,
+                             Rng* rng);
+
+/// \brief One generated test case: a graph plus consistent costs.
+struct JobCase {
+  dag::JobGraph graph;
+  core::StageCosts costs;
+
+  /// Human-readable dump for counterexample reports: the graph text format
+  /// followed by one `cost` line per stage.
+  std::string ToText() const;
+};
+
+/// Random graph + costs in one call (costs drawn after the graph, same rng).
+JobCase RandomJobCase(const GraphGenOptions& gopt, const CostGenOptions& copt,
+                      Rng* rng);
+
+/// Small random workload trace: `num_templates` recurring templates replayed
+/// for `days` days through the real WorkloadGenerator. For persistence and
+/// round-trip properties that need full JobInstances (truth + estimates).
+std::vector<workload::JobInstance> RandomTrace(int num_templates, int days,
+                                               uint64_t seed);
+
+}  // namespace phoebe::testing

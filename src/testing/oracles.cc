@@ -1,0 +1,191 @@
+#include "testing/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "workload/trace.h"
+
+namespace phoebe::testing {
+
+namespace {
+
+Status Fail(const char* what, size_t stage) {
+  return Status::Internal(StrFormat("oracle: %s at stage %zu", what, stage));
+}
+
+bool SameDouble(double a, double b) {
+  // Bit-equality modulo -0.0 == 0.0; NaN never round-trips in these formats.
+  return a == b;
+}
+
+}  // namespace
+
+Status CheckScheduleSane(const dag::JobGraph& graph,
+                         const std::vector<double>& exec_seconds,
+                         const core::SimulatedSchedule& sched) {
+  const size_t n = graph.num_stages();
+  if (sched.start.size() != n || sched.end.size() != n) {
+    return Status::Internal(StrFormat("oracle: schedule sized %zu/%zu for %zu stages",
+                                      sched.start.size(), sched.end.size(), n));
+  }
+  const double kTol = 1e-9;
+  double max_end = 0.0;
+  bool any_zero_ttl = n == 0;
+  for (size_t u = 0; u < n; ++u) {
+    double expect_start = 0.0;
+    for (dag::StageId up : graph.upstream(static_cast<dag::StageId>(u))) {
+      expect_start = std::max(expect_start, sched.end[static_cast<size_t>(up)]);
+    }
+    double rel = kTol * std::max(1.0, std::abs(expect_start));
+    if (std::abs(sched.start[u] - expect_start) > rel) {
+      return Fail("start != max upstream end", u);
+    }
+    double expect_end = sched.start[u] + std::max(0.0, exec_seconds[u]);
+    if (std::abs(sched.end[u] - expect_end) > kTol * std::max(1.0, expect_end)) {
+      return Fail("end != start + exec", u);
+    }
+    max_end = std::max(max_end, sched.end[u]);
+    double ttl = sched.Ttl(static_cast<dag::StageId>(u));
+    if (ttl < -kTol * std::max(1.0, sched.job_end)) return Fail("negative TTL", u);
+    if (!SameDouble(sched.Tfs(static_cast<dag::StageId>(u)), sched.start[u])) {
+      return Fail("TFS != start", u);
+    }
+    if (ttl <= kTol * std::max(1.0, sched.job_end)) any_zero_ttl = true;
+  }
+  if (std::abs(sched.job_end - max_end) > kTol * std::max(1.0, max_end)) {
+    return Status::Internal("oracle: job_end != max stage end");
+  }
+  if (!any_zero_ttl) {
+    return Status::Internal("oracle: no stage ends at job end (min TTL > 0)");
+  }
+  return Status::OK();
+}
+
+Status CheckCutValid(const dag::JobGraph& graph, const cluster::CutSet& cut,
+                     bool require_ancestor_closed) {
+  if (cut.empty()) return Status::OK();
+  const size_t n = graph.num_stages();
+  if (cut.before_cut.size() != n) {
+    return Status::Internal(StrFormat("oracle: cut sized %zu for %zu stages",
+                                      cut.before_cut.size(), n));
+  }
+  size_t before = 0;
+  for (bool b : cut.before_cut) before += b ? 1 : 0;
+  if (before == 0 || before == n) {
+    return Status::Internal(
+        StrFormat("oracle: non-empty cut must split the graph (%zu of %zu stages "
+                  "before)",
+                  before, n));
+  }
+  if (require_ancestor_closed) {
+    for (const dag::Edge& e : graph.edges()) {
+      if (cut.before_cut[static_cast<size_t>(e.to)] &&
+          !cut.before_cut[static_cast<size_t>(e.from)]) {
+        return Status::Internal(
+            StrFormat("oracle: edge %d->%d crosses the cut backwards "
+                      "(before-cut set not ancestor-closed)",
+                      e.from, e.to));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckCutsNested(const std::vector<core::CutResult>& cuts) {
+  for (size_t c = 1; c < cuts.size(); ++c) {
+    const auto& inner = cuts[c - 1].cut.before_cut;
+    const auto& outer = cuts[c].cut.before_cut;
+    if (inner.size() != outer.size()) {
+      return Status::Internal("oracle: nested cuts sized differently");
+    }
+    for (size_t u = 0; u < inner.size(); ++u) {
+      if (inner[u] && !outer[u]) {
+        return Status::Internal(
+            StrFormat("oracle: cut %zu not contained in cut %zu (stage %zu)", c - 1,
+                      c, u));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckGraphRoundTrip(const dag::JobGraph& graph) {
+  auto restored = dag::JobGraph::FromText(graph.ToText());
+  if (!restored.ok()) {
+    return Status::Internal("oracle: FromText failed: " +
+                            restored.status().ToString());
+  }
+  if (restored->name() != graph.name()) {
+    return Status::Internal("oracle: name changed in round-trip");
+  }
+  if (restored->num_stages() != graph.num_stages() ||
+      restored->num_edges() != graph.num_edges()) {
+    return Status::Internal("oracle: graph shape changed in round-trip");
+  }
+  for (size_t u = 0; u < graph.num_stages(); ++u) {
+    const dag::Stage& a = graph.stage(static_cast<dag::StageId>(u));
+    const dag::Stage& b = restored->stage(static_cast<dag::StageId>(u));
+    if (a.name != b.name || a.stage_type != b.stage_type ||
+        a.num_tasks != b.num_tasks || a.operators != b.operators) {
+      return Fail("stage changed in round-trip", u);
+    }
+  }
+  for (size_t i = 0; i < graph.edges().size(); ++i) {
+    if (!(graph.edges()[i] == restored->edges()[i])) {
+      return Status::Internal(StrFormat("oracle: edge %zu changed in round-trip", i));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckTraceRoundTrip(const std::vector<workload::JobInstance>& jobs) {
+  auto restored = workload::ParseTrace(workload::SerializeTrace(jobs));
+  if (!restored.ok()) {
+    return Status::Internal("oracle: ParseTrace failed: " +
+                            restored.status().ToString());
+  }
+  if (restored->size() != jobs.size()) {
+    return Status::Internal("oracle: job count changed in round-trip");
+  }
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const workload::JobInstance& a = jobs[j];
+    const workload::JobInstance& b = (*restored)[j];
+    if (a.job_id != b.job_id || a.template_id != b.template_id || a.day != b.day ||
+        !SameDouble(a.submit_time, b.submit_time) || a.job_name != b.job_name ||
+        a.norm_input_name != b.norm_input_name) {
+      return Status::Internal(StrFormat("oracle: job %zu header changed", j));
+    }
+    PHOEBE_RETURN_NOT_OK(CheckGraphRoundTrip(a.graph));
+    if (b.graph.num_stages() != a.graph.num_stages()) {
+      return Status::Internal(StrFormat("oracle: job %zu graph changed", j));
+    }
+    for (size_t s = 0; s < a.truth.size(); ++s) {
+      const workload::StageTruth& x = a.truth[s];
+      const workload::StageTruth& y = b.truth[s];
+      if (!SameDouble(x.input_bytes, y.input_bytes) ||
+          !SameDouble(x.output_bytes, y.output_bytes) ||
+          !SameDouble(x.exec_seconds, y.exec_seconds) ||
+          !SameDouble(x.wall_seconds, y.wall_seconds) ||
+          x.num_tasks != y.num_tasks || !SameDouble(x.start_time, y.start_time) ||
+          !SameDouble(x.end_time, y.end_time) || !SameDouble(x.ttl, y.ttl) ||
+          !SameDouble(x.tfs, y.tfs)) {
+        return Status::Internal(
+            StrFormat("oracle: job %zu stage %zu truth changed", j, s));
+      }
+      const workload::StageEstimates& p = a.est[s];
+      const workload::StageEstimates& q = b.est[s];
+      if (!SameDouble(p.est_cost, q.est_cost) ||
+          !SameDouble(p.est_exclusive_cost, q.est_exclusive_cost) ||
+          !SameDouble(p.est_input_cardinality, q.est_input_cardinality) ||
+          !SameDouble(p.est_cardinality, q.est_cardinality) ||
+          !SameDouble(p.est_output_bytes, q.est_output_bytes)) {
+        return Status::Internal(
+            StrFormat("oracle: job %zu stage %zu estimates changed", j, s));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace phoebe::testing

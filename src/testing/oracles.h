@@ -1,0 +1,46 @@
+// Reusable oracle checks shared by the property suites.
+//
+// Each oracle re-derives an invariant from first principles (never by calling
+// the code under test a second way) and returns a descriptive error Status on
+// violation, suitable for a PropertyReport.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "core/simulator.h"
+#include "dag/job_graph.h"
+#include "workload/job_instance.h"
+
+namespace phoebe::testing {
+
+/// Algorithm-1 sanity: every stage starts exactly when its slowest upstream
+/// ends (roots at 0), ends start + exec later, job_end is the max end, and
+/// the TTL/TFS identities hold (ttl = job_end - end >= 0, tfs = start, and
+/// at least one stage has ttl == 0).
+Status CheckScheduleSane(const dag::JobGraph& graph,
+                         const std::vector<double>& exec_seconds,
+                         const core::SimulatedSchedule& sched);
+
+/// Structural cut validity: empty, or sized to the graph with at least one
+/// stage on each side. With `require_ancestor_closed`, additionally no
+/// after-cut stage may feed a before-cut stage (the before-cut set is a down
+/// set of the DAG) — true for every end-time-prefix cut on a consistent
+/// schedule with positive execution times.
+Status CheckCutValid(const dag::JobGraph& graph, const cluster::CutSet& cut,
+                     bool require_ancestor_closed);
+
+/// A sequence of cuts is nested: consecutive before-cut sets are ordered by
+/// inclusion (as OptimizeTempStorageMultiCut and the multi-cut IP promise).
+Status CheckCutsNested(const std::vector<core::CutResult>& cuts);
+
+/// JobGraph ToText -> FromText reproduces the graph exactly (names, types,
+/// tasks, operators, edges).
+Status CheckGraphRoundTrip(const dag::JobGraph& graph);
+
+/// SerializeTrace -> ParseTrace reproduces every job field bit-for-bit.
+Status CheckTraceRoundTrip(const std::vector<workload::JobInstance>& jobs);
+
+}  // namespace phoebe::testing

@@ -1,6 +1,8 @@
 // Tests for the online-knapsack admission policy (§5.4).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "core/knapsack.h"
 
@@ -108,11 +110,36 @@ TEST(KnapsackTest, ZeroWeightItemsAlwaysFit) {
   auto history = RandomHistory(100, 10);
   auto k = OnlineKnapsack::Calibrate(1.0, 100, history);
   ASSERT_TRUE(k.ok());
-  // Zero weight, enormous value -> ratio 0 by convention; accepted only if
-  // threshold is 0. Verify no crash and budget unchanged.
+  // Zero weight, enormous value -> infinite ratio: accepted, budget unchanged.
   double before = k->remaining();
-  k->Offer(KnapsackItem{0.0, 1e9});
+  EXPECT_TRUE(k->Offer(KnapsackItem{0.0, 1e9}));
   EXPECT_DOUBLE_EQ(k->remaining(), before);
+}
+
+// Regression: Ratio() used to return 0.0 for zero-weight positive-value
+// items, so a calibrated (positive) threshold rejected jobs that cost no
+// global storage at all — exactly the "free cut" jobs (§6.2) that should
+// always be admitted.
+TEST(KnapsackTest, ZeroWeightPositiveValueItemsPassAnyThreshold) {
+  KnapsackItem free_win{0.0, 42.0};
+  EXPECT_TRUE(std::isinf(free_win.Ratio()));
+  EXPECT_GT(free_win.Ratio(), 0.0);
+  KnapsackItem worthless{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(worthless.Ratio(), 0.0);
+
+  // Tight budget -> strictly positive threshold; the free item must still
+  // be admitted, consume nothing, and count toward accepted value.
+  auto history = RandomHistory(2000, 11);
+  double total_w = 0;
+  for (const auto& it : history) total_w += it.weight;
+  auto k = OnlineKnapsack::Calibrate(total_w * 0.05, 2000, history);
+  ASSERT_TRUE(k.ok());
+  ASSERT_GT(k->threshold(), 0.0);
+  double before = k->remaining();
+  EXPECT_TRUE(k->Offer(free_win));
+  EXPECT_DOUBLE_EQ(k->remaining(), before);
+  EXPECT_DOUBLE_EQ(k->accepted_value(), 42.0);
+  EXPECT_EQ(k->accepted_count(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,205 @@
+// Metamorphic property suite for the Algorithm-1 job runtime simulator:
+// schedule sanity against the DAG, exec-time scaling scales the schedule,
+// monotonicity under longer stages and extra edges, and the TTL/TFS
+// identities — on hundreds of seeded random DAGs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "core/simulator.h"
+#include "testing/oracles.h"
+#include "testing/property.h"
+
+namespace phoebe::testing {
+namespace {
+
+using core::SimulatedSchedule;
+using core::SimulateSchedule;
+
+std::vector<double> CaseExec(const JobCase& c) {
+  std::vector<double> exec(c.graph.num_stages());
+  for (size_t u = 0; u < exec.size(); ++u) {
+    exec[u] = c.costs.end_time[u] - c.costs.tfs[u];
+  }
+  return exec;
+}
+
+double Rel(double a, double b) {
+  return std::abs(a - b) / std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+TEST(PropSimulatorTest, ScheduleSatisfiesDagInvariants) {
+  PropertyOptions opt;
+  opt.num_cases = 300;
+  opt.seed = 0x51a1;
+  opt.graph.max_stages = 60;
+  auto prop = [](const JobCase& c) -> Status {
+    std::vector<double> exec = CaseExec(c);
+    PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule sched, SimulateSchedule(c.graph, exec));
+    return CheckScheduleSane(c.graph, exec, sched);
+  };
+  auto report = CheckProperty(opt, prop);
+  EXPECT_TRUE(report.ok) << report.Describe();
+  EXPECT_EQ(report.cases_run, 300);
+}
+
+TEST(PropSimulatorTest, ScalingExecTimesScalesTheSchedule) {
+  PropertyOptions opt;
+  opt.num_cases = 200;
+  opt.seed = 0x5ca1e;
+  auto prop = [](const JobCase& c) -> Status {
+    std::vector<double> exec = CaseExec(c);
+    PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule base, SimulateSchedule(c.graph, exec));
+    for (double factor : {0.25, 3.0}) {
+      std::vector<double> scaled = exec;
+      for (double& e : scaled) e *= factor;
+      PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule s, SimulateSchedule(c.graph, scaled));
+      if (Rel(s.job_end, factor * base.job_end) > 1e-9) {
+        return Status::Internal(
+            StrFormat("job end %.6e != %.2f * %.6e", s.job_end, factor,
+                      base.job_end));
+      }
+      for (size_t u = 0; u < exec.size(); ++u) {
+        if (Rel(s.start[u], factor * base.start[u]) > 1e-9 ||
+            Rel(s.end[u], factor * base.end[u]) > 1e-9) {
+          return Status::Internal(
+              StrFormat("schedule of stage %zu did not scale by %.2f", u, factor));
+        }
+        // TTL and TFS are schedule differences, so they scale identically.
+        dag::StageId id = static_cast<dag::StageId>(u);
+        if (Rel(s.Ttl(id), factor * base.Ttl(id)) > 1e-9 ||
+            Rel(s.Tfs(id), factor * base.Tfs(id)) > 1e-9) {
+          return Status::Internal(StrFormat("TTL/TFS of stage %zu did not scale", u));
+        }
+      }
+    }
+    return Status::OK();
+  };
+  auto report = CheckProperty(opt, prop);
+  EXPECT_TRUE(report.ok) << report.Describe();
+}
+
+TEST(PropSimulatorTest, LongerStageNeverSpeedsAnythingUp) {
+  PropertyOptions opt;
+  opt.num_cases = 200;
+  opt.seed = 0x10c4;
+  auto prop = [](const JobCase& c) -> Status {
+    std::vector<double> exec = CaseExec(c);
+    PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule base, SimulateSchedule(c.graph, exec));
+    // Stretch one deterministic stage; every start/end may only move later.
+    size_t victim = c.graph.num_stages() / 2;
+    std::vector<double> stretched = exec;
+    stretched[victim] += 1000.0;
+    PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule s, SimulateSchedule(c.graph, stretched));
+    const double kTol = 1e-9;
+    for (size_t u = 0; u < exec.size(); ++u) {
+      if (s.start[u] + kTol < base.start[u] || s.end[u] + kTol < base.end[u]) {
+        return Status::Internal(
+            StrFormat("stretching stage %zu moved stage %zu earlier", victim, u));
+      }
+    }
+    if (s.job_end + kTol < base.job_end) {
+      return Status::Internal("stretching a stage shortened the job");
+    }
+    // Stages not downstream of the victim keep their schedule exactly.
+    for (size_t u = 0; u < exec.size(); ++u) {
+      if (u == victim) continue;
+      if (!c.graph.Reaches(static_cast<dag::StageId>(victim),
+                           static_cast<dag::StageId>(u)) &&
+          (s.start[u] != base.start[u] || s.end[u] != base.end[u])) {
+        return Status::Internal(
+            StrFormat("stage %zu is not downstream of %zu but moved", u, victim));
+      }
+    }
+    return Status::OK();
+  };
+  auto report = CheckProperty(opt, prop);
+  EXPECT_TRUE(report.ok) << report.Describe();
+}
+
+TEST(PropSimulatorTest, AddingAnEdgeNeverSpeedsAnythingUp) {
+  PropertyOptions opt;
+  opt.num_cases = 200;
+  opt.seed = 0xed6e;
+  opt.graph.min_stages = 3;
+  auto prop = [](const JobCase& c) -> Status {
+    std::vector<double> exec = CaseExec(c);
+    PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule base, SimulateSchedule(c.graph, exec));
+    // Add a deterministic forward edge (first missing (u, v) with u < v).
+    dag::JobGraph extended = c.graph;
+    bool added = false;
+    const int n = static_cast<int>(c.graph.num_stages());
+    for (int u = 0; u < n && !added; ++u) {
+      for (int v = u + 1; v < n && !added; ++v) {
+        added = extended
+                    .AddEdge(static_cast<dag::StageId>(u), static_cast<dag::StageId>(v))
+                    .ok();
+      }
+    }
+    if (!added) return Status::OK();  // already complete; nothing to test
+    PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule s, SimulateSchedule(extended, exec));
+    const double kTol = 1e-9;
+    for (size_t u = 0; u < exec.size(); ++u) {
+      if (s.start[u] + kTol < base.start[u] || s.end[u] + kTol < base.end[u]) {
+        return Status::Internal(StrFormat("extra edge moved stage %zu earlier", u));
+      }
+    }
+    if (s.job_end + kTol < base.job_end) {
+      return Status::Internal("extra dependency shortened the job");
+    }
+    return Status::OK();
+  };
+  auto report = CheckProperty(opt, prop);
+  EXPECT_TRUE(report.ok) << report.Describe();
+}
+
+TEST(PropSimulatorTest, TtlTfsIdentitiesHold) {
+  PropertyOptions opt;
+  opt.num_cases = 300;
+  opt.seed = 0x7711;
+  opt.graph.max_stages = 60;
+  auto prop = [](const JobCase& c) -> Status {
+    std::vector<double> exec = CaseExec(c);
+    PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule s, SimulateSchedule(c.graph, exec));
+    double min_ttl = 1e300;
+    for (size_t u = 0; u < exec.size(); ++u) {
+      dag::StageId id = static_cast<dag::StageId>(u);
+      if (s.Ttl(id) != s.job_end - s.end[u]) {
+        return Status::Internal(StrFormat("TTL identity broken at stage %zu", u));
+      }
+      if (s.Tfs(id) != s.start[u]) {
+        return Status::Internal(StrFormat("TFS identity broken at stage %zu", u));
+      }
+      if (s.Ttl(id) < 0.0) {
+        return Status::Internal(StrFormat("negative TTL at stage %zu", u));
+      }
+      min_ttl = std::min(min_ttl, s.Ttl(id));
+    }
+    // The last stage to finish defines the job end, so min TTL is exactly 0.
+    if (min_ttl != 0.0) {
+      return Status::Internal(StrFormat("min TTL %.6e != 0", min_ttl));
+    }
+    // Roots start at time 0 (strict stage boundaries, no queueing modeled).
+    for (dag::StageId r : c.graph.Roots()) {
+      if (s.start[static_cast<size_t>(r)] != 0.0) {
+        return Status::Internal(StrFormat("root %d does not start at 0", r));
+      }
+    }
+    return Status::OK();
+  };
+  auto report = CheckProperty(opt, prop);
+  EXPECT_TRUE(report.ok) << report.Describe();
+  EXPECT_EQ(report.cases_run, 300);
+}
+
+TEST(PropSimulatorTest, RejectsMalformedInput) {
+  Rng rng(3);
+  GraphGenOptions gopt;
+  dag::JobGraph g = RandomGraph(gopt, &rng);
+  std::vector<double> wrong(g.num_stages() + 1, 1.0);
+  EXPECT_FALSE(SimulateSchedule(g, wrong).ok());
+}
+
+}  // namespace
+}  // namespace phoebe::testing

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for phoebe_cli: drives the generate -> train ->
+# decide -> backtest loop on a tiny workload and asserts exit codes and
+# non-empty, recognizable output. Registered as the `cli_smoke_test` ctest.
+#
+# Usage: cli_smoke_test.sh /path/to/phoebe_cli
+set -u
+
+CLI="${1:?usage: cli_smoke_test.sh /path/to/phoebe_cli}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+FAILURES=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+expect_exit() {
+  # expect_exit <want_code> <label> -- cmd args...
+  local want="$1" label="$2"
+  shift 3
+  "$@" >"$WORKDIR/stdout" 2>"$WORKDIR/stderr"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    fail "$label: exit code $got, wanted $want"
+    sed 's/^/    /' "$WORKDIR/stderr" >&2
+  fi
+}
+
+expect_stdout_contains() {
+  local label="$1" needle="$2"
+  if ! grep -q "$needle" "$WORKDIR/stdout"; then
+    fail "$label: stdout does not contain '$needle'"
+    head -5 "$WORKDIR/stdout" | sed 's/^/    /' >&2
+  fi
+}
+
+expect_stdout_nonempty() {
+  local label="$1"
+  if [ ! -s "$WORKDIR/stdout" ]; then
+    fail "$label: stdout is empty"
+  fi
+}
+
+SMALL=(--templates 12 --seed 3)
+
+# Usage errors exit 2.
+expect_exit 2 "no arguments" -- "$CLI"
+expect_exit 2 "unknown subcommand" -- "$CLI" frobnicate
+
+# generate: writes a non-empty CSV with the expected header.
+expect_exit 0 "generate to file" -- \
+  "$CLI" generate "${SMALL[@]}" --days 2 --out "$WORKDIR/trace.csv"
+if [ ! -s "$WORKDIR/trace.csv" ]; then
+  fail "generate: $WORKDIR/trace.csv is empty or missing"
+fi
+expect_exit 0 "generate to stdout" -- "$CLI" generate "${SMALL[@]}" --days 1
+expect_stdout_nonempty "generate to stdout"
+
+# inspect: per-stage table for one job.
+expect_exit 0 "inspect" -- "$CLI" inspect "${SMALL[@]}" --day 0 --job 0
+expect_stdout_contains "inspect" "stages"
+
+# train: prints the model-quality table.
+expect_exit 0 "train" -- "$CLI" train "${SMALL[@]}" --train-days 2
+expect_stdout_contains "train" "R^2"
+expect_stdout_contains "train" "exec time"
+
+# decide: chooses a cut for one held-out job.
+expect_exit 0 "decide" -- "$CLI" decide "${SMALL[@]}" --train-days 2 --job 0
+expect_stdout_contains "decide" "job"
+expect_exit 1 "decide out-of-range job" -- \
+  "$CLI" decide "${SMALL[@]}" --train-days 2 --job 99999
+
+# backtest: approach comparison table must include the oracle row.
+expect_exit 0 "backtest" -- "$CLI" backtest "${SMALL[@]}" --train-days 2
+expect_stdout_contains "backtest" "Optimal"
+expect_stdout_contains "backtest" "Mid-Point"
+
+# trace round trip through the CLI surface.
+expect_exit 0 "trace-export" -- \
+  "$CLI" trace-export "${SMALL[@]}" --days 1 --out "$WORKDIR/trace.txt"
+expect_exit 0 "trace-info" -- "$CLI" trace-info --in "$WORKDIR/trace.txt"
+expect_stdout_contains "trace-info" "jobs"
+expect_exit 2 "trace-info without --in" -- "$CLI" trace-info
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES smoke-test assertion(s) failed" >&2
+  exit 1
+fi
+echo "cli smoke test passed"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full local verification: build + test the Release config and the
+# Debug + ASan/UBSan config (PHOEBE_SANITIZE=ON). Mirrors .github/workflows/ci.yml.
+#
+# Usage: tools/run_checks.sh [extra ctest args...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1" name="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$ROOT/$dir" -j "$JOBS"
+  echo "=== [$name] ctest ==="
+  (cd "$ROOT/$dir" && ctest --output-on-failure -j "$JOBS" "${EXTRA_CTEST_ARGS[@]}")
+}
+
+EXTRA_CTEST_ARGS=("$@")
+
+run_config build-release "release" -DCMAKE_BUILD_TYPE=Release
+
+# Fail fast on any sanitizer report instead of continuing.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+run_config build-asan "asan+ubsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=ON
+
+echo "All checks passed (release + sanitizers)."
