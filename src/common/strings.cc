@@ -1,8 +1,10 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace phoebe {
 
@@ -62,6 +64,39 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 
 bool Contains(const std::string& s, const std::string& sub) {
   return s.find(sub) != std::string::npos;
+}
+
+bool ParseInt64(const std::string& token, int64_t* out) {
+  if (token.empty()) return false;
+  // strtoll skips leading whitespace; the strict contract forbids it.
+  if (std::isspace(static_cast<unsigned char>(token.front()))) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(token.c_str(), &end, 10);
+  if (errno == ERANGE) return false;
+  if (end != token.c_str() + token.size()) return false;  // junk or embedded NUL
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseInt32(const std::string& token, int32_t* out) {
+  int64_t v = 0;
+  if (!ParseInt64(token, &v)) return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+bool ParseFiniteDouble(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  if (std::isspace(static_cast<unsigned char>(token.front()))) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  if (!std::isfinite(v)) return false;  // covers ERANGE overflow, inf, nan
+  *out = v;
+  return true;
 }
 
 std::string HumanBytes(double bytes) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,18 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 bool StartsWith(const std::string& s, const std::string& prefix);
 bool EndsWith(const std::string& s, const std::string& suffix);
 bool Contains(const std::string& s, const std::string& sub);
+
+/// Strict numeric token parsers for untrusted text (fuzzed traces, external
+/// graph files). Unlike atoi/atof, they reject empty tokens, trailing junk,
+/// and out-of-range values instead of returning garbage or invoking UB, so a
+/// corrupted input surfaces as a clean parse error. The whole token must be
+/// the number; leading/trailing whitespace is rejected.
+bool ParseInt32(const std::string& token, int32_t* out);
+bool ParseInt64(const std::string& token, int64_t* out);
+/// Accepts only finite values (inf/nan/overflow are rejected): every numeric
+/// field in the text formats is a finite quantity, and letting an overflowed
+/// 1e999 through as +inf would poison downstream arithmetic.
+bool ParseFiniteDouble(const std::string& token, double* out);
 
 /// Human-readable byte count, e.g. "1.50 GB".
 std::string HumanBytes(double bytes);

@@ -180,7 +180,7 @@ Result<std::vector<CutResult>> OptimizeTempStorageMultiCut(const dag::JobGraph& 
   std::vector<CutResult> cuts;
   if (best_c == 0) return cuts;  // nothing worth checkpointing
 
-  // Recover positions innermost-last, then emit outermost-first with nested
+  // Recover positions outermost-last, then emit innermost-first with nested
   // before-cut sets (cut c contains cut c-1).
   std::vector<size_t> positions;
   {
@@ -199,7 +199,7 @@ Result<std::vector<CutResult>> OptimizeTempStorageMultiCut(const dag::JobGraph& 
     r.global_bytes = EstimateGlobalBytes(graph, costs, r.cut);
     cuts.push_back(std::move(r));
   }
-  // Assign the total objective to the outermost entry for reporting.
+  // Assign the total objective to the front (innermost) entry for reporting.
   cuts.front().objective = best_obj;
   return cuts;
 }

@@ -66,10 +66,16 @@ Result<std::vector<SweepPoint>> TempStorageSweep(const dag::JobGraph& graph,
 Result<CutResult> OptimizeTempStorage(const dag::JobGraph& graph,
                                       const StageCosts& costs);
 
-/// Multi-cut extension of OptCheck1 via dynamic programming over TTL-sorted
-/// prefixes: places up to `num_cuts` cuts, each before-cut group saving
-/// (its bytes) * (min TTL at its cut). Returns one CutResult per cut, ordered
-/// outermost-first (cut c contains cut c-1, constraint (10)).
+/// Multi-cut extension of OptCheck1 via dynamic programming over end-time
+/// prefixes: places up to `num_cuts` cuts, crediting each stage's data at
+/// its *earliest* cut — (segment bytes) * (min TTL at that cut) — which is
+/// the physical clearing semantics the cluster realizes. Note this is NOT
+/// the paper's IP constraint (12), whose edge-disjoint crediting can fall
+/// below this objective; the repo-wide convention is the physical semantics
+/// (see DESIGN.md "Multi-cut semantics", pinned by
+/// core_multicut_semantics_test). Returns one CutResult per cut, ordered
+/// innermost-first (cut c contains cut c-1, constraint (10)); the total
+/// objective is reported on the innermost (front) entry.
 Result<std::vector<CutResult>> OptimizeTempStorageMultiCut(const dag::JobGraph& graph,
                                                            const StageCosts& costs,
                                                            int num_cuts);

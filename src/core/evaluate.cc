@@ -42,6 +42,30 @@ double RealizedTempSaving(const workload::JobInstance& job, const cluster::CutSe
   return std::clamp(saved / total, 0.0, 1.0);
 }
 
+double RealizedTempSavingMultiCut(const workload::JobInstance& job,
+                                  const std::vector<cluster::CutSet>& cuts) {
+  if (cuts.empty()) return 0.0;
+  if (cuts.size() == 1) return RealizedTempSaving(job, cuts.front());
+  double total = job.TempByteSeconds();
+  if (total <= 0.0) return 0.0;
+  std::vector<double> clear(cuts.size());
+  for (size_t c = 0; c < cuts.size(); ++c) {
+    clear[c] = cluster::CutClearTime(job, cuts[c]);
+  }
+  double saved = 0.0;
+  for (size_t u = 0; u < job.truth.size(); ++u) {
+    // Earliest (innermost) cut containing the stage clears its data.
+    for (size_t c = 0; c < cuts.size(); ++c) {
+      if (cuts[c].before_cut.empty() || !cuts[c].before_cut[u]) continue;
+      const workload::StageTruth& t = job.truth[u];
+      double held = std::max(0.0, clear[c] - t.end_time);
+      saved += t.output_bytes * std::max(0.0, t.ttl - held);
+      break;
+    }
+  }
+  return std::clamp(saved / total, 0.0, 1.0);
+}
+
 BackTester::BackTester(const PhoebePipeline* pipeline, double mtbf_seconds,
                        uint64_t seed)
     : pipeline_(pipeline), mtbf_seconds_(mtbf_seconds), rng_(seed) {

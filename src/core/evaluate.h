@@ -32,6 +32,14 @@ const std::vector<Approach>& AllApproaches();
 /// the job's total temp byte-seconds. In [0, 1].
 double RealizedTempSaving(const workload::JobInstance& job, const cluster::CutSet& cut);
 
+/// Multi-cut generalization under the *physical* clearing semantics the
+/// fleet driver reports (see DESIGN.md "Multi-cut semantics"): `cuts` are
+/// nested cut sets ordered innermost-first, and each stage's temp data
+/// clears at the true clear time of the earliest cut containing it. With a
+/// single cut this reduces bit-exactly to RealizedTempSaving. In [0, 1].
+double RealizedTempSavingMultiCut(const workload::JobInstance& job,
+                                  const std::vector<cluster::CutSet>& cuts);
+
 /// \brief Per-approach back-tester.
 class BackTester {
  public:

@@ -1,8 +1,11 @@
 #include "core/fleet.h"
 
 #include <cmath>
+#include <optional>
+#include <set>
 
 #include "cluster/failure.h"
+#include "common/threadpool.h"
 
 namespace phoebe::core {
 
@@ -21,16 +24,77 @@ FleetDriver::FleetDriver(const PhoebePipeline* pipeline, FleetConfig config)
 
 namespace {
 
-/// Per-job decision under the fleet's objective/source.
-Result<CutResult> DecideOne(const PhoebePipeline& pipeline, const FleetConfig& config,
-                            const workload::JobInstance& job,
-                            const telemetry::HistoricStats& stats) {
+/// One job's full decision: the combined (reported) cut plus the nested cut
+/// sets in physical, innermost-first order.
+struct FleetDecision {
+  CutResult combined;                 ///< cut = outermost; DP-total objective
+  std::vector<cluster::CutSet> cuts;  ///< innermost-first; empty if no cut
+};
+
+/// Per-job decision under the fleet's objective/source. Pure function of
+/// (pipeline, config, job, stats); safe to call concurrently for distinct
+/// jobs because the trained pipeline is const (see DESIGN.md "Concurrency").
+Result<FleetDecision> DecideOne(const PhoebePipeline& pipeline, const FleetConfig& config,
+                                const workload::JobInstance& job,
+                                const telemetry::HistoricStats& stats) {
   PHOEBE_ASSIGN_OR_RETURN(StageCosts costs,
                           pipeline.BuildCosts(job, config.source, stats));
-  if (config.objective == Objective::kTempStorage) {
-    return OptimizeTempStorage(job.graph, costs);
+  FleetDecision d;
+  if (config.objective == Objective::kRecovery) {
+    PHOEBE_ASSIGN_OR_RETURN(d.combined,
+                            OptimizeRecovery(job.graph, costs, pipeline.delta()));
+    if (!d.combined.cut.empty()) d.cuts.push_back(d.combined.cut);
+    return d;
   }
-  return OptimizeRecovery(job.graph, costs, pipeline.delta());
+  if (config.num_cuts <= 1) {
+    PHOEBE_ASSIGN_OR_RETURN(d.combined, OptimizeTempStorage(job.graph, costs));
+    if (!d.combined.cut.empty()) d.cuts.push_back(d.combined.cut);
+    return d;
+  }
+
+  // Multi-cut plan, reported under the physical semantics the cluster
+  // realizes: the DP-total objective (each stage credited at its earliest
+  // cut), and global bytes as the union of checkpoint stages across cuts —
+  // a stage persists its output once even if edges cross several cuts.
+  PHOEBE_ASSIGN_OR_RETURN(
+      std::vector<CutResult> cuts,
+      OptimizeTempStorageMultiCut(job.graph, costs, config.num_cuts));
+  if (cuts.empty()) return d;
+  d.combined.cut = cuts.back().cut;           // outermost (largest) set
+  d.combined.objective = cuts.front().objective;  // DP total
+  std::set<dag::StageId> persisted;
+  for (const CutResult& c : cuts) {
+    d.cuts.push_back(c.cut);
+    for (dag::StageId u : cluster::CheckpointStages(job.graph, c.cut)) {
+      persisted.insert(u);
+    }
+  }
+  for (dag::StageId u : persisted) {
+    d.combined.global_bytes += costs.output_bytes[static_cast<size_t>(u)];
+  }
+  return d;
+}
+
+/// Phase 1 of the day loop: decide every eligible job, in parallel when the
+/// config asks for it. Slot i is engaged iff job i has >= 2 stages. Slots are
+/// written by index, so the result is independent of scheduling order.
+std::vector<std::optional<Result<FleetDecision>>> DecideAll(
+    const PhoebePipeline& pipeline, const FleetConfig& config,
+    const std::vector<workload::JobInstance>& jobs,
+    const telemetry::HistoricStats& stats) {
+  std::vector<std::optional<Result<FleetDecision>>> slots(jobs.size());
+  auto decide = [&](size_t i) {
+    if (jobs[i].graph.num_stages() < 2) return;
+    slots[i].emplace(DecideOne(pipeline, config, jobs[i], stats));
+  };
+  const int threads = ThreadPool::Resolve(config.num_threads);
+  if (threads <= 1) {
+    for (size_t i = 0; i < jobs.size(); ++i) decide(i);
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(jobs.size(), decide);
+  }
+  return slots;
 }
 
 }  // namespace
@@ -38,10 +102,12 @@ Result<CutResult> DecideOne(const PhoebePipeline& pipeline, const FleetConfig& c
 Status FleetDriver::Calibrate(const std::vector<workload::JobInstance>& history_jobs,
                               const telemetry::HistoricStats& history_stats) {
   calibration_.clear();
-  for (const auto& job : history_jobs) {
-    if (job.graph.num_stages() < 2) continue;
-    PHOEBE_ASSIGN_OR_RETURN(CutResult cut,
-                            DecideOne(*pipeline_, config_, job, history_stats));
+  auto decisions = DecideAll(*pipeline_, config_, history_jobs, history_stats);
+  for (size_t i = 0; i < history_jobs.size(); ++i) {
+    if (!decisions[i].has_value()) continue;  // < 2 stages
+    const Result<FleetDecision>& d = *decisions[i];
+    PHOEBE_RETURN_NOT_OK(d.status());
+    const CutResult& cut = d->combined;
     if (cut.cut.empty() || cut.global_bytes <= 0.0) continue;
     calibration_.push_back(KnapsackItem{cut.global_bytes, cut.objective});
   }
@@ -72,18 +138,29 @@ Result<FleetDayReport> FleetDriver::RunDay(
     knapsack = std::make_unique<OnlineKnapsack>(std::move(k));
   }
 
+  // Phase 1 (parallel): per-job decisions. The pipeline is const after
+  // Train, so this is a pure map over the day's jobs.
+  auto decisions = DecideAll(*pipeline_, config_, jobs, stats);
+
+  // Phase 2 (serial): replay the online-knapsack admission in arrival order.
+  // Every accumulation happens here, in job order, which is what makes the
+  // report byte-identical to the legacy serial driver for any thread count.
   FleetDayReport report;
   report.outcomes.reserve(jobs.size());
-  for (const auto& job : jobs) {
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const workload::JobInstance& job = jobs[i];
     FleetJobOutcome out;
     out.job_id = job.job_id;
     report.total_temp_byte_seconds += job.TempByteSeconds();
-    if (job.graph.num_stages() >= 2) {
+    if (decisions[i].has_value()) {
       ++report.jobs_considered;
-      PHOEBE_ASSIGN_OR_RETURN(CutResult cut, DecideOne(*pipeline_, config_, job, stats));
+      Result<FleetDecision>& d = *decisions[i];
+      PHOEBE_RETURN_NOT_OK(d.status());
+      const CutResult& cut = d->combined;
       if (!cut.cut.empty()) {
         ++report.jobs_with_cut;
         out.cut = cut.cut;
+        out.cuts = std::move(d->cuts);
         out.predicted_value = cut.objective;
         bool admit = !knapsack ||
                      knapsack->Offer(KnapsackItem{cut.global_bytes, cut.objective});
@@ -91,7 +168,7 @@ Result<FleetDayReport> FleetDriver::RunDay(
           out.admitted = true;
           out.global_bytes = cut.global_bytes;
           out.realized_value =
-              RealizedTempSaving(job, cut.cut) * job.TempByteSeconds();
+              RealizedTempSavingMultiCut(job, out.cuts) * job.TempByteSeconds();
           ++report.jobs_admitted;
           report.storage_used_bytes += cut.global_bytes;
           report.realized_saving_byte_seconds += out.realized_value;

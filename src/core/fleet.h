@@ -3,6 +3,14 @@
 // decision, admits jobs under the global-storage budget with the online
 // knapsack, and reports what the fleet realized — the layer the Workload
 // Insight Service runs in Figure 4.
+//
+// The day loop is two-phase (see DESIGN.md "Concurrency"):
+//   1. a parallel decision phase — `PhoebePipeline` is logically const after
+//      Train, so per-job BuildCosts + optimize calls are embarrassingly
+//      parallel and run across a fixed-size thread pool;
+//   2. a serial admission phase — the online-knapsack offers are replayed in
+//      arrival order, so the resulting FleetDayReport is byte-identical to
+//      the legacy serial driver regardless of `FleetConfig::num_threads`.
 #pragma once
 
 #include <limits>
@@ -23,12 +31,28 @@ struct FleetConfig {
   /// Expected number of checkpointable arrivals per day (lambda * T for the
   /// knapsack threshold); <= 0 means "use the calibration sample size".
   double expected_arrivals = 0.0;
+  /// Cuts per job for the temp-storage objective (Figure 11; 1 = the classic
+  /// single-cut sweep). With multiple cuts the driver reports the DP's
+  /// *physical* semantics — each stage's temp data clears at the earliest cut
+  /// containing it, and checkpoint bytes are counted once per stage even when
+  /// an edge crosses several cuts. This deliberately diverges from the
+  /// paper's IP constraint (12), which credits each edge at most once; see
+  /// DESIGN.md "Multi-cut semantics" and core_multicut_semantics_test.
+  int num_cuts = 1;
+  /// Worker threads for the decision phase: 0 = hardware concurrency,
+  /// 1 = legacy serial path (no pool is created). Any value yields
+  /// byte-identical reports; >1 only changes wall-clock time.
+  int num_threads = 1;
 };
 
 /// \brief Decision and outcome for one job of the day.
 struct FleetJobOutcome {
   int64_t job_id = 0;
-  cluster::CutSet cut;          ///< empty if not checkpointed
+  cluster::CutSet cut;          ///< outermost cut; empty if not checkpointed
+  /// All selected cuts, innermost-first (nested; size 1 unless
+  /// FleetConfig::num_cuts > 1 found a better multi-cut plan). Empty iff
+  /// `cut` is empty.
+  std::vector<cluster::CutSet> cuts;
   bool admitted = false;        ///< passed the budget admission
   double global_bytes = 0.0;    ///< estimated storage (0 if not admitted)
   double predicted_value = 0.0; ///< optimizer objective (estimate-based)
@@ -52,15 +76,19 @@ struct FleetDayReport {
                : 0.0;
   }
 
-  /// The admitted cuts, aligned with the input job vector (empty CutSet for
-  /// non-admitted jobs) — ready for cluster::ClusterSimulator::SimulateTempUsage.
+  /// The admitted (outermost) cuts, aligned with the input job vector (empty
+  /// CutSet for non-admitted jobs) — ready for
+  /// cluster::ClusterSimulator::SimulateTempUsage.
   std::vector<cluster::CutSet> AdmittedCuts() const;
 };
 
 /// \brief Runs the per-day decision loop.
 class FleetDriver {
  public:
-  /// \param pipeline trained pipeline (borrowed; must outlive the driver)
+  /// \param pipeline trained pipeline (borrowed; must outlive the driver).
+  /// The pipeline must not be retrained or Load()ed while a RunDay or
+  /// Calibrate call is in flight — the parallel phase relies on it being
+  /// const after Train.
   FleetDriver(const PhoebePipeline* pipeline, FleetConfig config);
 
   /// Calibrate the admission threshold from a historical day's decisions.

@@ -45,6 +45,15 @@ struct PipelineDecision {
 };
 
 /// \brief Trained Phoebe instance.
+///
+/// Thread-safety: the pipeline is logically const after Train (or Load)
+/// returns. Every inference entry point — BuildCosts, Decide, and the
+/// predictor/estimator accessors — is a const member whose whole call tree
+/// (featurizer, GBDT/MLP forests, TTL stacking models, historic-stats maps)
+/// reads immutable state with no caches, so concurrent calls on one trained
+/// pipeline are safe. The fleet driver's parallel decision phase depends on
+/// this invariant; core_fleet_parallel_test pins it under TSan. Train and
+/// Load are the only mutators and must not overlap any inference call.
 class PhoebePipeline {
  public:
   explicit PhoebePipeline(PipelineConfig config = DefaultConfig());

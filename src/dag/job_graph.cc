@@ -192,8 +192,11 @@ Result<JobGraph> JobGraph::FromText(const std::string& text) {
       }
       Stage s;
       s.name = tok[1];
-      s.stage_type = std::atoi(tok[2].c_str());
-      s.num_tasks = std::atoi(tok[3].c_str());
+      if (!ParseInt32(tok[2], &s.stage_type) || !ParseInt32(tok[3], &s.num_tasks)) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: bad stage type/tasks '%s %s'", lineno, tok[2].c_str(),
+                      tok[3].c_str()));
+      }
       for (const std::string& op : Split(tok[4], ',')) {
         OperatorKind k = OperatorKindFromName(op);
         if (k == OperatorKind::kMaxValue) {
@@ -207,8 +210,13 @@ Result<JobGraph> JobGraph::FromText(const std::string& text) {
       if (tok.size() != 3) {
         return Status::InvalidArgument(StrFormat("line %d: expected 'edge <u> <v>'", lineno));
       }
-      PHOEBE_RETURN_NOT_OK(
-          g.AddEdge(std::atoi(tok[1].c_str()), std::atoi(tok[2].c_str())));
+      StageId from = kInvalidStage, to = kInvalidStage;
+      if (!ParseInt32(tok[1], &from) || !ParseInt32(tok[2], &to)) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: bad edge ids '%s %s'", lineno, tok[1].c_str(),
+                      tok[2].c_str()));
+      }
+      PHOEBE_RETURN_NOT_OK(g.AddEdge(from, to));
     } else {
       return Status::InvalidArgument(
           StrFormat("line %d: unknown directive '%s'", lineno, tok[0].c_str()));

@@ -1,0 +1,210 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/strings.h"
+#include "testing/property.h"
+
+namespace phoebe::testing {
+
+namespace {
+
+/// Numeric tokens chosen to break lenient parsers: int32/int64 overflow,
+/// double overflow to inf, nan, hex, signs, and empty-ish garbage.
+const char* const kHostileTokens[] = {
+    "999999999999999999999999",
+    "-999999999999999999999999",
+    "2147483648",   // INT32_MAX + 1
+    "-2147483649",  // INT32_MIN - 1
+    "9223372036854775808",
+    "1e9999",
+    "-1e9999",
+    "1e308",
+    "nan",
+    "inf",
+    "-inf",
+    "0x7fffffff",
+    "1.5e",
+    "--3",
+    "+",
+    "",
+};
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ' ' || ch == '\t') {
+      if (!cur.empty()) words.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+  return words;
+}
+
+/// Rebuild a document from lines (trailing newline preserved).
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MutateText(const std::string& text, Rng* rng) {
+  // Line-level strategies need the line split; byte-level ones do not.
+  // Strategy indices: 0 truncate, 1 byte flip, 2 byte insert, 3 swap two
+  // fields on a line, 4 hostile numeric token, 5 delete a line, 6 duplicate
+  // a line, 7 swap two lines, 8 delete a field.
+  const int strategy = static_cast<int>(rng->UniformInt(0, 8));
+  std::string out = text;
+  switch (strategy) {
+    case 0: {  // truncate anywhere, including mid-token
+      if (out.empty()) break;
+      out.resize(static_cast<size_t>(rng->UniformInt(0, static_cast<int>(out.size()) - 1)));
+      break;
+    }
+    case 1: {  // flip one byte to an arbitrary value (may create '\0', UTF junk)
+      if (out.empty()) break;
+      size_t pos = static_cast<size_t>(rng->UniformInt(0, static_cast<int>(out.size()) - 1));
+      out[pos] = static_cast<char>(rng->UniformInt(0, 255));
+      break;
+    }
+    case 2: {  // insert a short burst of random bytes
+      size_t pos = static_cast<size_t>(rng->UniformInt(0, static_cast<int>(out.size())));
+      std::string burst;
+      int len = (int)rng->UniformInt(1, 8);
+      for (int i = 0; i < len; ++i) burst.push_back(static_cast<char>(rng->UniformInt(0, 255)));
+      out.insert(pos, burst);
+      break;
+    }
+    default: {  // line-structured strategies
+      std::vector<std::string> lines = Split(out, '\n');
+      if (lines.empty()) break;
+      int li = (int)rng->UniformInt(0, static_cast<int>(lines.size()) - 1);
+      switch (strategy) {
+        case 3: {  // swap two whitespace-separated fields on one line
+          std::vector<std::string> words = SplitWords(lines[li]);
+          if (words.size() >= 2) {
+            int a = (int)rng->UniformInt(0, static_cast<int>(words.size()) - 1);
+            int b = (int)rng->UniformInt(0, static_cast<int>(words.size()) - 1);
+            std::swap(words[a], words[b]);
+            lines[li] = Join(words, " ");
+          }
+          break;
+        }
+        case 4: {  // replace one field with a hostile numeric token
+          std::vector<std::string> words = SplitWords(lines[li]);
+          if (!words.empty()) {
+            int a = (int)rng->UniformInt(0, static_cast<int>(words.size()) - 1);
+            constexpr int kNumTokens =
+                static_cast<int>(sizeof(kHostileTokens) / sizeof(kHostileTokens[0]));
+            words[a] = kHostileTokens[rng->UniformInt(0, kNumTokens - 1)];
+            lines[li] = Join(words, " ");
+          }
+          break;
+        }
+        case 5:  // delete a line
+          lines.erase(lines.begin() + li);
+          break;
+        case 6:  // duplicate a line
+          lines.insert(lines.begin() + li, lines[li]);
+          break;
+        case 7: {  // swap two lines
+          int lj = (int)rng->UniformInt(0, static_cast<int>(lines.size()) - 1);
+          std::swap(lines[li], lines[lj]);
+          break;
+        }
+        case 8: {  // delete one field from a line
+          std::vector<std::string> words = SplitWords(lines[li]);
+          if (!words.empty()) {
+            int a = (int)rng->UniformInt(0, static_cast<int>(words.size()) - 1);
+            words.erase(words.begin() + a);
+            lines[li] = Join(words, " ");
+          }
+          break;
+        }
+        default: break;
+      }
+      out = JoinLines(lines);
+      break;
+    }
+  }
+  return out;
+}
+
+std::string MutateDocument(const std::vector<std::string>& seeds,
+                           const FuzzOptions& opt, uint64_t case_seed) {
+  Rng rng(case_seed);
+  // A few fixed pathological documents ride along with the mutated seeds.
+  // (std::string with explicit length so embedded NULs survive.)
+  static const std::string kPathological[] = {
+      std::string(),          std::string("\n"),  std::string(" \t \n\n"),
+      std::string("\0\0\0\0", 4), std::string("\xff\xfe\xfd"), std::string("job"),
+      std::string("0"),       std::string("-1\n"),
+  };
+  constexpr int kNumPathological =
+      static_cast<int>(sizeof(kPathological) / sizeof(kPathological[0]));
+  std::string doc;
+  if (!seeds.empty() && rng.Uniform() > 0.1) {
+    doc = seeds[static_cast<size_t>(rng.UniformInt(0, static_cast<int>(seeds.size()) - 1))];
+  } else {
+    doc = kPathological[rng.UniformInt(0, kNumPathological - 1)];
+  }
+  int mutations = (int)rng.UniformInt(1, std::max(1, opt.max_mutations));
+  for (int m = 0; m < mutations; ++m) doc = MutateText(doc, &rng);
+  return doc;
+}
+
+FuzzReport FuzzParser(const FuzzOptions& opt, const std::vector<std::string>& seeds,
+                      const ParseFn& parse) {
+  FuzzReport report;
+  const int num_inputs = ScaledCaseCount(opt.num_inputs);
+  for (int i = 0; i < num_inputs; ++i) {
+    const uint64_t case_seed = opt.seed + static_cast<uint64_t>(i);
+    std::string doc = MutateDocument(seeds, opt, case_seed);
+    ++report.inputs_run;
+    try {
+      Status st = parse(doc);
+      if (st.ok()) {
+        ++report.accepted;
+      } else {
+        ++report.rejected;
+      }
+    } catch (const std::exception& e) {
+      report.ok = false;
+      report.failed_seed = case_seed;
+      report.failure = StrFormat("parser threw %s", e.what());
+      report.failing_input = std::move(doc);
+      return report;
+    } catch (...) {
+      report.ok = false;
+      report.failed_seed = case_seed;
+      report.failure = "parser threw a non-std exception";
+      report.failing_input = std::move(doc);
+      return report;
+    }
+  }
+  return report;
+}
+
+std::string FuzzReport::Describe() const {
+  if (ok) {
+    return StrFormat("fuzzed %d inputs: %d accepted, %d cleanly rejected",
+                     inputs_run, accepted, rejected);
+  }
+  return StrFormat(
+      "fuzz FAILURE on seed %llu: %s\ninput (%zu bytes):\n%s",
+      static_cast<unsigned long long>(failed_seed), failure.c_str(),
+      failing_input.size(), failing_input.c_str());
+}
+
+}  // namespace phoebe::testing

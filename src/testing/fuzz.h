@@ -1,0 +1,68 @@
+// Seeded corruption fuzzer for the textual parsers.
+//
+// The contract under test is total: for ANY input string, a parser must
+// either succeed or return a clean error Status — never crash, hang, throw,
+// or trip a sanitizer. The mutator takes well-formed seed documents (real
+// serializer output) and applies structured corruptions that target the
+// parser's assumptions: truncation mid-token, byte flips, field swaps and
+// deletions, line shuffling, and numeric tokens far outside any valid range
+// (overflow, inf/nan, hex junk). Everything is deterministic from the seed,
+// so a failure replays exactly: `FuzzReport::failed_seed` regenerates the
+// offending input via MutateDocument.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace phoebe::testing {
+
+/// \brief Parser under test. Must return OK or an error for every input;
+/// any other behaviour (crash, throw, sanitizer report) is the bug.
+using ParseFn = std::function<Status(const std::string&)>;
+
+/// \brief Fuzzer configuration.
+struct FuzzOptions {
+  /// Mutated inputs per run, scaled by CaseCountMultiplier() (PHOEBE_NUM_CASES)
+  /// like the property runner, so the nightly sweep fuzzes deeper too.
+  int num_inputs = 1000;
+  uint64_t seed = 0xf0cc;  ///< base seed; input i uses seed + i
+  int max_mutations = 4;   ///< mutations stacked per input, in [1, max]
+};
+
+/// Apply one random corruption to `text` (deterministic in *rng). Exposed so
+/// tests can exercise individual strategies; FuzzParser stacks several.
+std::string MutateText(const std::string& text, Rng* rng);
+
+/// The full per-case pipeline: pick a seed document, stack 1..max_mutations
+/// MutateText passes. `case_seed` is the value FuzzReport reports, so
+/// MutateDocument(seeds, opt, failed_seed) reproduces the failing input.
+std::string MutateDocument(const std::vector<std::string>& seeds,
+                           const FuzzOptions& opt, uint64_t case_seed);
+
+/// \brief Outcome of a fuzz run.
+struct FuzzReport {
+  bool ok = true;
+  int inputs_run = 0;
+  int accepted = 0;  ///< inputs the parser accepted
+  int rejected = 0;  ///< inputs rejected with a clean error Status
+  uint64_t failed_seed = 0;   ///< case seed of the first failure (iff !ok)
+  std::string failure;        ///< what went wrong (exception text)
+  std::string failing_input;  ///< the input that triggered it
+
+  /// One-line summary, or a replayable failure description.
+  std::string Describe() const;
+};
+
+/// Run `parse` over `opt.num_inputs` corrupted variants of the `seeds`
+/// documents (plus a few fixed pathological inputs: empty, whitespace,
+/// binary junk). A C++ exception escaping the parser fails the run with a
+/// replayable seed; crashes and sanitizer reports abort the test process,
+/// which is the intended signal under ASan/UBSan.
+FuzzReport FuzzParser(const FuzzOptions& opt, const std::vector<std::string>& seeds,
+                      const ParseFn& parse);
+
+}  // namespace phoebe::testing

@@ -1,5 +1,6 @@
 #include "testing/property.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "common/strings.h"
@@ -87,9 +88,23 @@ JobCase ShrinkCase(const JobCase& failing, const Property& prop, int max_steps) 
   return best;
 }
 
+int CaseCountMultiplier() {
+  static const int kMultiplier = [] {
+    const char* env = std::getenv("PHOEBE_NUM_CASES");
+    if (env == nullptr) return 1;
+    int32_t value = 0;
+    if (!ParseInt32(env, &value) || value < 1) return 1;
+    return static_cast<int>(value);
+  }();
+  return kMultiplier;
+}
+
+int ScaledCaseCount(int base) { return base * CaseCountMultiplier(); }
+
 PropertyReport CheckProperty(const PropertyOptions& opt, const Property& prop) {
   PropertyReport report;
-  for (int i = 0; i < opt.num_cases; ++i) {
+  const int num_cases = ScaledCaseCount(opt.num_cases);
+  for (int i = 0; i < num_cases; ++i) {
     const uint64_t case_seed = opt.seed + static_cast<uint64_t>(i);
     Rng rng(case_seed);
     JobCase c = RandomJobCase(opt.graph, opt.costs, &rng);

@@ -33,6 +33,17 @@ struct PropertyOptions {
   CostGenOptions costs;
 };
 
+/// Case-count multiplier from the PHOEBE_NUM_CASES environment variable
+/// (read once per process). Unset, empty, non-numeric, or < 1 → 1. The
+/// scheduled CI sweep sets PHOEBE_NUM_CASES=10 to run every property at 10×
+/// depth under sanitizers without touching the tests.
+int CaseCountMultiplier();
+
+/// `base * CaseCountMultiplier()`, the case count CheckProperty actually
+/// runs for `PropertyOptions::num_cases == base`. Tests asserting on
+/// `PropertyReport::cases_run` should compare against this.
+int ScaledCaseCount(int base);
+
 /// \brief Outcome of a property run.
 struct PropertyReport {
   bool ok = true;

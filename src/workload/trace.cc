@@ -1,7 +1,5 @@
 #include "workload/trace.h"
 
-#include <cstdlib>
-
 #include "common/strings.h"
 
 namespace phoebe::workload {
@@ -47,7 +45,18 @@ Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
   if (hdr.size() != 3 || hdr[0] != "trace" || hdr[1] != "v1") {
     return Status::InvalidArgument("bad trace header (expected 'trace v1 <n>')");
   }
-  size_t n_jobs = static_cast<size_t>(std::atoll(hdr[2].c_str()));
+  int64_t n_jobs_decl = 0;
+  if (!ParseInt64(hdr[2], &n_jobs_decl) || n_jobs_decl < 0) {
+    return Status::InvalidArgument("bad trace header: job count not a number");
+  }
+  // Every job occupies at least three lines; a declared count beyond that is
+  // a lie (or a fuzzed header) and must not drive a giant reserve().
+  if (static_cast<size_t>(n_jobs_decl) > lines.size()) {
+    return Status::InvalidArgument(
+        StrFormat("trace header declares %lld jobs but has only %zu lines",
+                  static_cast<long long>(n_jobs_decl), lines.size()));
+  }
+  const size_t n_jobs = static_cast<size_t>(n_jobs_decl);
 
   std::vector<JobInstance> jobs;
   jobs.reserve(n_jobs);
@@ -60,10 +69,11 @@ Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
           StrFormat("job %zu: bad beginjob line '%s'", j, line->c_str()));
     }
     JobInstance job;
-    job.job_id = std::atoll(jh[1].c_str());
-    job.template_id = std::atoi(jh[2].c_str());
-    job.day = std::atoi(jh[3].c_str());
-    job.submit_time = std::atof(jh[4].c_str());
+    if (!ParseInt64(jh[1], &job.job_id) || !ParseInt32(jh[2], &job.template_id) ||
+        !ParseInt32(jh[3], &job.day) || !ParseFiniteDouble(jh[4], &job.submit_time)) {
+      return Status::InvalidArgument(
+          StrFormat("job %zu: bad beginjob fields '%s'", j, line->c_str()));
+    }
     job.job_name = jh[5];
     job.norm_input_name = jh[6];
 
@@ -89,15 +99,18 @@ Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
             StrFormat("job %zu stage %zu: bad truth line", j, s));
       }
       StageTruth t;
-      t.input_bytes = std::atof(tok[1].c_str());
-      t.output_bytes = std::atof(tok[2].c_str());
-      t.exec_seconds = std::atof(tok[3].c_str());
-      t.wall_seconds = std::atof(tok[4].c_str());
-      t.num_tasks = std::atoi(tok[5].c_str());
-      t.start_time = std::atof(tok[6].c_str());
-      t.end_time = std::atof(tok[7].c_str());
-      t.ttl = std::atof(tok[8].c_str());
-      t.tfs = std::atof(tok[9].c_str());
+      bool ok = ParseFiniteDouble(tok[1], &t.input_bytes) &&
+                ParseFiniteDouble(tok[2], &t.output_bytes) &&
+                ParseFiniteDouble(tok[3], &t.exec_seconds) &&
+                ParseFiniteDouble(tok[4], &t.wall_seconds) &&
+                ParseInt32(tok[5], &t.num_tasks) &&
+                ParseFiniteDouble(tok[6], &t.start_time) &&
+                ParseFiniteDouble(tok[7], &t.end_time) &&
+                ParseFiniteDouble(tok[8], &t.ttl) && ParseFiniteDouble(tok[9], &t.tfs);
+      if (!ok) {
+        return Status::InvalidArgument(
+            StrFormat("job %zu stage %zu: bad truth fields", j, s));
+      }
       if (t.num_tasks < 1) {
         return Status::InvalidArgument(
             StrFormat("job %zu stage %zu: num_tasks < 1", j, s));
@@ -114,11 +127,15 @@ Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
             StrFormat("job %zu stage %zu: bad est line", j, s));
       }
       StageEstimates e;
-      e.est_cost = std::atof(tok[1].c_str());
-      e.est_exclusive_cost = std::atof(tok[2].c_str());
-      e.est_input_cardinality = std::atof(tok[3].c_str());
-      e.est_cardinality = std::atof(tok[4].c_str());
-      e.est_output_bytes = std::atof(tok[5].c_str());
+      bool ok = ParseFiniteDouble(tok[1], &e.est_cost) &&
+                ParseFiniteDouble(tok[2], &e.est_exclusive_cost) &&
+                ParseFiniteDouble(tok[3], &e.est_input_cardinality) &&
+                ParseFiniteDouble(tok[4], &e.est_cardinality) &&
+                ParseFiniteDouble(tok[5], &e.est_output_bytes);
+      if (!ok) {
+        return Status::InvalidArgument(
+            StrFormat("job %zu stage %zu: bad est fields", j, s));
+      }
       job.est.push_back(e);
     }
     line = next();

@@ -57,7 +57,7 @@ TEST(PropCheckpointTest, HeuristicMatchesIpOn200RandomDags) {
   };
   auto report = CheckProperty(IpSizedOptions(200, 0xc0ffee), prop);
   EXPECT_TRUE(report.ok) << report.Describe();
-  EXPECT_EQ(report.cases_run, 200);
+  EXPECT_EQ(report.cases_run, testing::ScaledCaseCount(200));
 }
 
 // The heuristic can never beat the exact optimum, even with alpha > 0 (the
@@ -117,7 +117,7 @@ TEST(PropCheckpointTest, DpNeverBelowSingleCutAndMonotoneInCuts) {
   };
   auto report = CheckProperty(opt, prop);
   EXPECT_TRUE(report.ok) << report.Describe();
-  EXPECT_EQ(report.cases_run, 200);
+  EXPECT_EQ(report.cases_run, testing::ScaledCaseCount(200));
 }
 
 // Reference implementation for the multi-cut DP: exhaustively enumerate all
@@ -182,7 +182,7 @@ TEST(PropCheckpointTest, DpMatchesBruteForceOverNestedPrefixes) {
   };
   auto report = CheckProperty(opt, prop);
   EXPECT_TRUE(report.ok) << report.Describe();
-  EXPECT_EQ(report.cases_run, 200);
+  EXPECT_EQ(report.cases_run, testing::ScaledCaseCount(200));
 }
 
 // The multi-cut IP itself must be monotone in the cut budget: an unused
@@ -242,7 +242,7 @@ TEST(PropCheckpointTest, AllSelectorsEmitValidCutsBoundedByOptimum) {
   };
   auto report = CheckProperty(opt, prop);
   EXPECT_TRUE(report.ok) << report.Describe();
-  EXPECT_EQ(report.cases_run, 300);
+  EXPECT_EQ(report.cases_run, testing::ScaledCaseCount(300));
 }
 
 // The sweep curve itself is the exhaustive enumeration of prefix objectives:

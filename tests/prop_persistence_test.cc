@@ -126,7 +126,7 @@ TEST(PropPersistenceTest, GraphTextRoundTripsOnRandomDags) {
   auto report = CheckProperty(
       opt, [](const JobCase& c) { return CheckGraphRoundTrip(c.graph); });
   EXPECT_TRUE(report.ok) << report.Describe();
-  EXPECT_EQ(report.cases_run, 300);
+  EXPECT_EQ(report.cases_run, testing::ScaledCaseCount(300));
 }
 
 TEST(PropPersistenceTest, TraceRoundTripsOnRandomWorkloads) {

@@ -41,7 +41,7 @@ TEST(PropSimulatorTest, ScheduleSatisfiesDagInvariants) {
   };
   auto report = CheckProperty(opt, prop);
   EXPECT_TRUE(report.ok) << report.Describe();
-  EXPECT_EQ(report.cases_run, 300);
+  EXPECT_EQ(report.cases_run, testing::ScaledCaseCount(300));
 }
 
 TEST(PropSimulatorTest, ScalingExecTimesScalesTheSchedule) {
@@ -190,7 +190,7 @@ TEST(PropSimulatorTest, TtlTfsIdentitiesHold) {
   };
   auto report = CheckProperty(opt, prop);
   EXPECT_TRUE(report.ok) << report.Describe();
-  EXPECT_EQ(report.cases_run, 300);
+  EXPECT_EQ(report.cases_run, testing::ScaledCaseCount(300));
 }
 
 TEST(PropSimulatorTest, RejectsMalformedInput) {

@@ -89,7 +89,18 @@ TEST(PropertyTest, PassingPropertyRunsAllCases) {
     return c.graph.Validate();  // generators only emit valid graphs
   });
   EXPECT_TRUE(report.ok) << report.Describe();
-  EXPECT_EQ(report.cases_run, 50);
+  EXPECT_EQ(report.cases_run, ScaledCaseCount(50));
+}
+
+TEST(PropertyTest, CaseCountMultiplierScalesRuns) {
+  // The multiplier is read from PHOEBE_NUM_CASES once per process; whatever
+  // it is, ScaledCaseCount must be consistent with the runner.
+  EXPECT_GE(CaseCountMultiplier(), 1);
+  EXPECT_EQ(ScaledCaseCount(7), 7 * CaseCountMultiplier());
+  PropertyOptions opt;
+  opt.num_cases = 3;
+  auto report = CheckProperty(opt, [](const JobCase&) { return Status::OK(); });
+  EXPECT_EQ(report.cases_run, ScaledCaseCount(3));
 }
 
 TEST(PropertyTest, FailingPropertyIsDeterministic) {

@@ -79,6 +79,20 @@ expect_exit 0 "backtest" -- "$CLI" backtest "${SMALL[@]}" --train-days 2
 expect_stdout_contains "backtest" "Optimal"
 expect_stdout_contains "backtest" "Mid-Point"
 
+# fleet: day-level driver; --threads 2 must produce the same report text as
+# the serial run (the byte-identical contract, observed end to end).
+expect_exit 0 "fleet serial" -- "$CLI" fleet "${SMALL[@]}" --train-days 2
+expect_stdout_contains "fleet serial" "jobs admitted"
+cp "$WORKDIR/stdout" "$WORKDIR/fleet_serial.out"
+expect_exit 0 "fleet threaded" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --threads 2
+if ! diff -q "$WORKDIR/fleet_serial.out" <(sed 's/2 threads/1 threads/' "$WORKDIR/stdout") >/dev/null; then
+  fail "fleet: threaded report differs from serial report"
+fi
+expect_exit 0 "fleet multi-cut budgeted" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --num-cuts 2 --budget-gb 50 --threads 2
+expect_stdout_contains "fleet multi-cut budgeted" "knapsack threshold"
+
 # trace round trip through the CLI surface.
 expect_exit 0 "trace-export" -- \
   "$CLI" trace-export "${SMALL[@]}" --days 1 --out "$WORKDIR/trace.txt"

@@ -6,6 +6,7 @@
 //   train      train the pipeline and report held-out accuracy
 //   decide     make a checkpoint decision for one job and explain it
 //   backtest   compare checkpoint-selection approaches on a held-out day
+//   fleet      run the day-level fleet driver (parallel decisions + budget)
 //
 // Run with no arguments for usage. All commands are deterministic given
 // --seed.
@@ -21,8 +22,10 @@
 #include "common/stats.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "common/threadpool.h"
 #include "core/evaluate.h"
 #include "core/explain.h"
+#include "core/fleet.h"
 #include "core/pipeline.h"
 #include "dag/graph_metrics.h"
 #include "telemetry/repository.h"
@@ -329,6 +332,45 @@ int CmdSaveModels(const Args& args) {
   return 0;
 }
 
+int CmdFleet(const Args& args) {
+  Trained t = TrainFromArgs(args);
+  const auto& jobs = t.repo.Day(t.train_days);
+  auto stats = t.repo.StatsBefore(t.train_days);
+
+  core::FleetConfig cfg;
+  cfg.objective = args.Str("objective", "temp") == "recovery"
+                      ? core::Objective::kRecovery
+                      : core::Objective::kTempStorage;
+  cfg.num_cuts = std::max(1, args.Int("num-cuts", 1));
+  cfg.num_threads = args.Int("threads", 1);
+  double budget_gb = std::atof(args.Str("budget-gb", "0").c_str());
+  if (budget_gb > 0.0) cfg.storage_budget_bytes = budget_gb * 1e9;
+
+  core::FleetDriver driver(&t.phoebe, cfg);
+  if (budget_gb > 0.0) {
+    // Calibrate the admission threshold on the day before the test day.
+    driver.Calibrate(t.repo.Day(t.train_days - 1), t.repo.StatsBefore(t.train_days - 1))
+        .Check();
+  }
+  auto report = driver.RunDay(jobs, stats);
+  report.status().Check();
+
+  std::printf("fleet day %d: %zu jobs, %d threads, %d cut(s)%s\n", t.train_days,
+              jobs.size(), ThreadPool::Resolve(cfg.num_threads), cfg.num_cuts,
+              budget_gb > 0.0 ? StrFormat(", budget %.1f GB", budget_gb).c_str() : "");
+  TablePrinter tab({"metric", "value"});
+  tab.AddRow({"jobs considered", StrFormat("%d", report->jobs_considered)});
+  tab.AddRow({"jobs with a cut", StrFormat("%d", report->jobs_with_cut)});
+  tab.AddRow({"jobs admitted", StrFormat("%d", report->jobs_admitted)});
+  tab.AddRow({"storage used", HumanBytes(report->storage_used_bytes)});
+  tab.AddRow({"realized saving", StrFormat("%.1f%%", 100.0 * report->SavingFraction())});
+  if (report->knapsack_threshold > 0.0) {
+    tab.AddRow({"knapsack threshold", StrFormat("%.3g", report->knapsack_threshold)});
+  }
+  tab.Print();
+  return 0;
+}
+
 int CmdBacktest(const Args& args) {
   Trained t = TrainFromArgs(args);
   core::BackTester tester(&t.phoebe, /*mtbf_seconds=*/12 * 3600.0);
@@ -361,6 +403,9 @@ void Usage() {
       "  train     --templates N --train-days D --seed S\n"
       "  decide    --seed S --job K [--objective temp|recovery]\n"
       "  backtest  --seed S [--objective temp|recovery]\n"
+      "  fleet     --seed S [--threads T] [--num-cuts K] [--budget-gb G]\n"
+      "            (day-level driver; T=0 uses all cores, results are\n"
+      "             byte-identical for any T)\n"
       "  dot       --seed S --job K          (Graphviz of the job + cut)\n"
       "  explain   --seed S --job K [--json]  (why this cut was chosen)\n"
       "  trace-export --seed S --days D [--out file.trace]\n"
@@ -383,6 +428,7 @@ int main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(args);
   if (cmd == "decide") return CmdDecide(args);
   if (cmd == "backtest") return CmdBacktest(args);
+  if (cmd == "fleet") return CmdFleet(args);
   if (cmd == "dot") return CmdDot(args);
   if (cmd == "explain") return CmdExplain(args);
   if (cmd == "trace-export") return CmdTraceExport(args);

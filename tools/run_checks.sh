@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full local verification: build + test the Release config and the
-# Debug + ASan/UBSan config (PHOEBE_SANITIZE=ON). Mirrors .github/workflows/ci.yml.
+# Full local verification: build + test the Release config, the
+# Debug + ASan/UBSan config (PHOEBE_SANITIZE=ON), and a TSan config
+# (PHOEBE_SANITIZE=thread) running the parallel fleet tests. Mirrors
+# .github/workflows/ci.yml.
 #
 # Usage: tools/run_checks.sh [extra ctest args...]
 set -euo pipefail
@@ -28,4 +30,12 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 run_config build-asan "asan+ubsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=ON
 
-echo "All checks passed (release + sanitizers)."
+# TSan over the concurrent paths: the thread-pool tests and the parallel
+# fleet driver (which exercises the const-after-Train pipeline invariant
+# across worker threads). The full suite under TSan is too slow for a local
+# gate, and the serial-only tests cannot race by construction.
+export TSAN_OPTIONS="halt_on_error=1"
+EXTRA_CTEST_ARGS=(-R "ThreadPool|FleetParallel|FleetFixture" "$@")
+run_config build-tsan "tsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=thread
+
+echo "All checks passed (release + asan/ubsan + tsan fleet tests)."
