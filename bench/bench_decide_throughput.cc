@@ -1,0 +1,219 @@
+// Decision-throughput bench for the fleet hot path: one large recurring day
+// (10k jobs by default) through FleetDriver::RunDay on a single thread, at
+// the four corners of {batched inference on/off} x {template cache on/off}.
+// Reports decisions/sec, stage-scorings/sec, and the cache hit rate as JSON
+// on stdout (human-readable progress on stderr).
+//
+// Two correctness gates make this bench double as a regression check (the
+// nightly CI job fails on a nonzero exit):
+//   1. Batched and scalar inference must produce byte-identical reports —
+//      the PredictBatch overrides are bit-equal to scalar Predict.
+//   2. At zero drift tolerance (quantize_bps = 0) all four configurations
+//      must produce byte-identical reports — exact-mode cache hits replay
+//      provably identical decisions.
+// The timed runs use an approximate cache (--cache-bps, default 5000) since
+// that is the configuration that shows real hit rates on noisy recurrences.
+//
+// Usage: bench_decide_throughput [--jobs N] [--num-cuts K]
+//                                [--template-cache CAP] [--cache-bps B]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "core/fleet.h"
+
+namespace phoebe::bench {
+namespace {
+
+int ArgInt(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Exact comparison over everything the day decided (cache counters are
+/// excluded — they differ across configurations by construction).
+bool ReportsIdentical(const core::FleetDayReport& a, const core::FleetDayReport& b) {
+  if (a.jobs_considered != b.jobs_considered || a.jobs_with_cut != b.jobs_with_cut ||
+      a.jobs_admitted != b.jobs_admitted ||
+      a.storage_used_bytes != b.storage_used_bytes ||
+      a.total_temp_byte_seconds != b.total_temp_byte_seconds ||
+      a.realized_saving_byte_seconds != b.realized_saving_byte_seconds ||
+      a.knapsack_threshold != b.knapsack_threshold) {
+    return false;
+  }
+  if (a.outcomes.size() != b.outcomes.size()) return false;
+  for (size_t i = 0; i < a.outcomes.size(); ++i) {
+    const core::FleetJobOutcome& x = a.outcomes[i];
+    const core::FleetJobOutcome& y = b.outcomes[i];
+    if (x.job_id != y.job_id || x.admitted != y.admitted ||
+        x.global_bytes != y.global_bytes || x.predicted_value != y.predicted_value ||
+        x.realized_value != y.realized_value ||
+        x.cut.before_cut != y.cut.before_cut || x.cuts.size() != y.cuts.size()) {
+      return false;
+    }
+    for (size_t c = 0; c < x.cuts.size(); ++c) {
+      if (x.cuts[c].before_cut != y.cuts[c].before_cut) return false;
+    }
+  }
+  return true;
+}
+
+struct ConfigRun {
+  ConfigRun(const char* n, bool b, bool c) : name(n), batch(b), cache(c) {}
+  const char* name;
+  bool batch;
+  bool cache;
+  double seconds = 0.0;
+  double hit_rate = 0.0;
+  core::FleetDayReport report;
+};
+
+int Run(int argc, char** argv) {
+  const int target_jobs = ArgInt(argc, argv, "--jobs", 10000);
+  const int num_cuts = ArgInt(argc, argv, "--num-cuts", 1);
+  const int cache_capacity = ArgInt(argc, argv, "--template-cache", 65536);
+  const int cache_bps = ArgInt(argc, argv, "--cache-bps", 5000);
+
+  std::fprintf(stderr, "training pipeline...\n");
+  BenchEnv env = MakeEnv(/*num_templates=*/60, /*train_days=*/3, /*test_days=*/1);
+
+  // One oversized recurring day: concatenate generated days beyond the stored
+  // span until the target job count is reached (recurrences of the same 60
+  // templates — the workload the cache is for). Stats stay fixed at the
+  // test-day view, as in production.
+  std::vector<workload::JobInstance> jobs = env.TestDay(0);
+  for (int d = env.train_days + env.test_days;
+       static_cast<int>(jobs.size()) < target_jobs; ++d) {
+    auto extra = env.gen->GenerateDay(d);
+    jobs.insert(jobs.end(), extra.begin(), extra.end());
+  }
+  if (static_cast<int>(jobs.size()) > target_jobs) {
+    jobs.resize(static_cast<size_t>(target_jobs));
+  }
+  auto stats = env.StatsForTestDay(0);
+
+  int64_t eligible = 0, eligible_stages = 0;
+  for (const workload::JobInstance& job : jobs) {
+    if (job.graph.num_stages() < 2) continue;
+    ++eligible;
+    eligible_stages += static_cast<int64_t>(job.graph.num_stages());
+  }
+  std::fprintf(stderr, "day assembled: %zu jobs (%lld eligible, %lld stages)\n",
+               jobs.size(), static_cast<long long>(eligible),
+               static_cast<long long>(eligible_stages));
+
+  auto run_one = [&](bool batch, bool cache, int bps, core::FleetDayReport* report,
+                     double* hit_rate) -> double {
+    env.phoebe->set_batch_inference(batch);
+    core::FleetConfig cfg;
+    cfg.num_cuts = num_cuts;
+    cfg.num_threads = 1;
+    cfg.template_cache.enabled = cache;
+    cfg.template_cache.capacity = static_cast<size_t>(cache_capacity);
+    cfg.template_cache.quantize_bps = bps;
+    core::FleetDriver driver(env.phoebe.get(), cfg);
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = driver.RunDay(jobs, stats);
+    auto t1 = std::chrono::steady_clock::now();
+    r.status().Check();
+    const int64_t lookups = r->cache_hits + r->cache_misses;
+    if (hit_rate) {
+      *hit_rate = lookups > 0 ? static_cast<double>(r->cache_hits) /
+                                    static_cast<double>(lookups)
+                              : 0.0;
+    }
+    *report = *std::move(r);
+    return Seconds(t0, t1);
+  };
+
+  // Timed runs: the four corners, approximate cache for the cached corners.
+  std::vector<ConfigRun> runs = {
+      {"scalar", false, false},
+      {"batch", true, false},
+      {"scalar+cache", false, true},
+      {"batch+cache", true, true},
+  };
+  for (ConfigRun& run : runs) {
+    run.seconds = run_one(run.batch, run.cache, cache_bps, &run.report, &run.hit_rate);
+    std::fprintf(stderr, "%-13s %.3f s  (hit rate %.2f)\n", run.name, run.seconds,
+                 run.hit_rate);
+  }
+  const double base_seconds = runs.front().seconds;
+
+  // Gate 1: batched inference must not change any decision (lossless, so it
+  // holds at the approximate-cache corners too, config against config).
+  bool batch_identical = ReportsIdentical(runs[0].report, runs[1].report) &&
+                         ReportsIdentical(runs[2].report, runs[3].report);
+
+  // Gate 2: at zero drift tolerance, all four corners are byte-identical.
+  bool exact_identical = true;
+  {
+    core::FleetDayReport exact_base;
+    double hr = 0.0;
+    run_one(false, false, 0, &exact_base, nullptr);
+    for (bool batch : {false, true}) {
+      for (bool cache : {false, true}) {
+        core::FleetDayReport r;
+        run_one(batch, cache, 0, &r, &hr);
+        if (!ReportsIdentical(exact_base, r)) exact_identical = false;
+      }
+    }
+  }
+  env.phoebe->set_batch_inference(true);  // restore the default
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("bench", "decide_throughput");
+  json.KV("jobs", jobs.size());
+  json.KV("eligible_jobs", eligible);
+  json.KV("eligible_stages", eligible_stages);
+  json.KV("num_cuts", num_cuts);
+  json.KV("cache_capacity", cache_capacity);
+  json.KV("cache_bps", cache_bps);
+  json.Key("series").BeginArray();
+  for (const ConfigRun& run : runs) {
+    json.BeginObject();
+    json.KV("config", run.name);
+    json.KV("batch", run.batch);
+    json.KV("cache", run.cache);
+    json.KV("seconds", run.seconds);
+    json.KV("decisions_per_sec", static_cast<double>(eligible) / run.seconds);
+    json.KV("stage_scorings_per_sec",
+            static_cast<double>(eligible_stages) / run.seconds);
+    json.KV("cache_hit_rate", run.hit_rate);
+    json.KV("speedup_vs_scalar", base_seconds / run.seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.KV("batch_reports_identical", batch_identical);
+  json.KV("exact_mode_reports_identical", exact_identical);
+  json.EndObject();
+  std::printf("%s\n", json.str().c_str());
+
+  if (!batch_identical) {
+    std::fprintf(stderr, "FAIL: batched inference changed a decision\n");
+    return 1;
+  }
+  if (!exact_identical) {
+    std::fprintf(stderr, "FAIL: exact-mode cache changed a decision\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace phoebe::bench
+
+int main(int argc, char** argv) { return phoebe::bench::Run(argc, argv); }

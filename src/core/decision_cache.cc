@@ -1,0 +1,118 @@
+#include "core/decision_cache.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "ml/text.h"
+
+namespace phoebe::core {
+namespace {
+
+/// Raw bit pattern of a double, with -0.0 collapsed to +0.0 so the two
+/// compare equal the same way the arithmetic treats them.
+int64_t Bits(double v) {
+  if (v == 0.0) v = 0.0;
+  return std::bit_cast<int64_t>(v);
+}
+
+/// Log-bucket a byte size with relative bucket width `bps` basis points:
+/// sizes within a factor of (1 + bps/1e4) of each other share a bucket.
+/// Non-finite and sub-byte values collapse to sentinel buckets so malformed
+/// traces can never alias a real size.
+int64_t SizeBucket(double v, int bps) {
+  if (std::isnan(v)) return std::numeric_limits<int64_t>::min();
+  if (std::isinf(v)) {
+    return v > 0.0 ? std::numeric_limits<int64_t>::max()
+                   : std::numeric_limits<int64_t>::min() + 1;
+  }
+  if (v <= 1.0) return 0;
+  const double width = std::log1p(static_cast<double>(bps) / 1e4);
+  return static_cast<int64_t>(std::floor(std::log(v) / width));
+}
+
+/// Structural digest of the template: topology, stage types, operators, and
+/// the text-feature strings. Per-instance fields (task counts, estimates,
+/// truth) are deliberately excluded — they live in the signature.
+uint64_t GraphDigest(const workload::JobInstance& job) {
+  std::string buf;
+  auto put_i = [&](int64_t v) {
+    buf.append(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  const dag::JobGraph& g = job.graph;
+  put_i(static_cast<int64_t>(g.num_stages()));
+  for (const dag::Stage& s : g.stages()) {
+    put_i(s.stage_type);
+    put_i(static_cast<int64_t>(s.operators.size()));
+    for (dag::OperatorKind op : s.operators) put_i(static_cast<int64_t>(op));
+  }
+  for (const dag::Edge& e : g.edges()) {
+    put_i(e.from);
+    put_i(e.to);
+  }
+  put_i(static_cast<int64_t>(job.job_name.size()));
+  buf += job.job_name;
+  put_i(static_cast<int64_t>(job.norm_input_name.size()));
+  buf += job.norm_input_name;
+  return ml::Fnv1a64(buf.data(), buf.size());
+}
+
+}  // namespace
+
+TemplateCacheKey BuildTemplateCacheKey(const workload::JobInstance& job,
+                                       const telemetry::HistoricStats& stats,
+                                       CostSource source, Objective objective,
+                                       int num_cuts, int quantize_bps) {
+  TemplateCacheKey key;
+  key.template_id = job.template_id;
+  key.source = static_cast<int>(source);
+  key.objective = static_cast<int>(objective);
+  key.num_cuts = num_cuts;
+  key.graph_digest = GraphDigest(job);
+
+  const size_t ns = job.graph.num_stages();
+  if (quantize_bps > 0) {
+    // Approximate mode: only the compile-time-known root input sizes, log
+    // bucketed. Two instances of a template whose inputs drifted less than
+    // the tolerance produce the same key and share the cached cut.
+    std::vector<dag::StageId> roots = job.graph.Roots();
+    key.signature.reserve(roots.size());
+    for (dag::StageId r : roots) {
+      key.signature.push_back(
+          SizeBucket(job.truth[static_cast<size_t>(r)].input_bytes, quantize_bps));
+    }
+    return key;
+  }
+
+  // Exact mode: the raw bits of every value DecideOne reads for this source,
+  // so a key match implies the recomputed decision would be identical.
+  key.signature.reserve(ns * (source == CostSource::kTruth ? 16 : 12));
+  for (size_t i = 0; i < ns; ++i) {
+    const workload::StageEstimates& e = job.est[i];
+    key.signature.push_back(Bits(e.est_cost));
+    key.signature.push_back(Bits(e.est_exclusive_cost));
+    key.signature.push_back(Bits(e.est_input_cardinality));
+    key.signature.push_back(Bits(e.est_cardinality));
+    key.signature.push_back(Bits(e.est_output_bytes));
+    const dag::Stage& s = job.graph.stage(static_cast<dag::StageId>(i));
+    key.signature.push_back(s.num_tasks);
+    key.signature.push_back(job.truth[i].num_tasks);
+    telemetry::HistoricStats::Entry h = stats.Get(job.template_id, s.stage_type);
+    key.signature.push_back(Bits(h.avg_exclusive_time));
+    key.signature.push_back(Bits(h.avg_output_bytes));
+    key.signature.push_back(Bits(h.avg_ttl));
+    key.signature.push_back(h.support);
+    key.signature.push_back(stats.HasExact(job.template_id, s.stage_type) ? 1 : 0);
+    if (source == CostSource::kTruth) {
+      const workload::StageTruth& t = job.truth[i];
+      key.signature.push_back(Bits(t.output_bytes));
+      key.signature.push_back(Bits(t.ttl));
+      key.signature.push_back(Bits(t.end_time));
+      key.signature.push_back(Bits(t.tfs));
+    }
+  }
+  return key;
+}
+
+}  // namespace phoebe::core

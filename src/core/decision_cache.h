@@ -1,0 +1,160 @@
+// Recurring-template decision cache for the fleet hot path.
+//
+// Phoebe decides at compile time for a fleet where >70% of jobs are
+// recurrences of known templates (paper §2.1), so two instances of the same
+// template usually present near-identical inputs to the optimizer. The cache
+// keys a finished cut decision on (template, cost source, objective, cut
+// count, graph digest, input-size signature) and replays it for later
+// instances instead of re-running ML scoring + the DP cut search.
+//
+// Two signature modes, selected by `quantize_bps`:
+//   * Exact (quantize_bps == 0, the default): the signature is the raw bit
+//     pattern of every value the decision reads (optimizer estimates,
+//     historic-stats entries, task counts; truth costs for the kTruth
+//     oracle). A hit therefore *proves* the cached decision is the one
+//     DecideOne would recompute, so enabling the cache is byte-neutral —
+//     FleetDayReport outcomes are identical to cache-off runs.
+//   * Approximate (quantize_bps > 0): the signature is only the job's
+//     root-stage input sizes, log-bucketed with relative width quantize_bps
+//     basis points. Instances whose inputs drift within the tolerance share
+//     decisions even though per-instance estimate noise differs — this is
+//     the mode that yields real hit rates on noisy recurring workloads, at
+//     the cost of serving a slightly stale cut to drifted instances.
+//
+// Determinism: the cache itself is not thread-safe; the fleet driver performs
+// all lookups and inserts in serial arrival order (see fleet.cc), which keeps
+// reports byte-identical for any FleetConfig::num_threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "telemetry/repository.h"
+#include "workload/job_instance.h"
+
+namespace phoebe::core {
+
+/// \brief Knobs for the per-template decision cache (off by default).
+struct TemplateCacheConfig {
+  bool enabled = false;
+  /// Maximum cached decisions; least-recently-used entries evict beyond it.
+  size_t capacity = 4096;
+  /// Input-size drift tolerance in basis points (1/100 of a percent).
+  /// 0 = exact mode (bit-identical inputs only; provably byte-neutral).
+  /// e.g. 5000 = instances within ~±25% input size share a log bucket.
+  int quantize_bps = 0;
+};
+
+/// \brief Cache key: decision context plus the input signature.
+struct TemplateCacheKey {
+  int template_id = 0;
+  int source = 0;     ///< CostSource as int
+  int objective = 0;  ///< Objective as int
+  int num_cuts = 1;
+  /// FNV-1a over the template's structure: stage count, stage types,
+  /// operator lists, edges, and the text-feature strings. Deliberately
+  /// excludes per-instance fields (task counts, estimates) — those belong to
+  /// the signature so approximate mode can tolerate their drift.
+  uint64_t graph_digest = 0;
+  /// Exact mode: raw bits of every decision input. Approximate mode:
+  /// log-bucketed root-stage input sizes.
+  std::vector<int64_t> signature;
+
+  friend bool operator<(const TemplateCacheKey& a, const TemplateCacheKey& b) {
+    if (a.template_id != b.template_id) return a.template_id < b.template_id;
+    if (a.source != b.source) return a.source < b.source;
+    if (a.objective != b.objective) return a.objective < b.objective;
+    if (a.num_cuts != b.num_cuts) return a.num_cuts < b.num_cuts;
+    if (a.graph_digest != b.graph_digest) return a.graph_digest < b.graph_digest;
+    return a.signature < b.signature;
+  }
+};
+
+/// Build the cache key for one job under a decision context. `quantize_bps`
+/// selects the signature mode (see file comment).
+TemplateCacheKey BuildTemplateCacheKey(const workload::JobInstance& job,
+                                       const telemetry::HistoricStats& stats,
+                                       CostSource source, Objective objective,
+                                       int num_cuts, int quantize_bps);
+
+/// \brief Deterministic LRU cache from TemplateCacheKey to a decision value.
+///
+/// Recency is a logical tick bumped on every Lookup hit and Insert, so the
+/// eviction order is a pure function of the operation sequence — no clocks,
+/// no hashing nondeterminism (std::map keeps keys ordered). Not thread-safe;
+/// callers serialize access (the fleet driver does all cache traffic in
+/// arrival order).
+template <typename V>
+class TemplateDecisionCache {
+ public:
+  explicit TemplateDecisionCache(size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Returns the cached value and refreshes its recency, or nullptr.
+  const V* Lookup(const TemplateCacheKey& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    Touch(it);
+    return &it->second.value;
+  }
+
+  /// Insert or overwrite; evicts the least-recently-used entry when full.
+  void Insert(const TemplateCacheKey& key, V value) {
+    if (capacity_ == 0) return;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.value = std::move(value);
+      Touch(it);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      auto lru = recency_.begin();  // smallest tick = least recently used
+      entries_.erase(lru->second);
+      recency_.erase(lru);
+      ++evictions_;
+    }
+    Entry e;
+    e.value = std::move(value);
+    e.tick = ++tick_;
+    auto [pos, inserted] = entries_.emplace(key, std::move(e));
+    (void)inserted;
+    recency_.emplace(pos->second.tick, pos->first);
+  }
+
+  size_t size() const { return entries_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t evictions() const { return evictions_; }
+
+  void Clear() {
+    entries_.clear();
+    recency_.clear();
+  }
+
+ private:
+  struct Entry {
+    V value;
+    uint64_t tick = 0;
+  };
+
+  void Touch(typename std::map<TemplateCacheKey, Entry>::iterator it) {
+    recency_.erase(it->second.tick);
+    it->second.tick = ++tick_;
+    recency_.emplace(it->second.tick, it->first);
+  }
+
+  size_t capacity_;
+  uint64_t tick_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  std::map<TemplateCacheKey, Entry> entries_;
+  std::map<uint64_t, TemplateCacheKey> recency_;  ///< tick -> key
+};
+
+}  // namespace phoebe::core

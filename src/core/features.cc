@@ -67,6 +67,15 @@ std::vector<double> StageFeaturizer::Features(const workload::JobInstance& job,
   return row;
 }
 
+ml::FeatureMatrix StageFeaturizer::JobMatrix(const workload::JobInstance& job,
+                                             const telemetry::HistoricStats& stats) const {
+  ml::FeatureMatrix m(FeatureNames());
+  for (size_t si = 0; si < job.graph.num_stages(); ++si) {
+    m.AddRow(Features(job, static_cast<int>(si), stats));
+  }
+  return m;
+}
+
 double StageFeaturizer::TargetValue(const workload::JobInstance& job, int stage_id,
                                     Target target) {
   const workload::StageTruth& t = job.truth[static_cast<size_t>(stage_id)];

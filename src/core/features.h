@@ -50,6 +50,12 @@ class StageFeaturizer {
   std::vector<double> Features(const workload::JobInstance& job, int stage_id,
                                const telemetry::HistoricStats& stats) const;
 
+  /// Feature rows for *all* stages of `job` as one matrix (row i = stage i),
+  /// ready for a single Regressor::PredictBatch call. Row i is exactly
+  /// Features(job, i, stats).
+  ml::FeatureMatrix JobMatrix(const workload::JobInstance& job,
+                              const telemetry::HistoricStats& stats) const;
+
   /// Build a training dataset over whole days: one row per stage, with the
   /// target in *log1p space* (models are trained on log1p(y); use
   /// ExpandTarget to go back).

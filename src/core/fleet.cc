@@ -18,18 +18,12 @@ std::vector<cluster::CutSet> FleetDayReport::AdmittedCuts() const {
 }
 
 FleetDriver::FleetDriver(const PhoebePipeline* pipeline, FleetConfig config)
-    : pipeline_(pipeline), config_(config) {
+    : pipeline_(pipeline), config_(config),
+      template_cache_(config.template_cache.capacity) {
   PHOEBE_CHECK(pipeline != nullptr);
 }
 
 namespace {
-
-/// One job's full decision: the combined (reported) cut plus the nested cut
-/// sets in physical, innermost-first order.
-struct FleetDecision {
-  CutResult combined;                 ///< cut = outermost; DP-total objective
-  std::vector<cluster::CutSet> cuts;  ///< innermost-first; empty if no cut
-};
 
 /// Per-job decision under the fleet's objective/source. Pure function of
 /// (pipeline, config, job, stats); safe to call concurrently for distinct
@@ -138,14 +132,79 @@ Result<FleetDayReport> FleetDriver::RunDay(
     knapsack = std::make_unique<OnlineKnapsack>(std::move(k));
   }
 
+  const TemplateCacheConfig& cache_cfg = config_.template_cache;
+  FleetDayReport report;
+
   // Phase 1 (parallel): per-job decisions. The pipeline is const after
   // Train, so this is a pure map over the day's jobs.
-  auto decisions = DecideAll(*pipeline_, config_, jobs, stats);
+  //
+  // With the template cache on, a serial arrival-order prepass first resolves
+  // hits against the cache (as left by prior RunDay calls) and designates the
+  // first instance of each unseen key as that key's leader; the parallel
+  // phase then computes leaders only, and a serial admission prologue copies
+  // leader decisions to their followers and inserts them into the cache — so
+  // every cache mutation happens serially in arrival order and the report
+  // stays byte-identical for any thread count.
+  std::vector<std::optional<Result<FleetDecision>>> decisions;
+  std::vector<TemplateCacheKey> keys;
+  std::vector<size_t> leader_of;  // follower i -> index of its leader
+  std::vector<char> is_leader;
+  const int64_t evictions_before = template_cache_.evictions();
+  if (!cache_cfg.enabled) {
+    decisions = DecideAll(*pipeline_, config_, jobs, stats);
+  } else {
+    decisions.resize(jobs.size());
+    keys.resize(jobs.size());
+    leader_of.assign(jobs.size(), jobs.size());
+    is_leader.assign(jobs.size(), 0);
+    std::map<TemplateCacheKey, size_t> day_leaders;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].graph.num_stages() < 2) continue;
+      keys[i] = BuildTemplateCacheKey(jobs[i], stats, config_.source,
+                                      config_.objective, config_.num_cuts,
+                                      cache_cfg.quantize_bps);
+      auto leader_it = day_leaders.find(keys[i]);
+      if (leader_it != day_leaders.end()) {
+        // A same-key instance already leads this day: follow it.
+        leader_of[i] = leader_it->second;
+        ++report.cache_hits;
+        continue;
+      }
+      if (const FleetDecision* hit = template_cache_.Lookup(keys[i])) {
+        decisions[i].emplace(*hit);
+        ++report.cache_hits;
+        continue;
+      }
+      day_leaders.emplace(keys[i], i);
+      is_leader[i] = 1;
+      ++report.cache_misses;
+    }
+    auto decide = [&](size_t i) {
+      if (!is_leader[i]) return;
+      decisions[i].emplace(DecideOne(*pipeline_, config_, jobs[i], stats));
+    };
+    const int threads = ThreadPool::Resolve(config_.num_threads);
+    if (threads <= 1) {
+      for (size_t i = 0; i < jobs.size(); ++i) decide(i);
+    } else {
+      ThreadPool pool(threads);
+      pool.ParallelFor(jobs.size(), decide);
+    }
+    // Serial admission prologue: insert leader decisions into the cache and
+    // copy them to same-day followers, in arrival order, before the admission
+    // loop below moves anything out of a leader's decision.
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (is_leader[i] && decisions[i]->ok()) {
+        template_cache_.Insert(keys[i], **decisions[i]);
+      } else if (leader_of[i] < jobs.size()) {
+        decisions[i] = decisions[leader_of[i]];  // copy, leader index < i
+      }
+    }
+  }
 
   // Phase 2 (serial): replay the online-knapsack admission in arrival order.
   // Every accumulation happens here, in job order, which is what makes the
   // report byte-identical to the legacy serial driver for any thread count.
-  FleetDayReport report;
   report.outcomes.reserve(jobs.size());
   for (size_t i = 0; i < jobs.size(); ++i) {
     const workload::JobInstance& job = jobs[i];
@@ -176,6 +235,9 @@ Result<FleetDayReport> FleetDriver::RunDay(
       }
     }
     report.outcomes.push_back(std::move(out));
+  }
+  if (cache_cfg.enabled) {
+    report.cache_evictions = template_cache_.evictions() - evictions_before;
   }
   if (knapsack) report.knapsack_threshold = knapsack->threshold();
   return report;

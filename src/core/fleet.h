@@ -16,6 +16,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/decision_cache.h"
 #include "core/evaluate.h"
 #include "core/knapsack.h"
 #include "core/pipeline.h"
@@ -43,6 +44,11 @@ struct FleetConfig {
   /// 1 = legacy serial path (no pool is created). Any value yields
   /// byte-identical reports; >1 only changes wall-clock time.
   int num_threads = 1;
+  /// Per-template decision cache for recurring instances (off by default;
+  /// see core/decision_cache.h). All cache traffic is serialized in arrival
+  /// order, so reports stay byte-identical for any num_threads; with
+  /// quantize_bps == 0 they are also byte-identical to cache-off runs.
+  TemplateCacheConfig template_cache;
 };
 
 /// \brief Decision and outcome for one job of the day.
@@ -69,6 +75,12 @@ struct FleetDayReport {
   double total_temp_byte_seconds = 0.0;     ///< fleet total (all jobs)
   double realized_saving_byte_seconds = 0.0;
   double knapsack_threshold = 0.0;
+  /// Template-cache traffic for this day (all zero when the cache is off).
+  /// Hits count both reuse of prior-day entries and within-day followers of
+  /// a leader instance; misses count the decisions actually computed.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
 
   double SavingFraction() const {
     return total_temp_byte_seconds > 0.0
@@ -80,6 +92,14 @@ struct FleetDayReport {
   /// CutSet for non-admitted jobs) — ready for
   /// cluster::ClusterSimulator::SimulateTempUsage.
   std::vector<cluster::CutSet> AdmittedCuts() const;
+};
+
+/// \brief One job's full decision: the combined (reported) cut plus the
+/// nested cut sets in physical, innermost-first order. This is the value the
+/// template cache stores and replays for recurring instances.
+struct FleetDecision {
+  CutResult combined;                 ///< cut = outermost; DP-total objective
+  std::vector<cluster::CutSet> cuts;  ///< innermost-first; empty if no cut
 };
 
 /// \brief Runs the per-day decision loop.
@@ -97,6 +117,16 @@ class FleetDriver {
                    const telemetry::HistoricStats& history_stats);
 
   /// Decide + admit every job of the day (arrival order = vector order).
+  ///
+  /// With config.template_cache.enabled, the day runs three sub-phases: a
+  /// serial arrival-order prepass resolves cache hits and designates the
+  /// first instance of each unseen key as that key's *leader*; the parallel
+  /// phase computes only leader decisions; the serial admission replay then
+  /// inserts leader decisions into the cache and copies them to followers.
+  /// Every cache mutation happens in a serial phase in arrival order, so the
+  /// report is byte-identical for any num_threads. The cache persists across
+  /// RunDay calls on one driver (that is where cross-day hits come from);
+  /// Calibrate never consults it.
   Result<FleetDayReport> RunDay(const std::vector<workload::JobInstance>& jobs,
                                 const telemetry::HistoricStats& stats);
 
@@ -105,6 +135,7 @@ class FleetDriver {
   FleetConfig config_;
   std::vector<KnapsackItem> calibration_;
   bool calibrated_ = false;
+  TemplateDecisionCache<FleetDecision> template_cache_;
 };
 
 }  // namespace phoebe::core

@@ -31,6 +31,15 @@ PhoebePipeline::PhoebePipeline(PipelineConfig config) : config_(std::move(config
   ttl_ = std::make_unique<TtlEstimator>(config_.ttl);
 }
 
+void PhoebePipeline::set_batch_inference(bool on) {
+  config_.exec_predictor.batch_inference = on;
+  config_.size_predictor.batch_inference = on;
+  config_.ttl.batch_inference = on;
+  exec_->set_batch_inference(on);
+  size_->set_batch_inference(on);
+  ttl_->set_batch_inference(on);
+}
+
 Status PhoebePipeline::Train(const telemetry::WorkloadRepository& repo, int first_day,
                              int num_days) {
   if (num_days < 1) return Status::InvalidArgument("num_days must be >= 1");

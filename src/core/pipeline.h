@@ -67,6 +67,14 @@ class PhoebePipeline {
   Status Train(const telemetry::WorkloadRepository& repo, int first_day, int num_days);
 
   bool trained() const { return trained_; }
+
+  /// Toggle batched inference on all three model stacks at once (predictors
+  /// and TTL stacking). Both paths are bit-identical; this exists so a single
+  /// trained pipeline can be benchmarked batch-on vs. batch-off without
+  /// retraining. Mutator: must not overlap any inference call (see the
+  /// thread-safety note above).
+  void set_batch_inference(bool on);
+
   const telemetry::HistoricStats& inference_stats() const { return stats_; }
   const StageCostPredictor& exec_predictor() const { return *exec_; }
   const StageCostPredictor& size_predictor() const { return *size_; }

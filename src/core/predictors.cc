@@ -106,11 +106,50 @@ double StageCostPredictor::PredictStage(const workload::JobInstance& job, int st
 
 std::vector<double> StageCostPredictor::PredictJob(
     const workload::JobInstance& job, const telemetry::HistoricStats& stats) const {
-  std::vector<double> out;
-  out.reserve(job.graph.num_stages());
-  for (size_t si = 0; si < job.graph.num_stages(); ++si) {
-    out.push_back(PredictStage(job, static_cast<int>(si), stats));
+  PHOEBE_CHECK_MSG(trained_, "PredictJob called before Train");
+  const size_t ns = job.graph.num_stages();
+  if (!config_.batch_inference) {
+    std::vector<double> out;
+    out.reserve(ns);
+    for (size_t si = 0; si < ns; ++si) {
+      out.push_back(PredictStage(job, static_cast<int>(si), stats));
+    }
+    return out;
   }
+
+  ml::FeatureMatrix m = featurizer_.JobMatrix(job, stats);
+  std::vector<double> out(ns, 0.0);
+
+  // Partition stages by serving model so each model sees one batch.
+  std::map<int, std::vector<size_t>> by_type;
+  std::vector<size_t> general_rows;
+  for (size_t si = 0; si < ns; ++si) {
+    int type = job.graph.stage(static_cast<int>(si)).stage_type;
+    if (per_type_.count(type) != 0) {
+      by_type[type].push_back(si);
+    } else {
+      general_rows.push_back(si);
+    }
+  }
+
+  auto score = [&](const ml::Regressor& model, double cal,
+                   const std::vector<size_t>& rows) {
+    std::vector<double> y_log;
+    if (rows.size() == ns) {
+      y_log = model.PredictBatch(m);  // whole job served by one model
+    } else {
+      ml::FeatureMatrix sub(m.feature_names());
+      for (size_t r : rows) sub.AddRow(m.Row(r));
+      y_log = model.PredictBatch(sub);
+    }
+    for (size_t k = 0; k < rows.size(); ++k) {
+      out[rows[k]] = std::max(0.0, StageFeaturizer::ExpandTarget(y_log[k])) * cal;
+    }
+  };
+  for (const auto& [type, rows] : by_type) {
+    score(per_type_.at(type), calibration_.at(type), rows);
+  }
+  if (!general_rows.empty()) score(*general_, general_calibration_, general_rows);
   return out;
 }
 

@@ -32,6 +32,10 @@ struct PredictorConfig {
   ml::MlpParams mlp;
   /// Stage types with fewer training rows than this use the general model.
   int min_samples_per_type = 100;
+  /// Score whole jobs with one PredictBatch call per serving model instead of
+  /// a scalar Predict per stage. Bit-equal to the scalar path (the batch
+  /// overrides pin that contract), so this is purely a throughput knob.
+  bool batch_inference = true;
 };
 
 /// \brief One training example: a job paired with the historic statistics
@@ -64,9 +68,17 @@ class StageCostPredictor {
   double PredictStage(const workload::JobInstance& job, int stage_id,
                       const telemetry::HistoricStats& stats) const;
 
-  /// Predict all stages of a job.
+  /// Predict all stages of a job. With config().batch_inference on, stages
+  /// are grouped by serving model and scored with one PredictBatch call per
+  /// group; otherwise falls back to a scalar PredictStage loop. Both paths
+  /// return bit-identical values.
   std::vector<double> PredictJob(const workload::JobInstance& job,
                                  const telemetry::HistoricStats& stats) const;
+
+  /// Toggle batched scoring after construction (e.g. for benchmarking both
+  /// paths on one trained predictor). Not safe to call concurrently with
+  /// inference.
+  void set_batch_inference(bool on) { config_.batch_inference = on; }
 
   /// Number of per-stage-type models actually trained (0 for general kinds).
   size_t num_type_models() const { return per_type_.size(); }

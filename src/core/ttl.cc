@@ -74,21 +74,55 @@ Status TtlEstimator::Train(const std::vector<TrainExample>& examples,
 
 std::vector<double> TtlEstimator::Predict(const workload::JobInstance& job,
                                           const SimulatedSchedule& sim) const {
-  std::vector<double> out;
-  out.reserve(job.graph.num_stages());
-  for (size_t si = 0; si < job.graph.num_stages(); ++si) {
-    dag::StageId s = static_cast<dag::StageId>(si);
-    if (!trained_) {
-      out.push_back(sim.Ttl(s));
-      continue;
+  const size_t ns = job.graph.num_stages();
+  if (!trained_ || !config_.batch_inference) {
+    std::vector<double> out;
+    out.reserve(ns);
+    for (size_t si = 0; si < ns; ++si) {
+      dag::StageId s = static_cast<dag::StageId>(si);
+      if (!trained_) {
+        out.push_back(sim.Ttl(s));
+        continue;
+      }
+      std::vector<double> row = StackingFeatures(sim, s);
+      int type = job.graph.stage(s).stage_type;
+      auto it = per_type_.find(type);
+      double y_log = (it != per_type_.end()) ? it->second.Predict(row)
+                                             : general_->Predict(row);
+      out.push_back(std::max(0.0, std::expm1(y_log)));
     }
-    std::vector<double> row = StackingFeatures(sim, s);
-    int type = job.graph.stage(s).stage_type;
-    auto it = per_type_.find(type);
-    double y_log = (it != per_type_.end()) ? it->second.Predict(row)
-                                           : general_->Predict(row);
-    out.push_back(std::max(0.0, std::expm1(y_log)));
+    return out;
   }
+
+  // Batched path: one stacking-feature matrix, one PredictBatch per model.
+  ml::FeatureMatrix m(StackingFeatureNames());
+  std::map<int, std::vector<size_t>> by_type;
+  std::vector<size_t> general_rows;
+  for (size_t si = 0; si < ns; ++si) {
+    m.AddRow(StackingFeatures(sim, static_cast<dag::StageId>(si)));
+    int type = job.graph.stage(static_cast<dag::StageId>(si)).stage_type;
+    if (per_type_.count(type) != 0) {
+      by_type[type].push_back(si);
+    } else {
+      general_rows.push_back(si);
+    }
+  }
+  std::vector<double> out(ns, 0.0);
+  auto score = [&](const ml::GbdtRegressor& model, const std::vector<size_t>& rows) {
+    std::vector<double> y_log;
+    if (rows.size() == ns) {
+      y_log = model.PredictBatch(m);
+    } else {
+      ml::FeatureMatrix sub(m.feature_names());
+      for (size_t r : rows) sub.AddRow(m.Row(r));
+      y_log = model.PredictBatch(sub);
+    }
+    for (size_t k = 0; k < rows.size(); ++k) {
+      out[rows[k]] = std::max(0.0, std::expm1(y_log[k]));
+    }
+  };
+  for (const auto& [type, rows] : by_type) score(per_type_.at(type), rows);
+  if (!general_rows.empty()) score(*general_, general_rows);
   return out;
 }
 

@@ -27,6 +27,9 @@ struct TtlConfig {
     return p;
   }();
   int min_samples_per_type = 100;
+  /// Score all stages of a job with one PredictBatch call per stacking model
+  /// (bit-equal to the scalar loop; throughput knob only).
+  bool batch_inference = true;
 };
 
 /// \brief Stacked TTL estimator.
@@ -51,8 +54,14 @@ class TtlEstimator {
 
   /// Stacked TTL predictions for every stage given the simulated schedule.
   /// Falls back to the raw simulator TTL if no model covers a stage type.
+  /// With config batch_inference on, stages are grouped by stacking model and
+  /// scored in one PredictBatch per group (bit-identical results).
   std::vector<double> Predict(const workload::JobInstance& job,
                               const SimulatedSchedule& sim) const;
+
+  /// Toggle batched scoring after construction. Not safe to call
+  /// concurrently with inference.
+  void set_batch_inference(bool on) { config_.batch_inference = on; }
 
   /// Stacking feature row: the stage's "position" within the job.
   static std::vector<double> StackingFeatures(const SimulatedSchedule& sim,

@@ -371,8 +371,64 @@ Status GbdtRegressor::FitCore(const Dataset& data, const Dataset* valid) {
     trees_.resize(best_round);  // keep the best round only
     best_validation_mse_ = best_mse;
   }
+  RebuildFlatForest();
   fitted_ = true;
   return Status::OK();
+}
+
+void GbdtRegressor::RebuildFlatForest() {
+  flat_ = FlatForest{};
+  size_t total = 0;
+  for (const Tree& t : trees_) total += t.nodes.size();
+  flat_.feature.reserve(total);
+  flat_.threshold.reserve(total);
+  flat_.left.reserve(total);
+  flat_.right.reserve(total);
+  flat_.value.reserve(total);
+  flat_.root.reserve(trees_.size());
+  for (const Tree& t : trees_) {
+    const int32_t base = static_cast<int32_t>(flat_.feature.size());
+    flat_.root.push_back(base);
+    for (const TreeNode& n : t.nodes) {
+      flat_.feature.push_back(n.feature);
+      flat_.threshold.push_back(n.threshold);
+      flat_.left.push_back(n.is_leaf() ? -1 : base + n.left);
+      flat_.right.push_back(n.is_leaf() ? -1 : base + n.right);
+      flat_.value.push_back(n.value);
+    }
+  }
+}
+
+std::vector<double> GbdtRegressor::PredictBatch(const FeatureMatrix& x) const {
+  PHOEBE_CHECK_MSG(fitted_, "PredictBatch called before Fit");
+  const size_t nr = x.num_rows();
+  std::vector<double> out(nr, base_score_);
+  if (nr == 0) return out;
+  PHOEBE_CHECK(x.num_features() == num_features_);
+
+  const int32_t* feat = flat_.feature.data();
+  const double* thresh = flat_.threshold.data();
+  const int32_t* left = flat_.left.data();
+  const int32_t* right = flat_.right.data();
+  const double* value = flat_.value.data();
+
+  constexpr size_t kRowBlock = 64;
+  const double* rows[kRowBlock];
+  for (size_t b0 = 0; b0 < nr; b0 += kRowBlock) {
+    const size_t bn = std::min(kRowBlock, nr - b0);
+    for (size_t k = 0; k < bn; ++k) rows[k] = x.Row(b0 + k).data();
+    for (int32_t r0 : flat_.root) {
+      for (size_t k = 0; k < bn; ++k) {
+        int32_t idx = r0;
+        int32_t f;
+        while ((f = feat[idx]) >= 0) {
+          idx = rows[k][f] <= thresh[idx] ? left[idx] : right[idx];
+        }
+        out[b0 + k] += value[idx];
+      }
+    }
+  }
+  return out;
 }
 
 double GbdtRegressor::Predict(std::span<const double> features) const {
@@ -452,6 +508,7 @@ Result<GbdtRegressor> GbdtRegressor::FromText(const std::string& text) {
     }
   }
   model.gain_by_feature_.assign(model.num_features_, 0.0);
+  model.RebuildFlatForest();
   model.fitted_ = true;
   return model;
 }

@@ -80,6 +80,13 @@ class GbdtRegressor : public Regressor {
 
   Status Fit(const Dataset& data) override;
   double Predict(std::span<const double> features) const override;
+
+  /// Batched forest traversal over the flattened SoA node arrays: tree-major
+  /// within fixed row blocks, so one tree's nodes stay cache-hot while a
+  /// whole block of rows walks it. Bit-equal to the scalar Predict (same
+  /// thresholds, same per-row tree accumulation order).
+  std::vector<double> PredictBatch(const FeatureMatrix& x) const override;
+
   bool fitted() const override { return fitted_; }
 
   const GbdtParams& params() const { return params_; }
@@ -99,10 +106,26 @@ class GbdtRegressor : public Regressor {
  private:
   Status FitCore(const Dataset& train, const Dataset* valid);
 
+  /// Serving layout for PredictBatch: all trees' nodes concatenated into
+  /// contiguous structure-of-arrays columns (child indices already offset
+  /// into the concatenated arrays), replacing the per-tree vector-of-structs
+  /// pointer chase. Rebuilt from `trees_` after Fit and FromText; never
+  /// serialized.
+  struct FlatForest {
+    std::vector<int32_t> feature;    ///< split feature; -1 marks a leaf
+    std::vector<double> threshold;   ///< go left if x[feature] <= threshold
+    std::vector<int32_t> left;
+    std::vector<int32_t> right;
+    std::vector<double> value;       ///< leaf output
+    std::vector<int32_t> root;       ///< root node index of each tree
+  };
+  void RebuildFlatForest();
+
   GbdtParams params_;
   double base_score_ = 0.0;
   double best_validation_mse_ = 0.0;
   std::vector<Tree> trees_;
+  FlatForest flat_;
   std::vector<double> gain_by_feature_;
   size_t num_features_ = 0;
   bool fitted_ = false;

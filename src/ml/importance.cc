@@ -31,7 +31,7 @@ std::vector<FeatureImportance> PermutationImportance(const Regressor& model,
       perm = col;
       rng->Shuffle(&perm);
       for (size_t r = 0; r < nr; ++r) shuffled.Set(r, f, perm[r]);
-      for (size_t r = 0; r < nr; ++r) pred[r] = model.Predict(shuffled.Row(r));
+      pred = model.PredictBatch(shuffled);
       delta_sum += base_r2 - RSquared(data.y, pred);
     }
     // Restore the column.

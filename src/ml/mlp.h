@@ -34,6 +34,14 @@ class MlpRegressor : public Regressor {
 
   Status Fit(const Dataset& data) override;
   double Predict(std::span<const double> features) const override;
+
+  /// GEMM-style blocked forward pass: fixed row blocks flow through all
+  /// layers using two flat ping-pong buffers, with each weight row reused
+  /// across the whole block (loop order layer → output neuron → row → input).
+  /// No per-row heap allocations, unlike the scalar Forward. Bit-equal to the
+  /// row loop: the inner input-index accumulation order is unchanged.
+  std::vector<double> PredictBatch(const FeatureMatrix& x) const override;
+
   bool fitted() const override { return fitted_; }
 
   /// Mean training loss of the final epoch (for convergence checks in tests).

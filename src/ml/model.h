@@ -21,8 +21,12 @@ class Regressor {
   /// Predict one row (length must equal the training feature count).
   virtual double Predict(std::span<const double> features) const = 0;
 
-  /// Predict all rows of a matrix.
-  std::vector<double> PredictBatch(const FeatureMatrix& x) const;
+  /// Predict all rows of a matrix. The base implementation is the scalar row
+  /// loop; learners with a vectorizable forward pass (GBDT, MLP) override it
+  /// with a blocked traversal. Every override must be *bit-equal* to the row
+  /// loop — same model, same row, same double — so callers may switch between
+  /// the paths freely (prop_batch_inference_test pins this contract).
+  virtual std::vector<double> PredictBatch(const FeatureMatrix& x) const;
 
   /// True once Fit succeeded.
   virtual bool fitted() const = 0;

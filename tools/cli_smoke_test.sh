@@ -93,6 +93,25 @@ expect_exit 0 "fleet multi-cut budgeted" -- \
   "$CLI" fleet "${SMALL[@]}" --train-days 2 --num-cuts 2 --budget-gb 50 --threads 2
 expect_stdout_contains "fleet multi-cut budgeted" "knapsack threshold"
 
+# fleet inference knobs: --no-batch (scalar scoring) must reproduce the
+# batched report exactly, and an exact-mode template cache (--cache-bps 0)
+# must be byte-neutral while reporting its hit/miss traffic.
+expect_exit 0 "fleet no-batch" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --no-batch
+if ! diff -q "$WORKDIR/fleet_serial.out" "$WORKDIR/stdout" >/dev/null; then
+  fail "fleet: --no-batch report differs from batched report"
+fi
+expect_exit 0 "fleet template-cache" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --template-cache 1024 --cache-bps 0
+expect_stdout_contains "fleet template-cache" "cache hits/misses"
+# The extra cache row re-pads the table, so compare with collapsed whitespace
+# and the cache/separator rows dropped.
+normalize_fleet() { grep -v -e "^cache " -e "^--" "$1" | tr -s ' '; }
+if ! diff -q <(normalize_fleet "$WORKDIR/fleet_serial.out") \
+             <(normalize_fleet "$WORKDIR/stdout") >/dev/null; then
+  fail "fleet: exact-mode cached report differs from uncached report"
+fi
+
 # trace round trip through the CLI surface.
 expect_exit 0 "trace-export" -- \
   "$CLI" trace-export "${SMALL[@]}" --days 1 --out "$WORKDIR/trace.txt"

@@ -346,6 +346,20 @@ int CmdFleet(const Args& args) {
   double budget_gb = std::atof(args.Str("budget-gb", "0").c_str());
   if (budget_gb > 0.0) cfg.storage_budget_bytes = budget_gb * 1e9;
 
+  // Batched ML scoring is the default; --no-batch reverts to the scalar
+  // per-stage path (bit-identical results, slower).
+  const bool batch = args.Int("no-batch", 0) == 0 && args.Int("batch", 1) != 0;
+  t.phoebe.set_batch_inference(batch);
+
+  // --template-cache N enables the recurring-template decision cache with
+  // capacity N; --cache-bps sets the input-size drift tolerance (0 = exact).
+  int cache_capacity = args.Int("template-cache", 0);
+  if (cache_capacity > 0) {
+    cfg.template_cache.enabled = true;
+    cfg.template_cache.capacity = static_cast<size_t>(cache_capacity);
+    cfg.template_cache.quantize_bps = std::max(0, args.Int("cache-bps", 0));
+  }
+
   core::FleetDriver driver(&t.phoebe, cfg);
   if (budget_gb > 0.0) {
     // Calibrate the admission threshold on the day before the test day.
@@ -366,6 +380,15 @@ int CmdFleet(const Args& args) {
   tab.AddRow({"realized saving", StrFormat("%.1f%%", 100.0 * report->SavingFraction())});
   if (report->knapsack_threshold > 0.0) {
     tab.AddRow({"knapsack threshold", StrFormat("%.3g", report->knapsack_threshold)});
+  }
+  if (cfg.template_cache.enabled) {
+    tab.AddRow({"cache hits/misses",
+                StrFormat("%lld/%lld", static_cast<long long>(report->cache_hits),
+                          static_cast<long long>(report->cache_misses))});
+    if (report->cache_evictions > 0) {
+      tab.AddRow({"cache evictions",
+                  StrFormat("%lld", static_cast<long long>(report->cache_evictions))});
+    }
   }
   tab.Print();
   return 0;
@@ -404,8 +427,10 @@ void Usage() {
       "  decide    --seed S --job K [--objective temp|recovery]\n"
       "  backtest  --seed S [--objective temp|recovery]\n"
       "  fleet     --seed S [--threads T] [--num-cuts K] [--budget-gb G]\n"
+      "            [--batch|--no-batch] [--template-cache N] [--cache-bps B]\n"
       "            (day-level driver; T=0 uses all cores, results are\n"
-      "             byte-identical for any T)\n"
+      "             byte-identical for any T; --template-cache N caches\n"
+      "             decisions for recurring templates, B=0 is exact mode)\n"
       "  dot       --seed S --job K          (Graphviz of the job + cut)\n"
       "  explain   --seed S --job K [--json]  (why this cut was chosen)\n"
       "  trace-export --seed S --days D [--out file.trace]\n"
