@@ -39,7 +39,7 @@ int main() {
                 "is realized temp byte-seconds saved.");
 
   auto env = bench::MakeEnv(60, 5, 2);
-  core::BackTester tester(env.phoebe.get(), bench::kMtbfSeconds);
+  core::BackTester tester(&env.phoebe->engine(), bench::kMtbfSeconds);
 
   auto collect = [&](int day) {
     std::vector<Candidate> out;

@@ -24,7 +24,7 @@ int main() {
                 "after splitting a large job at a checkpoint.");
 
   auto env = bench::MakeEnv(60, 5, 1);
-  core::BackTester tester(env.phoebe.get(), bench::kMtbfSeconds);
+  core::BackTester tester(&env.phoebe->engine(), bench::kMtbfSeconds);
   const auto& jobs = env.TestDay(0);
   auto stats = env.StatsForTestDay(0);
 

@@ -123,7 +123,7 @@ int Run(int argc, char** argv) {
     cfg.template_cache.enabled = cache;
     cfg.template_cache.capacity = static_cast<size_t>(cache_capacity);
     cfg.template_cache.quantize_bps = bps;
-    core::FleetDriver driver(env.phoebe.get(), cfg);
+    core::FleetDriver driver(&env.phoebe->engine(), cfg);
     auto t0 = std::chrono::steady_clock::now();
     auto r = driver.RunDay(jobs, stats);
     auto t1 = std::chrono::steady_clock::now();

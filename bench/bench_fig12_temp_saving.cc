@@ -17,7 +17,7 @@ int main() {
                 "approach, 6 back-testing days.");
 
   auto env = bench::MakeEnv(/*num_templates=*/60, /*train_days=*/5, /*test_days=*/6);
-  core::BackTester tester(env.phoebe.get(), bench::kMtbfSeconds);
+  core::BackTester tester(&env.phoebe->engine(), bench::kMtbfSeconds);
 
   // Per-approach across-day statistics of the *weighted* saving: total
   // byte-seconds cleared early / total byte-seconds, per day (that is the

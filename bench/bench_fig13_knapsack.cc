@@ -22,7 +22,7 @@ int main() {
                 "orders).");
 
   auto env = bench::MakeEnv(60, 5, 2);
-  core::BackTester tester(env.phoebe.get(), bench::kMtbfSeconds);
+  core::BackTester tester(&env.phoebe->engine(), bench::kMtbfSeconds);
 
   // Calibration history from test day 0, evaluation stream from test day 1.
   auto make_items = [&](int day) {

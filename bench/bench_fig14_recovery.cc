@@ -17,7 +17,7 @@ int main() {
                 "distribution summary per algorithm.");
 
   auto env = bench::MakeEnv(/*num_templates=*/60, /*train_days=*/5, /*test_days=*/1);
-  core::BackTester tester(env.phoebe.get(), bench::kMtbfSeconds);
+  core::BackTester tester(&env.phoebe->engine(), bench::kMtbfSeconds);
   const auto& jobs = env.TestDay(0);
   auto stats = env.StatsForTestDay(0);
 

@@ -18,7 +18,7 @@ int main() {
                 "(all jobs vs large jobs).");
 
   auto env = bench::MakeEnv(/*num_templates=*/60, /*train_days=*/5, /*test_days=*/2);
-  core::BackTester tester(env.phoebe.get(), bench::kMtbfSeconds);
+  core::BackTester tester(&env.phoebe->engine(), bench::kMtbfSeconds);
   cluster::ClusterConfig ccfg;
 
   struct Cohort {

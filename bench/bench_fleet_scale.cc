@@ -8,11 +8,25 @@
 // runner every series entry reports ~1x, which is expected, not a
 // regression. The JSON includes hardware_concurrency so consumers can judge.
 //
+// A second series forks N in {1, 2, 4} real processes over the same frozen
+// engine: each child decides its owned sub-days (DecideDay), serializes a
+// shard blob to a temp file, and the parent merges (CombineFleetShards +
+// ReplayDay) — gating that the merged per-day JSON reports are byte-identical
+// to an unsharded sequential run. On a single-core runner the process series
+// also reports ~1x; the JSON's hardware_concurrency says how to read it.
+//
 // Usage: bench_fleet_scale [--jobs N] [--num-cuts K] [--budget-gb G]
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,6 +34,7 @@
 #include "common/json.h"
 #include "common/threadpool.h"
 #include "core/fleet.h"
+#include "core/fleet_shard.h"
 
 namespace phoebe::bench {
 namespace {
@@ -91,7 +106,7 @@ int Run(int argc, char** argv) {
 
   for (int threads : {1, 2, 4, 8}) {
     cfg.num_threads = threads;
-    core::FleetDriver driver(env.phoebe.get(), cfg);
+    core::FleetDriver driver(&env.phoebe->engine(), cfg);
     if (budget_gb > 0) {
       driver.Calibrate(env.repo.Day(env.train_days - 1),
                        env.repo.StatsBefore(env.train_days - 1))
@@ -112,6 +127,128 @@ int Run(int argc, char** argv) {
                  identical ? "" : "  REPORT MISMATCH");
   }
 
+  // --- Sharded-process series --------------------------------------------
+  // Partition the big day into sub-days (the unit the shard protocol splits
+  // on), then fork N real processes over the same frozen engine. Each child
+  // decides its owned sub-days and writes a shard blob; the parent merges
+  // and replays, gating byte-identity of the per-day JSON reports against an
+  // unsharded sequential run on one driver.
+  const int kSubDays = 8;
+  std::vector<std::vector<workload::JobInstance>> sub_days(kSubDays);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    sub_days[i % static_cast<size_t>(kSubDays)].push_back(jobs[i]);
+  }
+
+  cfg.num_threads = 1;  // isolate process-level parallelism
+  auto run_sequential = [&]() {
+    core::FleetDriver driver(&env.phoebe->engine(), cfg);
+    if (budget_gb > 0) {
+      driver.Calibrate(env.repo.Day(env.train_days - 1),
+                       env.repo.StatsBefore(env.train_days - 1))
+          .Check();
+    }
+    std::string out;
+    for (int d = 0; d < kSubDays; ++d) {
+      auto report = driver.RunDay(sub_days[static_cast<size_t>(d)], stats);
+      report.status().Check();
+      out += core::FleetDayReportJson(*report, d) + "\n";
+    }
+    return out;
+  };
+  auto t_seq0 = std::chrono::steady_clock::now();
+  const std::string sequential_json = run_sequential();
+  const double sequential_seconds = Seconds(t_seq0, std::chrono::steady_clock::now());
+  std::fprintf(stderr, "sequential %d sub-days: %.3f s\n", kSubDays,
+               sequential_seconds);
+
+  struct ProcSeries {
+    int procs;
+    double decide_seconds;
+    double merge_seconds;
+    bool identical;
+  };
+  std::vector<ProcSeries> proc_series;
+  const uint32_t bundle_checksum = env.phoebe->bundle()->checksum();
+  const std::filesystem::path tmp_dir = std::filesystem::temp_directory_path();
+
+  for (int procs : {1, 2, 4}) {
+    std::vector<std::filesystem::path> blob_paths;
+    for (int s = 0; s < procs; ++s) {
+      blob_paths.push_back(tmp_dir / ("phoebe_fleet_scale_" +
+                                      std::to_string(::getpid()) + "_" +
+                                      std::to_string(procs) + "_" +
+                                      std::to_string(s) + ".blob"));
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<pid_t> pids;
+    for (int s = 0; s < procs; ++s) {
+      pid_t pid = ::fork();
+      if (pid == 0) {
+        // Child: decide owned sub-days against the (copy-on-write shared)
+        // engine and write one shard blob. _exit skips parent-owned atexit
+        // state; nonzero status reports any failure to the parent.
+        core::FleetDriver child(&env.phoebe->engine(), cfg);
+        std::map<int, core::FleetDayDecisions> owned;
+        for (int d = 0; d < kSubDays; ++d) {
+          if (!core::ShardOwnsDay(d, s, procs)) continue;
+          auto day = child.DecideDay(sub_days[static_cast<size_t>(d)], stats);
+          if (!day.ok()) ::_exit(1);
+          owned.emplace(d, *std::move(day));
+        }
+        auto blob = core::SerializeFleetShard(
+            core::FleetShardHeader{s, procs, kSubDays, bundle_checksum}, owned);
+        if (!blob.ok()) ::_exit(1);
+        std::ofstream out(blob_paths[static_cast<size_t>(s)], std::ios::binary);
+        out << *blob;
+        out.flush();
+        ::_exit(out.good() ? 0 : 1);
+      }
+      PHOEBE_CHECK(pid > 0);
+      pids.push_back(pid);
+    }
+    bool children_ok = true;
+    for (pid_t pid : pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      children_ok = children_ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    }
+    const double decide_seconds = Seconds(t0, std::chrono::steady_clock::now());
+    PHOEBE_CHECK(children_ok);
+
+    auto t1 = std::chrono::steady_clock::now();
+    std::vector<core::FleetShardBlob> blobs;
+    for (const std::filesystem::path& p : blob_paths) {
+      std::ifstream in(p, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      auto blob = core::ParseFleetShard(buf.str());
+      blob.status().Check();
+      blobs.push_back(*std::move(blob));
+      std::filesystem::remove(p);
+    }
+    auto merged = core::CombineFleetShards(blobs, bundle_checksum);
+    merged.status().Check();
+    core::FleetDriver merge_driver(&env.phoebe->engine(), cfg);
+    if (budget_gb > 0) {
+      merge_driver.Calibrate(env.repo.Day(env.train_days - 1),
+                             env.repo.StatsBefore(env.train_days - 1))
+          .Check();
+    }
+    std::string merged_json;
+    for (int d = 0; d < kSubDays; ++d) {
+      auto report =
+          merge_driver.ReplayDay(sub_days[static_cast<size_t>(d)], stats, merged->at(d));
+      report.status().Check();
+      merged_json += core::FleetDayReportJson(*report, d) + "\n";
+    }
+    const double merge_seconds = Seconds(t1, std::chrono::steady_clock::now());
+    const bool identical = merged_json == sequential_json;
+    proc_series.push_back({procs, decide_seconds, merge_seconds, identical});
+    std::fprintf(stderr, "procs %d: decide %.3f s, merge %.3f s%s\n", procs,
+                 decide_seconds, merge_seconds,
+                 identical ? "" : "  REPORT MISMATCH");
+  }
+
   JsonWriter json;
   json.BeginObject();
   json.KV("bench", "fleet_scale");
@@ -129,11 +266,32 @@ int Run(int argc, char** argv) {
     json.EndObject();
   }
   json.EndArray();
+  json.Key("process_series").BeginArray();
+  {
+    json.BeginObject();
+    json.KV("processes", 0);  // unsharded sequential baseline
+    json.KV("seconds", sequential_seconds);
+    json.KV("sub_days", kSubDays);
+    json.EndObject();
+  }
+  for (const ProcSeries& s : proc_series) {
+    json.BeginObject();
+    json.KV("processes", s.procs);
+    json.KV("decide_seconds", s.decide_seconds);
+    json.KV("merge_seconds", s.merge_seconds);
+    json.KV("decide_speedup", sequential_seconds / s.decide_seconds);
+    json.KV("identical_to_sequential", s.identical);
+    json.EndObject();
+  }
+  json.EndArray();
   json.EndObject();
   std::printf("%s\n", json.str().c_str());
 
   for (const Series& s : series) {
     if (!s.identical) return 1;  // determinism violation is a bench failure
+  }
+  for (const ProcSeries& s : proc_series) {
+    if (!s.identical) return 1;
   }
   return 0;
 }

@@ -33,7 +33,7 @@ int main() {
 
   core::PhoebePipeline phoebe;
   phoebe.Train(repo, 0, 5).Check();
-  core::BackTester tester(&phoebe, kMtbfSeconds);
+  core::BackTester tester(&phoebe.engine(), kMtbfSeconds);
   auto stats = repo.StatsBefore(5);
 
   // Long-running jobs benefit most (Figure 2: failure rate grows with

@@ -41,13 +41,13 @@ int main() {
   // --- The fleet driver handles the whole day: per-job cuts, then admission
   // under the global-storage budget (threshold calibrated on day 4).
   // First measure the unconstrained demand to size the budget.
-  core::FleetDriver unbudgeted(&phoebe, core::FleetConfig{});
+  core::FleetDriver unbudgeted(&phoebe.engine(), core::FleetConfig{});
   auto open_report = unbudgeted.RunDay(jobs, stats);
   open_report.status().Check();
 
   core::FleetConfig fleet_cfg;
   fleet_cfg.storage_budget_bytes = 0.8 * open_report->storage_used_bytes;
-  core::FleetDriver fleet(&phoebe, fleet_cfg);
+  core::FleetDriver fleet(&phoebe.engine(), fleet_cfg);
   fleet.Calibrate(repo.Day(4), repo.StatsBefore(4)).Check();
   auto report = fleet.RunDay(jobs, stats);
   report.status().Check();

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   for (int d = 0; d < 6; ++d) repo.AddDay(d, gen.GenerateDay(d)).Check();
   core::PhoebePipeline phoebe;
   phoebe.Train(repo, 0, 5).Check();
-  core::BackTester tester(&phoebe, 12 * 3600.0);
+  core::BackTester tester(&phoebe.engine(), 12 * 3600.0);
   auto stats = repo.StatsBefore(5);
 
   // The biggest job of the day is the splitting candidate.

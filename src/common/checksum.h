@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for artifact
+// integrity checks. The bundle format stores the checksum of its payload so
+// a truncated or bit-flipped file is rejected before any model text reaches
+// the deeper parsers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace phoebe {
+
+/// CRC-32 of `len` bytes starting at `data`. `seed` chains incremental
+/// updates: Crc32(b, n) == Crc32(b + k, n - k, Crc32(b, k)).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// Convenience overload for whole strings.
+uint32_t Crc32(const std::string& text, uint32_t seed = 0);
+
+}  // namespace phoebe

@@ -99,6 +99,21 @@ bool ParseFiniteDouble(const std::string& token, double* out) {
   return true;
 }
 
+bool ParseHexU32(const std::string& token, uint32_t* out) {
+  if (token.empty() || token.size() > 8) return false;
+  uint32_t v = 0;
+  for (char ch : token) {
+    uint32_t digit;
+    if (ch >= '0' && ch <= '9') digit = static_cast<uint32_t>(ch - '0');
+    else if (ch >= 'a' && ch <= 'f') digit = static_cast<uint32_t>(ch - 'a') + 10;
+    else if (ch >= 'A' && ch <= 'F') digit = static_cast<uint32_t>(ch - 'A') + 10;
+    else return false;
+    v = (v << 4) | digit;
+  }
+  *out = v;
+  return true;
+}
+
 std::string HumanBytes(double bytes) {
   static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB", "EB"};
   int unit = 0;

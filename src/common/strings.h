@@ -36,6 +36,9 @@ bool ParseInt64(const std::string& token, int64_t* out);
 /// field in the text formats is a finite quantity, and letting an overflowed
 /// 1e999 through as +inf would poison downstream arithmetic.
 bool ParseFiniteDouble(const std::string& token, double* out);
+/// Unsigned 32-bit hex token (no 0x prefix), e.g. a CRC-32 printed "%08x".
+/// Same strictness as the parsers above: the whole token must be hex digits.
+bool ParseHexU32(const std::string& token, uint32_t* out);
 
 /// Human-readable byte count, e.g. "1.50 GB".
 std::string HumanBytes(double bytes);

@@ -61,6 +61,13 @@ double EstimateGlobalBytes(const dag::JobGraph& graph, const StageCosts& costs,
   return total;
 }
 
+double FinalClearSlack(const StageCosts& costs) {
+  if (costs.job_end <= 0.0) return 0.0;
+  double max_end = 0.0;
+  for (double e : costs.end_time) max_end = std::max(max_end, e);
+  return std::max(0.0, costs.job_end - max_end);
+}
+
 Result<std::vector<SweepPoint>> TempStorageSweep(const dag::JobGraph& graph,
                                                  const StageCosts& costs) {
   PHOEBE_RETURN_NOT_OK(costs.Validate(graph));
@@ -70,7 +77,11 @@ Result<std::vector<SweepPoint>> TempStorageSweep(const dag::JobGraph& graph,
   // Figure 6: after each stage finishes, the temp storage in use has grown by
   // its output; clearing everything accumulated so far saves cum_bytes *
   // min TTL. The min is tracked explicitly because estimated TTLs need not be
-  // consistent with the estimated end times.
+  // consistent with the estimated end times. TTLs are priced net of the
+  // finalization slack: the job-end clear releases everything anyway, so a
+  // cut only realizes the TTL up to that point — in particular the full-set
+  // point prices to exactly 0.
+  const double slack = FinalClearSlack(costs);
   std::vector<SweepPoint> sweep;
   sweep.reserve(n);
   double sum_bytes = 0.0;
@@ -78,7 +89,8 @@ Result<std::vector<SweepPoint>> TempStorageSweep(const dag::JobGraph& graph,
   for (size_t k = 0; k < n; ++k) {
     size_t u = static_cast<size_t>(order[k]);
     sum_bytes += costs.output_bytes[u];
-    min_ttl = (k == 0) ? costs.ttl[u] : std::min(min_ttl, costs.ttl[u]);
+    double ttl_eff = std::max(0.0, costs.ttl[u] - slack);
+    min_ttl = (k == 0) ? ttl_eff : std::min(min_ttl, ttl_eff);
     SweepPoint p;
     p.stage = order[k];
     p.end_time = costs.end_time[u];
@@ -128,12 +140,14 @@ Result<std::vector<CutResult>> OptimizeTempStorageMultiCut(const dag::JobGraph& 
   std::vector<dag::StageId> order = EndTimeOrder(costs);
 
   // Prefix sums of output bytes and running prefix-min TTL in end-time order.
+  // TTLs are net of the finalization slack, mirroring TempStorageSweep.
+  const double slack = FinalClearSlack(costs);
   std::vector<double> pre_bytes(n + 1, 0.0), pre_min_ttl(n + 1, 0.0);
   for (size_t k = 0; k < n; ++k) {
     size_t u = static_cast<size_t>(order[k]);
     pre_bytes[k + 1] = pre_bytes[k] + costs.output_bytes[u];
-    pre_min_ttl[k + 1] =
-        (k == 0) ? costs.ttl[u] : std::min(pre_min_ttl[k], costs.ttl[u]);
+    double ttl_eff = std::max(0.0, costs.ttl[u] - slack);
+    pre_min_ttl[k + 1] = (k == 0) ? ttl_eff : std::min(pre_min_ttl[k], ttl_eff);
   }
 
   // DP over cut positions: cut c at prefix k saves
@@ -359,10 +373,12 @@ Result<CutResult> RandomCut(const dag::JobGraph& graph, const StageCosts& costs,
   result.global_bytes = EstimateGlobalBytes(graph, costs, result.cut);
   // Report the temp-saving objective of the random choice.
   double sum_bytes = 0.0, min_ttl = 0.0;
+  const double slack = FinalClearSlack(costs);
   for (size_t i = 0; i < k; ++i) {
     size_t u = static_cast<size_t>(order[i]);
     sum_bytes += costs.output_bytes[u];
-    min_ttl = (i == 0) ? costs.ttl[u] : std::min(min_ttl, costs.ttl[u]);
+    double ttl_eff = std::max(0.0, costs.ttl[u] - slack);
+    min_ttl = (i == 0) ? ttl_eff : std::min(min_ttl, ttl_eff);
   }
   result.objective = sum_bytes * min_ttl;
   return result;
@@ -385,10 +401,12 @@ Result<CutResult> MidPointCut(const dag::JobGraph& graph, const StageCosts& cost
   result.cut = PrefixCut(order, k, n);
   result.global_bytes = EstimateGlobalBytes(graph, costs, result.cut);
   double sum_bytes = 0.0, min_ttl = 0.0;
+  const double slack = FinalClearSlack(costs);
   for (size_t i = 0; i < k; ++i) {
     size_t u = static_cast<size_t>(order[i]);
     sum_bytes += costs.output_bytes[u];
-    min_ttl = (i == 0) ? costs.ttl[u] : std::min(min_ttl, costs.ttl[u]);
+    double ttl_eff = std::max(0.0, costs.ttl[u] - slack);
+    min_ttl = (i == 0) ? ttl_eff : std::min(min_ttl, ttl_eff);
   }
   result.objective = sum_bytes * min_ttl;
   return result;

@@ -27,6 +27,15 @@ struct StageCosts {
   std::vector<double> end_time;  ///< schedule position; job_end - ttl
   std::vector<double> tfs;       ///< time from start (recovery objective)
   std::vector<int> num_tasks;    ///< for failure probabilities
+  /// (Estimated) time the whole job ends and the cluster clears *all*
+  /// remaining temp data for free. When it exceeds the last stage's end time
+  /// (the workload generator's finalization slack), that surplus is TTL no
+  /// cut can realize — the final clear would have released it anyway — so
+  /// the temp-storage optimizers subtract it from every stage's TTL (see
+  /// FinalClearSlack). 0 means "unknown": no adjustment, the pre-job_end
+  /// behavior. BuildCosts fills it: the true job end (max of end + ttl) for
+  /// kTruth, the simulated schedule end (slack 0) otherwise.
+  double job_end = 0.0;
 
   size_t size() const { return output_bytes.size(); }
   Status Validate(const dag::JobGraph& graph) const;
@@ -44,13 +53,21 @@ struct CutResult {
 double EstimateGlobalBytes(const dag::JobGraph& graph, const StageCosts& costs,
                            const cluster::CutSet& cut);
 
+/// Finalization slack: max(0, job_end - max end_time), i.e. how long the
+/// last-ending stage's temp data lives before the job-end clear releases it.
+/// The temp-storage sweep/DP/baselines price TTLs net of this slack
+/// (`max(0, ttl - slack)`), which zeroes the value of the disallowed
+/// full-stage "cut" and un-biases the comparison among legal prefixes.
+/// Returns 0 when `costs.job_end` is unset.
+double FinalClearSlack(const StageCosts& costs);
+
 /// \brief One candidate cut of the Proposition-5.1 sweep (Figure 6 of the
 /// paper: saving as a function of the checkpoint timestamp).
 struct SweepPoint {
   dag::StageId stage = dag::kInvalidStage;  ///< last stage entering the cut
   double end_time = 0.0;      ///< checkpoint timestamp (stage end)
   double cum_bytes = 0.0;     ///< temp bytes accumulated by then
-  double min_ttl = 0.0;       ///< minimum TTL among before-cut stages
+  double min_ttl = 0.0;       ///< min before-cut TTL, net of FinalClearSlack
   double objective = 0.0;     ///< cum_bytes * min_ttl
 };
 

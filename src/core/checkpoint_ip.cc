@@ -22,12 +22,15 @@ Result<IpResult> SolveTempStorageIp(const dag::JobGraph& graph, const StageCosts
   const int nc = options.num_cuts;
   if (ns < 2) return Status::InvalidArgument("graph too small to cut");
 
-  // Scaled model primitives.
+  // Scaled model primitives. TTLs are priced net of the finalization slack,
+  // matching the sweep/DP heuristics (see FinalClearSlack).
+  const double slack = FinalClearSlack(costs);
   std::vector<double> o(static_cast<size_t>(ns)), t_u(static_cast<size_t>(ns));
   double max_ttl = 0.0;
   for (int u = 0; u < ns; ++u) {
     o[static_cast<size_t>(u)] = costs.output_bytes[static_cast<size_t>(u)] * kByteScale;
-    t_u[static_cast<size_t>(u)] = costs.ttl[static_cast<size_t>(u)] * kTimeScale;
+    t_u[static_cast<size_t>(u)] =
+        std::max(0.0, costs.ttl[static_cast<size_t>(u)] - slack) * kTimeScale;
     max_ttl = std::max(max_ttl, t_u[static_cast<size_t>(u)]);
   }
   const double big_m = max_ttl + 1.0;

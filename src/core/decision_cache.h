@@ -30,7 +30,7 @@
 #include <map>
 #include <vector>
 
-#include "core/pipeline.h"
+#include "core/bundle.h"
 #include "telemetry/repository.h"
 #include "workload/job_instance.h"
 

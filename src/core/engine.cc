@@ -1,0 +1,176 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "core/simulator.h"
+
+namespace phoebe::core {
+
+DecisionEngine::DecisionEngine(std::shared_ptr<const PipelineBundle> bundle)
+    : bundle_(std::move(bundle)) {
+  PHOEBE_CHECK(bundle_ != nullptr);
+}
+
+Result<StageCosts> DecisionEngine::BuildCosts(const workload::JobInstance& job,
+                                              CostSource source) const {
+  return BuildCosts(job, source, bundle_->stats());
+}
+
+Result<StageCosts> DecisionEngine::BuildCosts(
+    const workload::JobInstance& job, CostSource source,
+    const telemetry::HistoricStats& stats) const {
+  const size_t n = job.graph.num_stages();
+  StageCosts costs;
+  costs.num_tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    costs.num_tasks.push_back(job.truth[i].num_tasks);
+  }
+
+  if (source == CostSource::kTruth) {
+    costs.output_bytes.reserve(n);
+    costs.ttl.reserve(n);
+    costs.end_time.reserve(n);
+    costs.tfs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const workload::StageTruth& t = job.truth[i];
+      costs.output_bytes.push_back(t.output_bytes);
+      costs.ttl.push_back(t.ttl);
+      costs.end_time.push_back(t.end_time);
+      costs.tfs.push_back(t.tfs);
+      // True job end: every stage's temp data clears there, so end + ttl is
+      // the same value for all stages up to the generator's finalization
+      // slack; the max is the true clear time the optimizers price.
+      costs.job_end = std::max(costs.job_end, t.end_time + t.ttl);
+    }
+    return costs;
+  }
+
+  // Per-stage execution time and output size from the chosen source.
+  std::vector<double> exec(n), output(n);
+  switch (source) {
+    case CostSource::kOptimizerEstimates:
+      for (size_t i = 0; i < n; ++i) {
+        exec[i] = std::max(0.0, job.est[i].est_exclusive_cost);
+        output[i] = std::max(0.0, job.est[i].est_output_bytes);
+      }
+      break;
+    case CostSource::kConstant:
+      for (size_t i = 0; i < n; ++i) {
+        exec[i] = 1.0;
+        output[i] = 1.0;
+      }
+      break;
+    case CostSource::kMlSimulator:
+    case CostSource::kMlStacked: {
+      if (!bundle_->trained()) return Status::FailedPrecondition("pipeline not trained");
+      exec = bundle_->exec_predictor().PredictJob(job, stats);
+      output = bundle_->size_predictor().PredictJob(job, stats);
+      break;
+    }
+    case CostSource::kTruth:
+      PHOEBE_CHECK(false);
+  }
+
+  PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule sim, SimulateSchedule(job.graph, exec));
+
+  costs.output_bytes = std::move(output);
+  costs.end_time = sim.end;
+  costs.tfs = sim.start;
+  // The simulator has no finalization slack (job_end == max end), so for the
+  // estimate-based sources this leaves the final-clear adjustment at zero.
+  costs.job_end = sim.job_end;
+  if (source == CostSource::kMlStacked && bundle_->trained()) {
+    costs.ttl = bundle_->ttl_estimator().Predict(job, sim);
+  } else {
+    costs.ttl.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      costs.ttl[i] = sim.Ttl(static_cast<dag::StageId>(i));
+    }
+  }
+  return costs;
+}
+
+Result<PipelineDecision> DecisionEngine::Decide(const workload::JobInstance& job,
+                                                Objective objective,
+                                                CostSource source) const {
+  using Clock = std::chrono::steady_clock;
+  PipelineDecision decision;
+
+  auto t0 = Clock::now();
+  // Metadata/model lookup: resolve stats entries for every stage type in the
+  // plan (in production this is the Workload Insight Service round trip).
+  for (size_t i = 0; i < job.graph.num_stages(); ++i) {
+    (void)bundle_->stats().Get(job.template_id,
+                               job.graph.stage(static_cast<int>(i)).stage_type);
+  }
+  auto t1 = Clock::now();
+
+  PHOEBE_ASSIGN_OR_RETURN(StageCosts costs, BuildCosts(job, source));
+  auto t2 = Clock::now();
+
+  switch (objective) {
+    case Objective::kTempStorage: {
+      PHOEBE_ASSIGN_OR_RETURN(decision.cut, OptimizeTempStorage(job.graph, costs));
+      break;
+    }
+    case Objective::kRecovery: {
+      PHOEBE_ASSIGN_OR_RETURN(decision.cut,
+                              OptimizeRecovery(job.graph, costs, bundle_->delta()));
+      break;
+    }
+  }
+  auto t3 = Clock::now();
+
+  auto secs = [](auto a, auto b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  decision.lookup_seconds = secs(t0, t1);
+  decision.scoring_seconds = secs(t1, t2);
+  decision.optimize_seconds = secs(t2, t3);
+  return decision;
+}
+
+Result<FleetDecision> DecisionEngine::DecideJob(const workload::JobInstance& job,
+                                                const telemetry::HistoricStats& stats,
+                                                const DecideOptions& options) const {
+  PHOEBE_ASSIGN_OR_RETURN(StageCosts costs, BuildCosts(job, options.source, stats));
+  FleetDecision d;
+  if (options.objective == Objective::kRecovery) {
+    PHOEBE_ASSIGN_OR_RETURN(d.combined,
+                            OptimizeRecovery(job.graph, costs, bundle_->delta()));
+    if (!d.combined.cut.empty()) d.cuts.push_back(d.combined.cut);
+    return d;
+  }
+  if (options.num_cuts <= 1) {
+    PHOEBE_ASSIGN_OR_RETURN(d.combined, OptimizeTempStorage(job.graph, costs));
+    if (!d.combined.cut.empty()) d.cuts.push_back(d.combined.cut);
+    return d;
+  }
+
+  // Multi-cut plan, reported under the physical semantics the cluster
+  // realizes: the DP-total objective (each stage credited at its earliest
+  // cut), and global bytes as the union of checkpoint stages across cuts —
+  // a stage persists its output once even if edges cross several cuts.
+  PHOEBE_ASSIGN_OR_RETURN(
+      std::vector<CutResult> cuts,
+      OptimizeTempStorageMultiCut(job.graph, costs, options.num_cuts));
+  if (cuts.empty()) return d;
+  d.combined.cut = cuts.back().cut;           // outermost (largest) set
+  d.combined.objective = cuts.front().objective;  // DP total
+  std::set<dag::StageId> persisted;
+  for (const CutResult& c : cuts) {
+    d.cuts.push_back(c.cut);
+    for (dag::StageId u : cluster::CheckpointStages(job.graph, c.cut)) {
+      persisted.insert(u);
+    }
+  }
+  for (dag::StageId u : persisted) {
+    d.combined.global_bytes += costs.output_bytes[static_cast<size_t>(u)];
+  }
+  return d;
+}
+
+}  // namespace phoebe::core

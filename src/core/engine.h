@@ -1,0 +1,93 @@
+// DecisionEngine: the stateless, const-only serving facade over a
+// PipelineBundle.
+//
+// This is the decide-time half of the train/serve split (see
+// core/bundle.h): the engine borrows an immutable bundle via shared_ptr and
+// exposes exclusively const methods, so the const-after-Train invariant the
+// fleet driver's parallel phase relies on is enforced by the compiler — a
+// caller holding `const DecisionEngine&` cannot reach any mutable pipeline
+// state. Engines are cheap values (one shared_ptr); every FleetDriver,
+// back-tester, and CLI decide path is built on one, and any number of them
+// (across threads or processes) can serve from the same bundle.
+#pragma once
+
+#include <memory>
+
+#include "core/bundle.h"
+#include "core/checkpoint.h"
+
+namespace phoebe::core {
+
+/// \brief A compile-time checkpoint decision with overhead breakdown (§6.4).
+struct PipelineDecision {
+  CutResult cut;
+  double lookup_seconds = 0.0;    ///< metadata/model lookup
+  double scoring_seconds = 0.0;   ///< ML scoring + schedule simulation
+  double optimize_seconds = 0.0;  ///< cut search
+};
+
+/// \brief One job's full decision: the combined (reported) cut plus the
+/// nested cut sets in physical, innermost-first order. This is the value the
+/// fleet template cache stores and the shard protocol serializes.
+struct FleetDecision {
+  CutResult combined;                 ///< cut = outermost; DP-total objective
+  std::vector<cluster::CutSet> cuts;  ///< innermost-first; empty if no cut
+};
+
+/// \brief Decision context for DecideJob.
+struct DecideOptions {
+  Objective objective = Objective::kTempStorage;
+  CostSource source = CostSource::kMlStacked;
+  /// Cuts per job for the temp-storage objective (1 = single-cut sweep).
+  int num_cuts = 1;
+};
+
+/// \brief Stateless decide-time facade over one immutable bundle.
+///
+/// Thread-safety: every method is const and the whole call tree (featurizer,
+/// GBDT/MLP forests, TTL stacking models, historic-stats maps) reads
+/// immutable bundle state with no caches, so concurrent calls on one engine
+/// — or on several engines sharing one bundle — are safe.
+/// core_fleet_parallel_test pins this under TSan.
+class DecisionEngine {
+ public:
+  /// \param bundle the trained (or untrained, for non-ML sources) state to
+  /// serve from. Shared ownership: the bundle outlives every engine view.
+  explicit DecisionEngine(std::shared_ptr<const PipelineBundle> bundle);
+
+  const PipelineBundle& bundle() const { return *bundle_; }
+  std::shared_ptr<const PipelineBundle> shared_bundle() const { return bundle_; }
+
+  bool trained() const { return bundle_->trained(); }
+  double delta() const { return bundle_->delta(); }
+  const telemetry::HistoricStats& inference_stats() const { return bundle_->stats(); }
+
+  /// Build the optimizer inputs for one job under a cost source, using only
+  /// compile-time information (plus truth for the kTruth oracle). Sets
+  /// StageCosts::job_end so the optimizers price the final clear: the true
+  /// job end for kTruth, the simulated schedule end otherwise.
+  Result<StageCosts> BuildCosts(const workload::JobInstance& job,
+                                CostSource source) const;
+  /// Same, with an explicit historic-stats view (e.g. for later days).
+  Result<StageCosts> BuildCosts(const workload::JobInstance& job, CostSource source,
+                                const telemetry::HistoricStats& stats) const;
+
+  /// Full compile-time decision for one job, with timing breakdown.
+  Result<PipelineDecision> Decide(const workload::JobInstance& job, Objective objective,
+                                  CostSource source = CostSource::kMlStacked) const;
+
+  /// Per-job fleet decision under an explicit context: BuildCosts + the
+  /// objective's optimizer, including the multi-cut physical semantics (the
+  /// DP-total objective; global bytes as the union of checkpoint stages —
+  /// a stage persists its output once even if edges cross several cuts).
+  /// Pure function of (bundle, options, job, stats); safe to call
+  /// concurrently for distinct jobs.
+  Result<FleetDecision> DecideJob(const workload::JobInstance& job,
+                                  const telemetry::HistoricStats& stats,
+                                  const DecideOptions& options) const;
+
+ private:
+  std::shared_ptr<const PipelineBundle> bundle_;
+};
+
+}  // namespace phoebe::core

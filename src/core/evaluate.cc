@@ -66,10 +66,10 @@ double RealizedTempSavingMultiCut(const workload::JobInstance& job,
   return std::clamp(saved / total, 0.0, 1.0);
 }
 
-BackTester::BackTester(const PhoebePipeline* pipeline, double mtbf_seconds,
+BackTester::BackTester(const DecisionEngine* engine, double mtbf_seconds,
                        uint64_t seed)
-    : pipeline_(pipeline), mtbf_seconds_(mtbf_seconds), rng_(seed) {
-  PHOEBE_CHECK(pipeline != nullptr);
+    : engine_(engine), mtbf_seconds_(mtbf_seconds), rng_(seed) {
+  PHOEBE_CHECK(engine != nullptr);
   PHOEBE_CHECK(mtbf_seconds > 0.0);
 }
 
@@ -93,7 +93,7 @@ Result<CutResult> BackTester::ChooseCut(const workload::JobInstance& job,
                                         Approach approach, Objective objective,
                                         const telemetry::HistoricStats& stats) {
   PHOEBE_ASSIGN_OR_RETURN(StageCosts costs,
-                          pipeline_->BuildCosts(job, SourceFor(approach), stats));
+                          engine_->BuildCosts(job, SourceFor(approach), stats));
   switch (approach) {
     case Approach::kRandom:
       return RandomCut(job.graph, costs, &rng_);
@@ -105,7 +105,7 @@ Result<CutResult> BackTester::ChooseCut(const workload::JobInstance& job,
   if (objective == Objective::kTempStorage) {
     return OptimizeTempStorage(job.graph, costs);
   }
-  return OptimizeRecovery(job.graph, costs, pipeline_->delta());
+  return OptimizeRecovery(job.graph, costs, engine_->delta());
 }
 
 Result<std::map<Approach, RunningStats>> BackTester::EvaluateTempStorage(

@@ -9,7 +9,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
-#include "core/pipeline.h"
+#include "core/engine.h"
 
 namespace phoebe::core {
 
@@ -43,9 +43,10 @@ double RealizedTempSavingMultiCut(const workload::JobInstance& job,
 /// \brief Per-approach back-tester.
 class BackTester {
  public:
-  /// \param pipeline trained Phoebe pipeline (for ML-based approaches)
+  /// \param engine trained decision engine (for ML-based approaches);
+  /// borrowed, must outlive the tester
   /// \param mtbf_seconds cluster MTBF used for the recovery objective
-  BackTester(const PhoebePipeline* pipeline, double mtbf_seconds, uint64_t seed = 2024);
+  BackTester(const DecisionEngine* engine, double mtbf_seconds, uint64_t seed = 2024);
 
   /// Choose a cut for `job` with `approach` toward `objective`. Uses the
   /// given stats view for ML scoring.
@@ -70,7 +71,7 @@ class BackTester {
  private:
   CostSource SourceFor(Approach approach) const;
 
-  const PhoebePipeline* pipeline_;
+  const DecisionEngine* engine_;
   double mtbf_seconds_;
   Rng rng_;
 };

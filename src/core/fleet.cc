@@ -1,10 +1,11 @@
 #include "core/fleet.h"
 
 #include <cmath>
+#include <map>
+#include <memory>
 #include <optional>
-#include <set>
+#include <utility>
 
-#include "cluster/failure.h"
 #include "common/threadpool.h"
 
 namespace phoebe::core {
@@ -17,69 +18,28 @@ std::vector<cluster::CutSet> FleetDayReport::AdmittedCuts() const {
   return cuts;
 }
 
-FleetDriver::FleetDriver(const PhoebePipeline* pipeline, FleetConfig config)
-    : pipeline_(pipeline), config_(config),
+FleetDriver::FleetDriver(const DecisionEngine* engine, FleetConfig config)
+    : engine_(engine), config_(config),
       template_cache_(config.template_cache.capacity) {
-  PHOEBE_CHECK(pipeline != nullptr);
+  PHOEBE_CHECK(engine != nullptr);
 }
 
 namespace {
 
-/// Per-job decision under the fleet's objective/source. Pure function of
-/// (pipeline, config, job, stats); safe to call concurrently for distinct
-/// jobs because the trained pipeline is const (see DESIGN.md "Concurrency").
-Result<FleetDecision> DecideOne(const PhoebePipeline& pipeline, const FleetConfig& config,
-                                const workload::JobInstance& job,
-                                const telemetry::HistoricStats& stats) {
-  PHOEBE_ASSIGN_OR_RETURN(StageCosts costs,
-                          pipeline.BuildCosts(job, config.source, stats));
-  FleetDecision d;
-  if (config.objective == Objective::kRecovery) {
-    PHOEBE_ASSIGN_OR_RETURN(d.combined,
-                            OptimizeRecovery(job.graph, costs, pipeline.delta()));
-    if (!d.combined.cut.empty()) d.cuts.push_back(d.combined.cut);
-    return d;
-  }
-  if (config.num_cuts <= 1) {
-    PHOEBE_ASSIGN_OR_RETURN(d.combined, OptimizeTempStorage(job.graph, costs));
-    if (!d.combined.cut.empty()) d.cuts.push_back(d.combined.cut);
-    return d;
-  }
-
-  // Multi-cut plan, reported under the physical semantics the cluster
-  // realizes: the DP-total objective (each stage credited at its earliest
-  // cut), and global bytes as the union of checkpoint stages across cuts —
-  // a stage persists its output once even if edges cross several cuts.
-  PHOEBE_ASSIGN_OR_RETURN(
-      std::vector<CutResult> cuts,
-      OptimizeTempStorageMultiCut(job.graph, costs, config.num_cuts));
-  if (cuts.empty()) return d;
-  d.combined.cut = cuts.back().cut;           // outermost (largest) set
-  d.combined.objective = cuts.front().objective;  // DP total
-  std::set<dag::StageId> persisted;
-  for (const CutResult& c : cuts) {
-    d.cuts.push_back(c.cut);
-    for (dag::StageId u : cluster::CheckpointStages(job.graph, c.cut)) {
-      persisted.insert(u);
-    }
-  }
-  for (dag::StageId u : persisted) {
-    d.combined.global_bytes += costs.output_bytes[static_cast<size_t>(u)];
-  }
-  return d;
-}
-
 /// Phase 1 of the day loop: decide every eligible job, in parallel when the
 /// config asks for it. Slot i is engaged iff job i has >= 2 stages. Slots are
-/// written by index, so the result is independent of scheduling order.
+/// written by index, so the result is independent of scheduling order. Pure
+/// map over the jobs: the engine's bundle is immutable, so concurrent calls
+/// for distinct jobs are safe by construction (see DESIGN.md "Concurrency").
 std::vector<std::optional<Result<FleetDecision>>> DecideAll(
-    const PhoebePipeline& pipeline, const FleetConfig& config,
+    const DecisionEngine& engine, const FleetConfig& config,
     const std::vector<workload::JobInstance>& jobs,
     const telemetry::HistoricStats& stats) {
   std::vector<std::optional<Result<FleetDecision>>> slots(jobs.size());
+  const DecideOptions options = config.decide_options();
   auto decide = [&](size_t i) {
     if (jobs[i].graph.num_stages() < 2) return;
-    slots[i].emplace(DecideOne(pipeline, config, jobs[i], stats));
+    slots[i].emplace(engine.DecideJob(jobs[i], stats, options));
   };
   const int threads = ThreadPool::Resolve(config.num_threads);
   if (threads <= 1) {
@@ -96,7 +56,7 @@ std::vector<std::optional<Result<FleetDecision>>> DecideAll(
 Status FleetDriver::Calibrate(const std::vector<workload::JobInstance>& history_jobs,
                               const telemetry::HistoricStats& history_stats) {
   calibration_.clear();
-  auto decisions = DecideAll(*pipeline_, config_, history_jobs, history_stats);
+  auto decisions = DecideAll(*engine_, config_, history_jobs, history_stats);
   for (size_t i = 0; i < history_jobs.size(); ++i) {
     if (!decisions[i].has_value()) continue;  // < 2 stages
     const Result<FleetDecision>& d = *decisions[i];
@@ -112,12 +72,61 @@ Status FleetDriver::Calibrate(const std::vector<workload::JobInstance>& history_
   return Status::OK();
 }
 
+Result<FleetDayDecisions> FleetDriver::DecideDay(
+    const std::vector<workload::JobInstance>& jobs,
+    const telemetry::HistoricStats& stats) const {
+  // Fresh decisions for *every* eligible job, never consulting the template
+  // cache: a shard process has no cache state, and the merge's ReplayDay only
+  // consumes the slots RunDay would have computed (leaders / all jobs), so
+  // extra slots cost shard CPU but never change the merged report.
+  auto slots = DecideAll(*engine_, config_, jobs, stats);
+  FleetDayDecisions day;
+  day.decisions.resize(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!slots[i].has_value()) continue;
+    PHOEBE_RETURN_NOT_OK(slots[i]->status());
+    day.decisions[i].emplace(std::move(**slots[i]));
+  }
+  return day;
+}
+
 Result<FleetDayReport> FleetDriver::RunDay(
     const std::vector<workload::JobInstance>& jobs,
     const telemetry::HistoricStats& stats) {
+  return RunDayImpl(jobs, stats, /*precomputed=*/nullptr);
+}
+
+Result<FleetDayReport> FleetDriver::ReplayDay(
+    const std::vector<workload::JobInstance>& jobs,
+    const telemetry::HistoricStats& stats, const FleetDayDecisions& precomputed) {
+  return RunDayImpl(jobs, stats, &precomputed);
+}
+
+Result<FleetDayReport> FleetDriver::RunDayImpl(
+    const std::vector<workload::JobInstance>& jobs,
+    const telemetry::HistoricStats& stats, const FleetDayDecisions* precomputed) {
   const bool budgeted = std::isfinite(config_.storage_budget_bytes);
   if (budgeted && !calibrated_) {
     return Status::FailedPrecondition("Calibrate must run before a budgeted RunDay");
+  }
+  if (precomputed != nullptr) {
+    if (precomputed->decisions.size() != jobs.size()) {
+      return Status::InvalidArgument("precomputed decisions do not match day size");
+    }
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const bool eligible = jobs[i].graph.num_stages() >= 2;
+      if (precomputed->decisions[i].has_value() != eligible) {
+        return Status::InvalidArgument(
+            "precomputed decision eligibility does not match the day's jobs");
+      }
+      if (!eligible) continue;
+      for (const cluster::CutSet& cut : precomputed->decisions[i]->cuts) {
+        if (cut.before_cut.size() != jobs[i].graph.num_stages()) {
+          return Status::InvalidArgument(
+              "precomputed cut size does not match the job's stage count");
+        }
+      }
+    }
   }
 
   // Admission policy for the day.
@@ -135,23 +144,35 @@ Result<FleetDayReport> FleetDriver::RunDay(
   const TemplateCacheConfig& cache_cfg = config_.template_cache;
   FleetDayReport report;
 
-  // Phase 1 (parallel): per-job decisions. The pipeline is const after
-  // Train, so this is a pure map over the day's jobs.
+  // Phase 1 (parallel): per-job decisions, or — on the ReplayDay path — the
+  // precomputed ones, slotted in where this phase would have computed them.
   //
   // With the template cache on, a serial arrival-order prepass first resolves
-  // hits against the cache (as left by prior RunDay calls) and designates the
-  // first instance of each unseen key as that key's leader; the parallel
-  // phase then computes leaders only, and a serial admission prologue copies
-  // leader decisions to their followers and inserts them into the cache — so
-  // every cache mutation happens serially in arrival order and the report
-  // stays byte-identical for any thread count.
+  // hits against the cache (as left by prior RunDay/ReplayDay calls on this
+  // driver) and designates the first instance of each unseen key as that
+  // key's leader; the parallel phase then computes leaders only, and a serial
+  // admission prologue copies leader decisions to their followers and inserts
+  // them into the cache — so every cache mutation happens serially in arrival
+  // order and the report stays byte-identical for any thread count. Replay
+  // substitutes precomputed decisions for exactly the leader computations
+  // (which DecideDay produced fresh, like this phase would), so cache state,
+  // hit/miss/eviction counts, and LRU order evolve identically.
   std::vector<std::optional<Result<FleetDecision>>> decisions;
   std::vector<TemplateCacheKey> keys;
   std::vector<size_t> leader_of;  // follower i -> index of its leader
   std::vector<char> is_leader;
   const int64_t evictions_before = template_cache_.evictions();
   if (!cache_cfg.enabled) {
-    decisions = DecideAll(*pipeline_, config_, jobs, stats);
+    if (precomputed != nullptr) {
+      decisions.resize(jobs.size());
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        if (precomputed->decisions[i].has_value()) {
+          decisions[i].emplace(*precomputed->decisions[i]);
+        }
+      }
+    } else {
+      decisions = DecideAll(*engine_, config_, jobs, stats);
+    }
   } else {
     decisions.resize(jobs.size());
     keys.resize(jobs.size());
@@ -179,16 +200,23 @@ Result<FleetDayReport> FleetDriver::RunDay(
       is_leader[i] = 1;
       ++report.cache_misses;
     }
-    auto decide = [&](size_t i) {
-      if (!is_leader[i]) return;
-      decisions[i].emplace(DecideOne(*pipeline_, config_, jobs[i], stats));
-    };
-    const int threads = ThreadPool::Resolve(config_.num_threads);
-    if (threads <= 1) {
-      for (size_t i = 0; i < jobs.size(); ++i) decide(i);
+    if (precomputed != nullptr) {
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        if (is_leader[i]) decisions[i].emplace(*precomputed->decisions[i]);
+      }
     } else {
-      ThreadPool pool(threads);
-      pool.ParallelFor(jobs.size(), decide);
+      const DecideOptions options = config_.decide_options();
+      auto decide = [&](size_t i) {
+        if (!is_leader[i]) return;
+        decisions[i].emplace(engine_->DecideJob(jobs[i], stats, options));
+      };
+      const int threads = ThreadPool::Resolve(config_.num_threads);
+      if (threads <= 1) {
+        for (size_t i = 0; i < jobs.size(); ++i) decide(i);
+      } else {
+        ThreadPool pool(threads);
+        pool.ParallelFor(jobs.size(), decide);
+      }
     }
     // Serial admission prologue: insert leader decisions into the cache and
     // copy them to same-day followers, in arrival order, before the admission

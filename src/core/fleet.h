@@ -4,22 +4,28 @@
 // knapsack, and reports what the fleet realized — the layer the Workload
 // Insight Service runs in Figure 4.
 //
-// The day loop is two-phase (see DESIGN.md "Concurrency"):
-//   1. a parallel decision phase — `PhoebePipeline` is logically const after
-//      Train, so per-job BuildCosts + optimize calls are embarrassingly
-//      parallel and run across a fixed-size thread pool;
-//   2. a serial admission phase — the online-knapsack offers are replayed in
-//      arrival order, so the resulting FleetDayReport is byte-identical to
-//      the legacy serial driver regardless of `FleetConfig::num_threads`.
+// The driver serves from a const DecisionEngine (see core/engine.h): the
+// decide path has no access to mutable pipeline state, which is what makes
+// both of its parallel forms safe by construction:
+//   1. thread-level — the day loop's decision phase runs across a
+//      fixed-size thread pool, and a serial admission phase replays the
+//      online-knapsack offers in arrival order, so the FleetDayReport is
+//      byte-identical for any `FleetConfig::num_threads`;
+//   2. process-level — DecideDay computes a day's raw decisions with no
+//      shared state at all, and ReplayDay re-runs the day with those
+//      precomputed decisions through the *same* cache/admission code path,
+//      so N shard processes + a serial merge reproduce the unsharded report
+//      byte for byte (see core/fleet_shard.h).
 #pragma once
 
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "core/decision_cache.h"
+#include "core/engine.h"
 #include "core/evaluate.h"
 #include "core/knapsack.h"
-#include "core/pipeline.h"
 
 namespace phoebe::core {
 
@@ -49,6 +55,10 @@ struct FleetConfig {
   /// order, so reports stay byte-identical for any num_threads; with
   /// quantize_bps == 0 they are also byte-identical to cache-off runs.
   TemplateCacheConfig template_cache;
+
+  DecideOptions decide_options() const {
+    return DecideOptions{objective, source, num_cuts};
+  }
 };
 
 /// \brief Decision and outcome for one job of the day.
@@ -94,22 +104,22 @@ struct FleetDayReport {
   std::vector<cluster::CutSet> AdmittedCuts() const;
 };
 
-/// \brief One job's full decision: the combined (reported) cut plus the
-/// nested cut sets in physical, innermost-first order. This is the value the
-/// template cache stores and replays for recurring instances.
-struct FleetDecision {
-  CutResult combined;                 ///< cut = outermost; DP-total objective
-  std::vector<cluster::CutSet> cuts;  ///< innermost-first; empty if no cut
+/// \brief The decide phase of one day, detached from cache and admission:
+/// slot i holds the raw decision for job i, engaged iff the job is eligible
+/// (>= 2 stages). This is what a shard process computes and serializes; the
+/// merge replays it through ReplayDay.
+struct FleetDayDecisions {
+  std::vector<std::optional<FleetDecision>> decisions;
 };
 
 /// \brief Runs the per-day decision loop.
 class FleetDriver {
  public:
-  /// \param pipeline trained pipeline (borrowed; must outlive the driver).
-  /// The pipeline must not be retrained or Load()ed while a RunDay or
-  /// Calibrate call is in flight — the parallel phase relies on it being
-  /// const after Train.
-  FleetDriver(const PhoebePipeline* pipeline, FleetConfig config);
+  /// \param engine const serving engine (borrowed; must outlive the driver).
+  /// The engine's bundle is immutable, so the parallel phase is safe by
+  /// construction; just don't re-seat the engine (PhoebePipeline::Train /
+  /// Load / set_batch_inference) while a driver call is in flight.
+  FleetDriver(const DecisionEngine* engine, FleetConfig config);
 
   /// Calibrate the admission threshold from a historical day's decisions.
   /// Must be called before RunDay when the budget is finite.
@@ -130,8 +140,28 @@ class FleetDriver {
   Result<FleetDayReport> RunDay(const std::vector<workload::JobInstance>& jobs,
                                 const telemetry::HistoricStats& stats);
 
+  /// Decide phase only: a fresh decision for every eligible job, no cache
+  /// interaction, no admission, no driver-state mutation. This is the work a
+  /// shard process performs for the days it owns.
+  Result<FleetDayDecisions> DecideDay(const std::vector<workload::JobInstance>& jobs,
+                                      const telemetry::HistoricStats& stats) const;
+
+  /// RunDay with the decision phase replaced by `precomputed` (from
+  /// DecideDay, possibly in another process). The cache prepass, leader
+  /// bookkeeping, admission replay, and every report counter run the same
+  /// code RunDay runs, so for decisions produced by an engine+config equal
+  /// to this driver's the report is byte-identical to RunDay's — including
+  /// cache hit/miss/eviction counts and LRU eviction order.
+  Result<FleetDayReport> ReplayDay(const std::vector<workload::JobInstance>& jobs,
+                                   const telemetry::HistoricStats& stats,
+                                   const FleetDayDecisions& precomputed);
+
  private:
-  const PhoebePipeline* pipeline_;
+  Result<FleetDayReport> RunDayImpl(const std::vector<workload::JobInstance>& jobs,
+                                    const telemetry::HistoricStats& stats,
+                                    const FleetDayDecisions* precomputed);
+
+  const DecisionEngine* engine_;
   FleetConfig config_;
   std::vector<KnapsackItem> calibration_;
   bool calibrated_ = false;

@@ -1,0 +1,285 @@
+#include "core/fleet_shard.h"
+
+#include <utility>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace phoebe::core {
+
+namespace {
+
+constexpr const char* kMagic = "phoebe_shard";
+constexpr int kFormatVersion = 1;
+
+std::string CutBits(const cluster::CutSet& cut) {
+  std::string bits;
+  bits.reserve(cut.before_cut.size());
+  for (bool b : cut.before_cut) bits.push_back(b ? '1' : '0');
+  return bits;
+}
+
+Result<cluster::CutSet> ParseCutBits(const std::string& bits) {
+  if (bits.empty()) return Status::InvalidArgument("empty cut bitstring");
+  cluster::CutSet cut;
+  cut.before_cut.reserve(bits.size());
+  for (char c : bits) {
+    if (c != '0' && c != '1') {
+      return Status::InvalidArgument("cut bitstring must be 0/1 only");
+    }
+    cut.before_cut.push_back(c == '1');
+  }
+  return cut;
+}
+
+/// Line cursor over the blob text; every line must end in '\n' (a missing
+/// final newline is a truncation error, same convention as the bundle).
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : text_(text) {}
+
+  Result<std::string> Next() {
+    if (pos_ >= text_.size()) return Status::InvalidArgument("unexpected end of shard blob");
+    size_t nl = text_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      return Status::InvalidArgument("shard blob truncated (missing newline)");
+    }
+    std::string line = text_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    return line;
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::string> SerializeFleetShard(const FleetShardHeader& header,
+                                        const std::map<int, FleetDayDecisions>& days) {
+  if (header.shard_count < 1 || header.shard_index < 0 ||
+      header.shard_index >= header.shard_count) {
+    return Status::InvalidArgument("invalid shard index/count");
+  }
+  if (header.num_days < 1) return Status::InvalidArgument("num_days must be >= 1");
+  for (const auto& [day, decisions] : days) {
+    if (day < 0 || day >= header.num_days) {
+      return Status::InvalidArgument(StrFormat("day %d outside [0, %d)", day,
+                                               header.num_days));
+    }
+    if (!ShardOwnsDay(day, header.shard_index, header.shard_count)) {
+      return Status::InvalidArgument(
+          StrFormat("day %d is not owned by shard %d/%d", day, header.shard_index,
+                    header.shard_count));
+    }
+    (void)decisions;
+  }
+
+  std::string out = StrFormat("%s %d\n", kMagic, kFormatVersion);
+  out += StrFormat("shard %d %d days %d checksum %08x\n", header.shard_index,
+                   header.shard_count, header.num_days, header.bundle_checksum);
+  for (const auto& [day, decisions] : days) {
+    out += StrFormat("day %d jobs %zu\n", day, decisions.decisions.size());
+    for (size_t i = 0; i < decisions.decisions.size(); ++i) {
+      const auto& slot = decisions.decisions[i];
+      if (!slot.has_value()) {
+        out += StrFormat("job %zu -\n", i);
+        continue;
+      }
+      const FleetDecision& d = *slot;
+      out += StrFormat("job %zu %.17g %.17g %zu\n", i, d.combined.objective,
+                       d.combined.global_bytes, d.cuts.size());
+      for (const cluster::CutSet& cut : d.cuts) {
+        out += "cut " + CutBits(cut) + "\n";
+      }
+    }
+    out += "end_day\n";
+  }
+  out += "end_shard\n";
+  return out;
+}
+
+Result<FleetShardBlob> ParseFleetShard(const std::string& text) {
+  LineReader r(text);
+
+  PHOEBE_ASSIGN_OR_RETURN(std::string magic_line, r.Next());
+  {
+    std::vector<std::string> tok = Split(magic_line, ' ');
+    int32_t version = 0;
+    if (tok.size() != 2 || tok[0] != kMagic || !ParseInt32(tok[1], &version)) {
+      return Status::InvalidArgument("not a phoebe shard blob (bad magic)");
+    }
+    if (version != kFormatVersion) {
+      return Status::InvalidArgument(StrFormat(
+          "unsupported shard blob version %d (expected %d)", version, kFormatVersion));
+    }
+  }
+
+  FleetShardBlob blob;
+  {
+    PHOEBE_ASSIGN_OR_RETURN(std::string line, r.Next());
+    std::vector<std::string> tok = Split(line, ' ');
+    if (tok.size() != 7 || tok[0] != "shard" || tok[3] != "days" ||
+        tok[5] != "checksum" ||
+        !ParseInt32(tok[1], &blob.header.shard_index) ||
+        !ParseInt32(tok[2], &blob.header.shard_count) ||
+        !ParseInt32(tok[4], &blob.header.num_days)) {
+      return Status::InvalidArgument("malformed shard header: " + line);
+    }
+    if (!ParseHexU32(tok[6], &blob.header.bundle_checksum)) {
+      return Status::InvalidArgument("malformed shard checksum: " + tok[6]);
+    }
+    if (blob.header.shard_count < 1 || blob.header.shard_index < 0 ||
+        blob.header.shard_index >= blob.header.shard_count) {
+      return Status::InvalidArgument("invalid shard index/count in header");
+    }
+    if (blob.header.num_days < 1) {
+      return Status::InvalidArgument("invalid num_days in header");
+    }
+  }
+
+  for (;;) {
+    PHOEBE_ASSIGN_OR_RETURN(std::string line, r.Next());
+    if (line == "end_shard") break;
+    std::vector<std::string> tok = Split(line, ' ');
+    int32_t day = 0, num_jobs = 0;
+    if (tok.size() != 4 || tok[0] != "day" || tok[2] != "jobs" ||
+        !ParseInt32(tok[1], &day) || !ParseInt32(tok[3], &num_jobs) || num_jobs < 0) {
+      return Status::InvalidArgument("malformed day header: " + line);
+    }
+    if (day < 0 || day >= blob.header.num_days) {
+      return Status::InvalidArgument(StrFormat("day %d outside [0, %d)", day,
+                                               blob.header.num_days));
+    }
+    if (!ShardOwnsDay(day, blob.header.shard_index, blob.header.shard_count)) {
+      return Status::InvalidArgument(
+          StrFormat("day %d is not owned by shard %d/%d", day,
+                    blob.header.shard_index, blob.header.shard_count));
+    }
+    if (blob.days.count(day) != 0) {
+      return Status::InvalidArgument(StrFormat("duplicate day %d in blob", day));
+    }
+    FleetDayDecisions decisions;
+    decisions.decisions.resize(static_cast<size_t>(num_jobs));
+    for (int i = 0; i < num_jobs; ++i) {
+      PHOEBE_ASSIGN_OR_RETURN(std::string job_line, r.Next());
+      std::vector<std::string> jt = Split(job_line, ' ');
+      int32_t index = -1;
+      if (jt.size() < 2 || jt[0] != "job" || !ParseInt32(jt[1], &index) ||
+          index != i) {
+        return Status::InvalidArgument("malformed job line: " + job_line);
+      }
+      if (jt.size() == 3 && jt[2] == "-") continue;  // ineligible slot
+      int32_t num_cuts = -1;
+      FleetDecision d;
+      if (jt.size() != 5 || !ParseFiniteDouble(jt[2], &d.combined.objective) ||
+          !ParseFiniteDouble(jt[3], &d.combined.global_bytes) ||
+          !ParseInt32(jt[4], &num_cuts) || num_cuts < 0) {
+        return Status::InvalidArgument("malformed job line: " + job_line);
+      }
+      for (int c = 0; c < num_cuts; ++c) {
+        PHOEBE_ASSIGN_OR_RETURN(std::string cut_line, r.Next());
+        std::vector<std::string> ct = Split(cut_line, ' ');
+        if (ct.size() != 2 || ct[0] != "cut") {
+          return Status::InvalidArgument("malformed cut line: " + cut_line);
+        }
+        PHOEBE_ASSIGN_OR_RETURN(cluster::CutSet cut, ParseCutBits(ct[1]));
+        d.cuts.push_back(std::move(cut));
+      }
+      if (!d.cuts.empty()) d.combined.cut = d.cuts.back();  // outermost
+      decisions.decisions[static_cast<size_t>(i)].emplace(std::move(d));
+    }
+    PHOEBE_ASSIGN_OR_RETURN(std::string end_line, r.Next());
+    if (end_line != "end_day") {
+      return Status::InvalidArgument("expected end_day, got: " + end_line);
+    }
+    blob.days.emplace(day, std::move(decisions));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after end_shard");
+  }
+  return blob;
+}
+
+Result<std::map<int, FleetDayDecisions>> CombineFleetShards(
+    const std::vector<FleetShardBlob>& blobs, uint32_t expected_bundle_checksum) {
+  if (blobs.empty()) return Status::InvalidArgument("no shard blobs to combine");
+  const int shard_count = blobs.front().header.shard_count;
+  const int num_days = blobs.front().header.num_days;
+  if (static_cast<int>(blobs.size()) != shard_count) {
+    return Status::InvalidArgument(
+        StrFormat("expected %d shard blobs, got %zu", shard_count, blobs.size()));
+  }
+  std::vector<bool> seen(static_cast<size_t>(shard_count), false);
+  std::map<int, FleetDayDecisions> merged;
+  for (const FleetShardBlob& blob : blobs) {
+    const FleetShardHeader& h = blob.header;
+    if (h.shard_count != shard_count || h.num_days != num_days) {
+      return Status::InvalidArgument("shard blobs disagree on shard count or day range");
+    }
+    if (h.bundle_checksum != expected_bundle_checksum) {
+      return Status::InvalidArgument(StrFormat(
+          "shard %d was decided under bundle %08x, expected %08x — refusing to merge",
+          h.shard_index, h.bundle_checksum, expected_bundle_checksum));
+    }
+    if (seen[static_cast<size_t>(h.shard_index)]) {
+      return Status::InvalidArgument(StrFormat("duplicate shard index %d", h.shard_index));
+    }
+    seen[static_cast<size_t>(h.shard_index)] = true;
+    for (const auto& [day, decisions] : blob.days) {
+      merged.emplace(day, decisions);  // ParseFleetShard enforced ownership
+    }
+  }
+  for (int s = 0; s < shard_count; ++s) {
+    if (!seen[static_cast<size_t>(s)]) {
+      return Status::InvalidArgument(StrFormat("missing shard %d of %d", s, shard_count));
+    }
+  }
+  for (int d = 0; d < num_days; ++d) {
+    if (merged.count(d) == 0) {
+      return Status::InvalidArgument(
+          StrFormat("day %d missing from shard %d's blob", d, d % shard_count));
+    }
+  }
+  return merged;
+}
+
+std::string FleetDayReportJson(const FleetDayReport& report, int day) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("day", day);
+  w.KV("jobs_considered", report.jobs_considered);
+  w.KV("jobs_with_cut", report.jobs_with_cut);
+  w.KV("jobs_admitted", report.jobs_admitted);
+  w.KV("storage_used_bytes", report.storage_used_bytes);
+  w.KV("total_temp_byte_seconds", report.total_temp_byte_seconds);
+  w.KV("realized_saving_byte_seconds", report.realized_saving_byte_seconds);
+  w.KV("saving_fraction", report.SavingFraction());
+  w.KV("knapsack_threshold", report.knapsack_threshold);
+  w.KV("cache_hits", report.cache_hits);
+  w.KV("cache_misses", report.cache_misses);
+  w.KV("cache_evictions", report.cache_evictions);
+  w.Key("outcomes");
+  w.BeginArray();
+  for (const FleetJobOutcome& out : report.outcomes) {
+    w.BeginObject();
+    w.KV("job_id", out.job_id);
+    w.KV("admitted", out.admitted);
+    w.KV("global_bytes", out.global_bytes);
+    w.KV("predicted_value", out.predicted_value);
+    w.KV("realized_value", out.realized_value);
+    w.Key("cuts");
+    w.BeginArray();
+    for (const cluster::CutSet& cut : out.cuts) w.Value(CutBits(cut));
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace phoebe::core

@@ -1,0 +1,79 @@
+// Multi-process fleet sharding: the serialization protocol that lets N
+// independent processes split a multi-day fleet run by day and still produce
+// a FleetDayReport stream byte-identical to the unsharded run.
+//
+// Protocol (see DESIGN.md "Artifacts & serving"):
+//   1. Every process loads the *same* PipelineBundle (the header carries the
+//      bundle checksum so a mismatched artifact fails loudly at merge).
+//   2. Shard I of N decides the days it owns — day d (0-based) belongs to
+//      shard d % N — with FleetDriver::DecideDay, which touches no shared
+//      state, and writes one blob file.
+//   3. A serial merge parses the blobs, checks they tile the day range
+//      exactly, and replays each day in order through FleetDriver::ReplayDay
+//      on one driver. The admission knapsack and the template decision cache
+//      are inherently sequential (admission consumes budget in arrival
+//      order; the cache carries state across days), so they run only here —
+//      and because ReplayDay shares RunDay's code path, the merged reports
+//      are byte-for-byte the unsharded ones.
+//
+// Blob text format (line-oriented, strict parse, '\n' line ends):
+//   phoebe_shard 1
+//   shard <index> <count> days <num_days> checksum <crc32 hex8>
+//   day <d> jobs <m>
+//     job <i> -                                    # ineligible (< 2 stages)
+//     job <i> <objective> <global_bytes> <k>       # doubles as %.17g
+//       cut <01-bitstring>                         # k lines, innermost-first
+//   end_day
+//   ...
+//   end_shard
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fleet.h"
+
+namespace phoebe::core {
+
+/// \brief Identity of one shard's blob: which slice of which run it holds.
+struct FleetShardHeader {
+  int shard_index = 0;          ///< 0-based shard id
+  int shard_count = 1;          ///< total shards N
+  int num_days = 0;             ///< days in the whole run (not per shard)
+  uint32_t bundle_checksum = 0; ///< PipelineBundle::checksum() of the artifact
+};
+
+/// \brief A parsed shard blob: header + decisions for the days it owns.
+struct FleetShardBlob {
+  FleetShardHeader header;
+  std::map<int, FleetDayDecisions> days;  ///< day index -> decide-phase output
+};
+
+/// True iff shard `shard_index` of `shard_count` owns day `day`.
+inline bool ShardOwnsDay(int day, int shard_index, int shard_count) {
+  return day % shard_count == shard_index;
+}
+
+/// Serialize one shard's decisions. `days` must hold exactly the days the
+/// header's shard owns in [0, num_days).
+Result<std::string> SerializeFleetShard(const FleetShardHeader& header,
+                                        const std::map<int, FleetDayDecisions>& days);
+
+/// Strict parse of a shard blob; any malformed line is an error.
+Result<FleetShardBlob> ParseFleetShard(const std::string& text);
+
+/// Validate that `blobs` are the complete shard set of one run (headers
+/// agree, indices 0..N-1 appear exactly once, every day is present in its
+/// owner's blob and nowhere else) and merge them into one day->decisions map
+/// covering [0, num_days). `expected_bundle_checksum` guards against merging
+/// blobs decided under a different artifact.
+Result<std::map<int, FleetDayDecisions>> CombineFleetShards(
+    const std::vector<FleetShardBlob>& blobs, uint32_t expected_bundle_checksum);
+
+/// Canonical single-line JSON rendering of a day report — the byte-compared
+/// unit of the shard/merge determinism guarantee (doubles as %.17g, key order
+/// fixed, per-job outcomes included). Ends without a newline.
+std::string FleetDayReportJson(const FleetDayReport& report, int day);
+
+}  // namespace phoebe::core

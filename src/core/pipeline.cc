@@ -1,14 +1,13 @@
 #include "core/pipeline.h"
 
-#include <algorithm>
-#include <chrono>
 #include <deque>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
-#include "core/simulator.h"
 
 namespace phoebe::core {
 
@@ -23,21 +22,17 @@ PipelineConfig PhoebePipeline::DefaultConfig() {
   return cfg;
 }
 
-PhoebePipeline::PhoebePipeline(PipelineConfig config) : config_(std::move(config)) {
-  exec_ = std::make_unique<StageCostPredictor>(config_.exec_predictor,
-                                               Target::kExecSeconds);
-  size_ = std::make_unique<StageCostPredictor>(config_.size_predictor,
-                                               Target::kOutputBytes);
-  ttl_ = std::make_unique<TtlEstimator>(config_.ttl);
-}
+PhoebePipeline::PhoebePipeline(PipelineConfig config)
+    : config_(std::move(config)),
+      engine_(std::make_shared<const PipelineBundle>(config_)) {}
 
 void PhoebePipeline::set_batch_inference(bool on) {
   config_.exec_predictor.batch_inference = on;
   config_.size_predictor.batch_inference = on;
   config_.ttl.batch_inference = on;
-  exec_->set_batch_inference(on);
-  size_->set_batch_inference(on);
-  ttl_->set_batch_inference(on);
+  auto toggled = engine_.bundle().WithBatchInference(on);
+  toggled.status().Check();  // round-trips our own serialized form
+  engine_ = DecisionEngine(std::move(*toggled));
 }
 
 Status PhoebePipeline::Train(const telemetry::WorkloadRepository& repo, int first_day,
@@ -60,124 +55,22 @@ Status PhoebePipeline::Train(const telemetry::WorkloadRepository& repo, int firs
   }
   if (examples.empty()) return Status::InvalidArgument("no training jobs");
 
-  PHOEBE_RETURN_NOT_OK(exec_->Train(examples));
-  PHOEBE_RETURN_NOT_OK(size_->Train(examples));
-  PHOEBE_RETURN_NOT_OK(ttl_->Train(examples, *exec_));
+  auto exec = std::make_unique<StageCostPredictor>(config_.exec_predictor,
+                                                   Target::kExecSeconds);
+  auto size = std::make_unique<StageCostPredictor>(config_.size_predictor,
+                                                   Target::kOutputBytes);
+  auto ttl = std::make_unique<TtlEstimator>(config_.ttl);
+  PHOEBE_RETURN_NOT_OK(exec->Train(examples));
+  PHOEBE_RETURN_NOT_OK(size->Train(examples));
+  PHOEBE_RETURN_NOT_OK(ttl->Train(examples, *exec));
 
-  stats_ = repo.StatsBefore(first_day + num_days);
-  trained_ = true;
+  // Freeze: the trained components move into an immutable bundle and the
+  // serving engine re-seats on it. From here on, the compiler enforces
+  // const-after-Train for every decide-path caller.
+  engine_ = DecisionEngine(std::make_shared<const PipelineBundle>(
+      config_, std::move(exec), std::move(size), std::move(ttl),
+      repo.StatsBefore(first_day + num_days)));
   return Status::OK();
-}
-
-Result<StageCosts> PhoebePipeline::BuildCosts(const workload::JobInstance& job,
-                                              CostSource source) const {
-  return BuildCosts(job, source, stats_);
-}
-
-Result<StageCosts> PhoebePipeline::BuildCosts(const workload::JobInstance& job,
-                                              CostSource source,
-                                              const telemetry::HistoricStats& stats) const {
-  const size_t n = job.graph.num_stages();
-  StageCosts costs;
-  costs.num_tasks.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    costs.num_tasks.push_back(job.truth[i].num_tasks);
-  }
-
-  if (source == CostSource::kTruth) {
-    costs.output_bytes.reserve(n);
-    costs.ttl.reserve(n);
-    costs.end_time.reserve(n);
-    costs.tfs.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      const workload::StageTruth& t = job.truth[i];
-      costs.output_bytes.push_back(t.output_bytes);
-      costs.ttl.push_back(t.ttl);
-      costs.end_time.push_back(t.end_time);
-      costs.tfs.push_back(t.tfs);
-    }
-    return costs;
-  }
-
-  // Per-stage execution time and output size from the chosen source.
-  std::vector<double> exec(n), output(n);
-  switch (source) {
-    case CostSource::kOptimizerEstimates:
-      for (size_t i = 0; i < n; ++i) {
-        exec[i] = std::max(0.0, job.est[i].est_exclusive_cost);
-        output[i] = std::max(0.0, job.est[i].est_output_bytes);
-      }
-      break;
-    case CostSource::kConstant:
-      for (size_t i = 0; i < n; ++i) {
-        exec[i] = 1.0;
-        output[i] = 1.0;
-      }
-      break;
-    case CostSource::kMlSimulator:
-    case CostSource::kMlStacked: {
-      if (!trained_) return Status::FailedPrecondition("pipeline not trained");
-      exec = exec_->PredictJob(job, stats);
-      output = size_->PredictJob(job, stats);
-      break;
-    }
-    case CostSource::kTruth:
-      PHOEBE_CHECK(false);
-  }
-
-  PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule sim, SimulateSchedule(job.graph, exec));
-
-  costs.output_bytes = std::move(output);
-  costs.end_time = sim.end;
-  costs.tfs = sim.start;
-  if (source == CostSource::kMlStacked && trained_) {
-    costs.ttl = ttl_->Predict(job, sim);
-  } else {
-    costs.ttl.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      costs.ttl[i] = sim.Ttl(static_cast<dag::StageId>(i));
-    }
-  }
-  return costs;
-}
-
-Result<PipelineDecision> PhoebePipeline::Decide(const workload::JobInstance& job,
-                                                Objective objective,
-                                                CostSource source) const {
-  using Clock = std::chrono::steady_clock;
-  PipelineDecision decision;
-
-  auto t0 = Clock::now();
-  // Metadata/model lookup: resolve stats entries for every stage type in the
-  // plan (in production this is the Workload Insight Service round trip).
-  for (size_t i = 0; i < job.graph.num_stages(); ++i) {
-    (void)stats_.Get(job.template_id, job.graph.stage(static_cast<int>(i)).stage_type);
-  }
-  auto t1 = Clock::now();
-
-  PHOEBE_ASSIGN_OR_RETURN(StageCosts costs, BuildCosts(job, source));
-  auto t2 = Clock::now();
-
-  switch (objective) {
-    case Objective::kTempStorage: {
-      PHOEBE_ASSIGN_OR_RETURN(decision.cut, OptimizeTempStorage(job.graph, costs));
-      break;
-    }
-    case Objective::kRecovery: {
-      PHOEBE_ASSIGN_OR_RETURN(decision.cut,
-                              OptimizeRecovery(job.graph, costs, config_.delta));
-      break;
-    }
-  }
-  auto t3 = Clock::now();
-
-  auto secs = [](auto a, auto b) {
-    return std::chrono::duration<double>(b - a).count();
-  };
-  decision.lookup_seconds = secs(t0, t1);
-  decision.scoring_seconds = secs(t1, t2);
-  decision.optimize_seconds = secs(t2, t3);
-  return decision;
 }
 
 namespace {
@@ -201,14 +94,15 @@ Result<std::string> ReadFile(const std::string& path) {
 }  // namespace
 
 Status PhoebePipeline::Save(const std::string& dir) const {
-  if (!trained_) return Status::FailedPrecondition("pipeline not trained");
+  const PipelineBundle& b = engine_.bundle();
+  if (!b.trained()) return Status::FailedPrecondition("pipeline not trained");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IoError("cannot create directory: " + dir);
-  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/exec.model", exec_->ToText()));
-  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/size.model", size_->ToText()));
-  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/ttl.model", ttl_->ToText()));
-  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/stats.txt", stats_.ToText()));
+  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/exec.model", b.exec_predictor().ToText()));
+  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/size.model", b.size_predictor().ToText()));
+  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/ttl.model", b.ttl_estimator().ToText()));
+  PHOEBE_RETURN_NOT_OK(WriteFile(dir + "/stats.txt", b.stats().ToText()));
   return Status::OK();
 }
 
@@ -217,11 +111,30 @@ Status PhoebePipeline::Load(const std::string& dir) {
   PHOEBE_ASSIGN_OR_RETURN(std::string size_text, ReadFile(dir + "/size.model"));
   PHOEBE_ASSIGN_OR_RETURN(std::string ttl_text, ReadFile(dir + "/ttl.model"));
   PHOEBE_ASSIGN_OR_RETURN(std::string stats_text, ReadFile(dir + "/stats.txt"));
-  PHOEBE_RETURN_NOT_OK(exec_->LoadFromText(exec_text));
-  PHOEBE_RETURN_NOT_OK(size_->LoadFromText(size_text));
-  PHOEBE_RETURN_NOT_OK(ttl_->LoadFromText(ttl_text));
-  PHOEBE_ASSIGN_OR_RETURN(stats_, telemetry::HistoricStats::FromText(stats_text));
-  trained_ = true;
+  auto exec = std::make_unique<StageCostPredictor>(config_.exec_predictor,
+                                                   Target::kExecSeconds);
+  auto size = std::make_unique<StageCostPredictor>(config_.size_predictor,
+                                                   Target::kOutputBytes);
+  auto ttl = std::make_unique<TtlEstimator>(config_.ttl);
+  PHOEBE_RETURN_NOT_OK(exec->LoadFromText(exec_text));
+  PHOEBE_RETURN_NOT_OK(size->LoadFromText(size_text));
+  PHOEBE_RETURN_NOT_OK(ttl->LoadFromText(ttl_text));
+  PHOEBE_ASSIGN_OR_RETURN(telemetry::HistoricStats stats,
+                          telemetry::HistoricStats::FromText(stats_text));
+  engine_ = DecisionEngine(std::make_shared<const PipelineBundle>(
+      config_, std::move(exec), std::move(size), std::move(ttl), std::move(stats)));
+  return Status::OK();
+}
+
+Status PhoebePipeline::SaveBundle(const std::string& path) const {
+  return engine_.bundle().SaveToFile(path);
+}
+
+Status PhoebePipeline::LoadBundle(const std::string& path) {
+  PHOEBE_ASSIGN_OR_RETURN(std::shared_ptr<const PipelineBundle> bundle,
+                          PipelineBundle::LoadFromFile(path));
+  config_ = bundle->config();
+  engine_ = DecisionEngine(std::move(bundle));
   return Status::OK();
 }
 

@@ -1,59 +1,32 @@
 // End-to-end Phoebe pipeline (Figure 4): train the three predictors from the
 // workload repository, then — at "compile time" for a new job — score stage
 // costs, simulate the schedule, stack the TTL, and pick the checkpoint cut.
+//
+// The pipeline is the *train-time* half of the train/serve split: Train (or
+// Load/LoadBundle) produces an immutable PipelineBundle, and all decide-path
+// reads go through the pipeline's DecisionEngine view of it (`engine()`).
+// The inference accessors and BuildCosts/Decide below delegate to that
+// engine, so the serving code path is identical whether callers hold a
+// pipeline or a bare engine over a loaded bundle.
 #pragma once
 
 #include <memory>
+#include <string>
 
-#include "core/checkpoint.h"
-#include "core/predictors.h"
-#include "core/ttl.h"
+#include "core/engine.h"
 #include "telemetry/repository.h"
 
 namespace phoebe::core {
 
-/// \brief Which cost inputs feed the optimizer — the Figure 12/14 variants.
-enum class CostSource {
-  kTruth,               ///< Optimal: true outputs/TTL/schedule (offline oracle)
-  kOptimizerEstimates,  ///< OP: raw query-optimizer estimates + simulator
-  kConstant,            ///< OCC: constant per-stage costs + simulator
-  kMlSimulator,         ///< OML: ML cost models + simulator TTL
-  kMlStacked,           ///< OMLS: ML cost models + stacking-model TTL
-};
-
-/// \brief Checkpoint objective to optimize.
-enum class Objective {
-  kTempStorage,  ///< free temp data on hotspots (OptCheck1)
-  kRecovery,     ///< fast restart of failed jobs (OptCheck2)
-};
-
-/// \brief Pipeline configuration.
-struct PipelineConfig {
-  PredictorConfig exec_predictor;
-  PredictorConfig size_predictor;
-  TtlConfig ttl;
-  /// Per-task failure probability delta ~ E[task runtime] / MTBF (eq. 31).
-  double delta = 0.0005;
-};
-
-/// \brief A compile-time checkpoint decision with overhead breakdown (§6.4).
-struct PipelineDecision {
-  CutResult cut;
-  double lookup_seconds = 0.0;    ///< metadata/model lookup
-  double scoring_seconds = 0.0;   ///< ML scoring + schedule simulation
-  double optimize_seconds = 0.0;  ///< cut search
-};
-
 /// \brief Trained Phoebe instance.
 ///
 /// Thread-safety: the pipeline is logically const after Train (or Load)
-/// returns. Every inference entry point — BuildCosts, Decide, and the
-/// predictor/estimator accessors — is a const member whose whole call tree
-/// (featurizer, GBDT/MLP forests, TTL stacking models, historic-stats maps)
-/// reads immutable state with no caches, so concurrent calls on one trained
-/// pipeline are safe. The fleet driver's parallel decision phase depends on
-/// this invariant; core_fleet_parallel_test pins it under TSan. Train and
-/// Load are the only mutators and must not overlap any inference call.
+/// returns — trained state lives in an immutable PipelineBundle, and every
+/// inference entry point delegates to the const-only DecisionEngine, so
+/// concurrent inference calls on one trained pipeline are safe
+/// (core_fleet_parallel_test pins this under TSan). Train, Load, LoadBundle,
+/// and set_batch_inference swap the bundle and must not overlap any
+/// inference call or outstanding engine() use.
 class PhoebePipeline {
  public:
   explicit PhoebePipeline(PipelineConfig config = DefaultConfig());
@@ -66,47 +39,74 @@ class PhoebePipeline {
   /// Inference-time stats are those available after the last training day.
   Status Train(const telemetry::WorkloadRepository& repo, int first_day, int num_days);
 
-  bool trained() const { return trained_; }
+  bool trained() const { return engine_.trained(); }
+
+  /// The const-only serving view over the current bundle. The reference
+  /// stays valid across Train/Load (the engine object is re-seated in
+  /// place), but must not be *used* while one of the mutators runs.
+  const DecisionEngine& engine() const { return engine_; }
+
+  /// The current immutable bundle (shared; never mutates once returned).
+  std::shared_ptr<const PipelineBundle> bundle() const {
+    return engine_.shared_bundle();
+  }
 
   /// Toggle batched inference on all three model stacks at once (predictors
   /// and TTL stacking). Both paths are bit-identical; this exists so a single
   /// trained pipeline can be benchmarked batch-on vs. batch-off without
-  /// retraining. Mutator: must not overlap any inference call (see the
-  /// thread-safety note above).
+  /// retraining. Mutator: swaps the bundle (trained state round-trips
+  /// through the serialized form), so it must not overlap inference.
   void set_batch_inference(bool on);
 
-  const telemetry::HistoricStats& inference_stats() const { return stats_; }
-  const StageCostPredictor& exec_predictor() const { return *exec_; }
-  const StageCostPredictor& size_predictor() const { return *size_; }
-  const TtlEstimator& ttl_estimator() const { return *ttl_; }
-  double delta() const { return config_.delta; }
+  const telemetry::HistoricStats& inference_stats() const {
+    return engine_.inference_stats();
+  }
+  const StageCostPredictor& exec_predictor() const {
+    return engine_.bundle().exec_predictor();
+  }
+  const StageCostPredictor& size_predictor() const {
+    return engine_.bundle().size_predictor();
+  }
+  const TtlEstimator& ttl_estimator() const {
+    return engine_.bundle().ttl_estimator();
+  }
+  double delta() const { return engine_.delta(); }
 
   /// Build the optimizer inputs for one job under a cost source, using only
   /// compile-time information (plus truth for the kTruth oracle).
   Result<StageCosts> BuildCosts(const workload::JobInstance& job,
-                                CostSource source) const;
+                                CostSource source) const {
+    return engine_.BuildCosts(job, source);
+  }
   /// Same, with an explicit historic-stats view (e.g. for later days).
   Result<StageCosts> BuildCosts(const workload::JobInstance& job, CostSource source,
-                                const telemetry::HistoricStats& stats) const;
+                                const telemetry::HistoricStats& stats) const {
+    return engine_.BuildCosts(job, source, stats);
+  }
 
   /// Full compile-time decision for one job.
   Result<PipelineDecision> Decide(const workload::JobInstance& job, Objective objective,
-                                  CostSource source = CostSource::kMlStacked) const;
+                                  CostSource source = CostSource::kMlStacked) const {
+    return engine_.Decide(job, objective, source);
+  }
 
   /// Persist the trained models plus the inference-time statistics snapshot
   /// to `dir` (created if missing): exec.model, size.model, ttl.model,
   /// stats.txt. Load restores them into a pipeline constructed with the same
-  /// configuration (model kind / feature groups must match).
+  /// configuration (model kind / feature groups must match). Prefer the
+  /// single-file bundle (SaveBundle/LoadBundle) for new code — it carries
+  /// the config and is integrity-checked.
   Status Save(const std::string& dir) const;
   Status Load(const std::string& dir);
 
+  /// Persist / restore the single-file versioned bundle (see core/bundle.h).
+  /// LoadBundle replaces this pipeline's config with the bundle's.
+  Status SaveBundle(const std::string& path) const;
+  Status LoadBundle(const std::string& path);
+
  private:
   PipelineConfig config_;
-  std::unique_ptr<StageCostPredictor> exec_;
-  std::unique_ptr<StageCostPredictor> size_;
-  std::unique_ptr<TtlEstimator> ttl_;
-  telemetry::HistoricStats stats_;
-  bool trained_ = false;
+  DecisionEngine engine_;
 };
 
 }  // namespace phoebe::core

@@ -507,5 +507,98 @@ TEST(BaselineTest, TooSmallGraphRejected) {
   EXPECT_FALSE(MidPointCut(t.graph, t.costs).ok());
 }
 
+/// Three-stage chain where the workload generator's finalization slack (the
+/// gap between the last stage's end and the job-end clear) used to make the
+/// near-full prefix look profitable. With `job_end` set, every TTL is priced
+/// net of FinalClearSlack and only genuinely realizable saving remains.
+TestJob FinalizationSlackJob() {
+  TestJob t;
+  for (int i = 0; i < 3; ++i) {
+    dag::Stage s;
+    s.name = "s" + std::to_string(i);
+    s.operators = {dag::OperatorKind::kFilter};
+    s.num_tasks = 1;
+    t.graph.AddStage(std::move(s));
+  }
+  (void)t.graph.AddEdge(0, 1);
+  (void)t.graph.AddEdge(1, 2);
+  t.costs.end_time = {1.0, 5.0, 10.0};
+  t.costs.tfs = {0.0, 1.0, 5.0};
+  // The job-end clear happens 100s after the last stage ends; each TTL
+  // includes that slack (the generator writes TTLs as job_end - end_time).
+  t.costs.job_end = 110.0;
+  t.costs.ttl = {109.0, 101.0, 100.0};
+  t.costs.output_bytes = {1.0, 1.0, 200.0};
+  t.costs.num_tasks = {1, 1, 1};
+  return t;
+}
+
+TEST(FinalClearSlackTest, SlackIsGapBetweenJobEndAndLastStage) {
+  TestJob t = FinalizationSlackJob();
+  EXPECT_DOUBLE_EQ(FinalClearSlack(t.costs), 100.0);
+  t.costs.job_end = 0.0;  // unset: no adjustment
+  EXPECT_DOUBLE_EQ(FinalClearSlack(t.costs), 0.0);
+  t.costs.job_end = 7.0;  // before the last stage ends: clamped to 0
+  EXPECT_DOUBLE_EQ(FinalClearSlack(t.costs), 0.0);
+}
+
+TEST(FinalClearSlackTest, FullStageCutWorthZeroWhenJobEndKnown) {
+  const TestJob t = FinalizationSlackJob();
+  auto sweep = TempStorageSweep(t.graph, t.costs);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_EQ(sweep->size(), 3u);
+  // Net TTLs are {9, 1, 0}: the full set's min TTL is exactly the final
+  // clear, so the disallowed "checkpoint everything" point is worth nothing.
+  EXPECT_DOUBLE_EQ((*sweep)[0].objective, 9.0);
+  EXPECT_DOUBLE_EQ((*sweep)[1].objective, 2.0);
+  EXPECT_DOUBLE_EQ((*sweep)[2].objective, 0.0);
+
+  // Without job_end the same job prices the raw TTLs and the full set
+  // dominates everything — the bias this column exists to remove.
+  TestJob raw = FinalizationSlackJob();
+  raw.costs.job_end = 0.0;
+  auto raw_sweep = TempStorageSweep(raw.graph, raw.costs);
+  ASSERT_TRUE(raw_sweep.ok());
+  EXPECT_DOUBLE_EQ((*raw_sweep)[2].objective, 202.0 * 100.0);
+  EXPECT_GT((*raw_sweep)[2].objective, (*raw_sweep)[0].objective);
+}
+
+TEST(FinalClearSlackTest, OptimizerStopsChasingFinalizationSlack) {
+  const TestJob t = FinalizationSlackJob();
+  auto best = OptimizeTempStorage(t.graph, t.costs);
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  // Net of slack, {s0} (1 byte * 9s) beats {s0,s1} (2 bytes * 1s).
+  const std::vector<bool> first_only = {true, false, false};
+  EXPECT_EQ(best->cut.before_cut, first_only);
+  EXPECT_DOUBLE_EQ(best->objective, 9.0);
+
+  // With job_end unset the slack-inflated TTLs flip the choice to the
+  // near-full prefix, which in reality the final clear released for free.
+  TestJob raw = FinalizationSlackJob();
+  raw.costs.job_end = 0.0;
+  auto raw_best = OptimizeTempStorage(raw.graph, raw.costs);
+  ASSERT_TRUE(raw_best.ok());
+  const std::vector<bool> first_two = {true, true, false};
+  EXPECT_EQ(raw_best->cut.before_cut, first_two);
+  EXPECT_DOUBLE_EQ(raw_best->objective, 202.0);
+}
+
+TEST(FinalClearSlackTest, MultiCutDpPricesNetTtls) {
+  const TestJob t = FinalizationSlackJob();
+  auto single = OptimizeTempStorage(t.graph, t.costs);
+  ASSERT_TRUE(single.ok());
+  auto dp1 = OptimizeTempStorageMultiCut(t.graph, t.costs, 1);
+  ASSERT_TRUE(dp1.ok()) << dp1.status().ToString();
+  ASSERT_EQ(dp1->size(), 1u);
+  // num_cuts=1 DP must agree with the sweep under the same net pricing.
+  EXPECT_EQ((*dp1)[0].cut.before_cut, single->cut.before_cut);
+  EXPECT_DOUBLE_EQ((*dp1)[0].objective, single->objective);
+  auto dp2 = OptimizeTempStorageMultiCut(t.graph, t.costs, 2);
+  ASSERT_TRUE(dp2.ok());
+  // More cuts can only help, and no plan can beat the total net TTL value.
+  EXPECT_GE((*dp2)[0].objective, (*dp1)[0].objective);
+  EXPECT_LE((*dp2)[0].objective, 1.0 * 9.0 + 1.0 * 1.0);
+}
+
 }  // namespace
 }  // namespace phoebe::core

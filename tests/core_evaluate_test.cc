@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/evaluate.h"
+#include "core/pipeline.h"
 #include "telemetry/repository.h"
 #include "workload/generator.h"
 
@@ -121,7 +122,7 @@ PhoebePipeline* BackTesterTest::pipeline_ = nullptr;
 std::vector<workload::JobInstance>* BackTesterTest::eval_jobs_ = nullptr;
 
 TEST_F(BackTesterTest, TempStorageCoversAllApproachesInRange) {
-  BackTester tester(pipeline_, /*mtbf_seconds=*/12 * 3600.0);
+  BackTester tester(&pipeline_->engine(), /*mtbf_seconds=*/12 * 3600.0);
   auto stats = repo_->StatsBefore(4);
   auto result = tester.EvaluateTempStorage(*eval_jobs_, stats);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -138,7 +139,7 @@ TEST_F(BackTesterTest, TempStorageCoversAllApproachesInRange) {
 // saving = sum(before bytes) * (job_end - clear), and the end-time prefix at
 // the same clear time dominates) — so Optimal beats every approach per job.
 TEST_F(BackTesterTest, OptimalDominatesEveryApproachPerJob) {
-  BackTester tester(pipeline_, /*mtbf_seconds=*/12 * 3600.0);
+  BackTester tester(&pipeline_->engine(), /*mtbf_seconds=*/12 * 3600.0);
   auto stats = repo_->StatsBefore(4);
   for (const auto& job : *eval_jobs_) {
     if (job.graph.num_stages() < 2) continue;
@@ -157,8 +158,8 @@ TEST_F(BackTesterTest, OptimalDominatesEveryApproachPerJob) {
 
 TEST_F(BackTesterTest, SameSeedReproducesIdenticalMeans) {
   auto stats = repo_->StatsBefore(4);
-  BackTester a(pipeline_, 12 * 3600.0, /*seed=*/7);
-  BackTester b(pipeline_, 12 * 3600.0, /*seed=*/7);
+  BackTester a(&pipeline_->engine(), 12 * 3600.0, /*seed=*/7);
+  BackTester b(&pipeline_->engine(), 12 * 3600.0, /*seed=*/7);
   auto ra = a.EvaluateTempStorage(*eval_jobs_, stats);
   auto rb = b.EvaluateTempStorage(*eval_jobs_, stats);
   ASSERT_TRUE(ra.ok());
@@ -169,7 +170,7 @@ TEST_F(BackTesterTest, SameSeedReproducesIdenticalMeans) {
 }
 
 TEST_F(BackTesterTest, RecoverySavingsStayInRange) {
-  BackTester tester(pipeline_, /*mtbf_seconds=*/6 * 3600.0);
+  BackTester tester(&pipeline_->engine(), /*mtbf_seconds=*/6 * 3600.0);
   auto stats = repo_->StatsBefore(4);
   auto result = tester.EvaluateRecovery(*eval_jobs_, stats);
   ASSERT_TRUE(result.ok()) << result.status().ToString();

@@ -13,6 +13,7 @@
 
 #include "common/threadpool.h"
 #include "core/fleet.h"
+#include "core/pipeline.h"
 #include "telemetry/repository.h"
 #include "workload/generator.h"
 
@@ -107,7 +108,7 @@ class FleetParallelFixture : public ::testing::Test {
     std::vector<FleetDayReport> reports;
     for (int threads : {1, 2, 8}) {
       cfg.num_threads = threads;
-      FleetDriver driver(pipeline_, cfg);
+      FleetDriver driver(&pipeline_->engine(), cfg);
       if (calibrate) {
         ASSERT_TRUE(driver.Calibrate(repo_->Day(4), repo_->StatsBefore(4)).ok());
       }
@@ -136,7 +137,7 @@ TEST_F(FleetParallelFixture, BudgetedDayIsThreadCountInvariant) {
   // A finite budget makes admission order-sensitive: any reordering of the
   // knapsack offers would show up immediately as a different admitted set.
   FleetConfig open_cfg;
-  FleetDriver open_driver(pipeline_, open_cfg);
+  FleetDriver open_driver(&pipeline_->engine(), open_cfg);
   auto open = open_driver.RunDay(repo_->Day(5), repo_->StatsBefore(5));
   ASSERT_TRUE(open.ok());
 
@@ -159,13 +160,13 @@ TEST_F(FleetParallelFixture, RecoveryObjectiveIsThreadCountInvariant) {
 
 TEST_F(FleetParallelFixture, HardwareConcurrencyModeMatchesSerial) {
   FleetConfig serial_cfg;  // num_threads = 1
-  FleetDriver serial(pipeline_, serial_cfg);
+  FleetDriver serial(&pipeline_->engine(), serial_cfg);
   auto a = serial.RunDay(repo_->Day(5), repo_->StatsBefore(5));
   ASSERT_TRUE(a.ok());
 
   FleetConfig auto_cfg;
   auto_cfg.num_threads = 0;  // hardware concurrency
-  FleetDriver parallel(pipeline_, auto_cfg);
+  FleetDriver parallel(&pipeline_->engine(), auto_cfg);
   auto b = parallel.RunDay(repo_->Day(5), repo_->StatsBefore(5));
   ASSERT_TRUE(b.ok());
   ExpectIdentical(*a, *b);
@@ -175,7 +176,7 @@ TEST_F(FleetParallelFixture, MultiCutOutcomesAreNestedAndAligned) {
   FleetConfig cfg;
   cfg.num_cuts = 3;
   cfg.num_threads = 2;
-  FleetDriver driver(pipeline_, cfg);
+  FleetDriver driver(&pipeline_->engine(), cfg);
   const auto& jobs = repo_->Day(5);
   auto report = driver.RunDay(jobs, repo_->StatsBefore(5));
   ASSERT_TRUE(report.ok());

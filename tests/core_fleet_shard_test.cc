@@ -1,0 +1,281 @@
+// Tests for multi-process fleet sharding: DecideDay/ReplayDay must reproduce
+// RunDay byte-for-byte, shard blobs must round-trip through their text form,
+// and merging N in {1,2,4} shards must yield a FleetDayReport stream
+// byte-identical to the unsharded run — with the template cache off and on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fleet.h"
+#include "core/fleet_shard.h"
+#include "core/pipeline.h"
+#include "telemetry/repository.h"
+#include "workload/generator.h"
+
+namespace phoebe::core {
+namespace {
+
+constexpr int kTrainDays = 3;
+constexpr int kFleetDays = 4;  ///< test days kTrainDays..kTrainDays+3
+
+class FleetShardFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::WorkloadConfig cfg;
+    cfg.num_templates = 16;
+    cfg.seed = 77;
+    gen_ = new workload::WorkloadGenerator(cfg);
+    repo_ = new telemetry::WorkloadRepository();
+    for (int d = 0; d < kTrainDays + kFleetDays; ++d) {
+      repo_->AddDay(d, gen_->GenerateDay(d)).Check();
+    }
+    PipelineConfig cfg2 = PhoebePipeline::DefaultConfig();
+    cfg2.exec_predictor.gbdt.num_trees = 20;
+    cfg2.size_predictor.gbdt.num_trees = 20;
+    cfg2.ttl.gbdt.num_trees = 20;
+    pipeline_ = new PhoebePipeline(cfg2);
+    pipeline_->Train(*repo_, 0, kTrainDays).Check();
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete repo_;
+    delete gen_;
+  }
+
+  static const std::vector<workload::JobInstance>& FleetDay(int d) {
+    return repo_->Day(kTrainDays + d);
+  }
+  static telemetry::HistoricStats FleetStats(int d) {
+    return repo_->StatsBefore(kTrainDays + d);
+  }
+
+  /// The canonical report stream of a sequential run under `cfg`.
+  static std::string SequentialReports(const FleetConfig& cfg, bool budgeted) {
+    FleetDriver driver(&pipeline_->engine(), cfg);
+    if (budgeted) {
+      driver.Calibrate(repo_->Day(kTrainDays - 1), repo_->StatsBefore(kTrainDays - 1))
+          .Check();
+    }
+    std::string out;
+    for (int d = 0; d < kFleetDays; ++d) {
+      auto report = driver.RunDay(FleetDay(d), FleetStats(d));
+      report.status().Check();
+      out += FleetDayReportJson(*report, d) + "\n";
+    }
+    return out;
+  }
+
+  /// The report stream of an N-shard run: per-shard DecideDay -> serialize ->
+  /// parse -> combine -> ReplayDay, i.e. the full blob protocol in-process.
+  static std::string ShardedReports(const FleetConfig& cfg, bool budgeted,
+                                    int shard_count) {
+    const uint32_t checksum = pipeline_->bundle()->checksum();
+    std::vector<FleetShardBlob> blobs;
+    for (int s = 0; s < shard_count; ++s) {
+      // Fresh driver per shard, exactly like an independent process.
+      FleetDriver shard_driver(&pipeline_->engine(), cfg);
+      std::map<int, FleetDayDecisions> days;
+      for (int d = 0; d < kFleetDays; ++d) {
+        if (!ShardOwnsDay(d, s, shard_count)) continue;
+        auto decisions = shard_driver.DecideDay(FleetDay(d), FleetStats(d));
+        decisions.status().Check();
+        days.emplace(d, std::move(*decisions));
+      }
+      FleetShardHeader header{s, shard_count, kFleetDays, checksum};
+      auto text = SerializeFleetShard(header, days);
+      text.status().Check();
+      auto parsed = ParseFleetShard(*text);  // round-trip through the file form
+      parsed.status().Check();
+      blobs.push_back(std::move(*parsed));
+    }
+    auto merged = CombineFleetShards(blobs, checksum);
+    merged.status().Check();
+
+    FleetDriver merge_driver(&pipeline_->engine(), cfg);
+    if (budgeted) {
+      merge_driver
+          .Calibrate(repo_->Day(kTrainDays - 1), repo_->StatsBefore(kTrainDays - 1))
+          .Check();
+    }
+    std::string out;
+    for (int d = 0; d < kFleetDays; ++d) {
+      auto report = merge_driver.ReplayDay(FleetDay(d), FleetStats(d), merged->at(d));
+      report.status().Check();
+      out += FleetDayReportJson(*report, d) + "\n";
+    }
+    return out;
+  }
+
+  static workload::WorkloadGenerator* gen_;
+  static telemetry::WorkloadRepository* repo_;
+  static PhoebePipeline* pipeline_;
+};
+
+workload::WorkloadGenerator* FleetShardFixture::gen_ = nullptr;
+telemetry::WorkloadRepository* FleetShardFixture::repo_ = nullptr;
+PhoebePipeline* FleetShardFixture::pipeline_ = nullptr;
+
+TEST_F(FleetShardFixture, ReplayDayReproducesRunDay) {
+  FleetConfig cfg;
+  FleetDriver a(&pipeline_->engine(), cfg);
+  FleetDriver b(&pipeline_->engine(), cfg);
+  auto decisions = a.DecideDay(FleetDay(0), FleetStats(0));
+  ASSERT_TRUE(decisions.ok()) << decisions.status().ToString();
+  auto run = a.RunDay(FleetDay(0), FleetStats(0));
+  auto replay = b.ReplayDay(FleetDay(0), FleetStats(0), *decisions);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(FleetDayReportJson(*run, 0), FleetDayReportJson(*replay, 0));
+}
+
+TEST_F(FleetShardFixture, ShardMergeByteIdenticalCacheOff) {
+  FleetConfig cfg;
+  const std::string expected = SequentialReports(cfg, /*budgeted=*/false);
+  ASSERT_FALSE(expected.empty());
+  for (int n : {1, 2, 4}) {
+    SCOPED_TRACE(n);
+    EXPECT_EQ(expected, ShardedReports(cfg, /*budgeted=*/false, n));
+  }
+}
+
+TEST_F(FleetShardFixture, ShardMergeByteIdenticalCacheOn) {
+  // Exact-mode template cache: cross-day hits make the merge's cache state
+  // the interesting part — it must evolve exactly as in the sequential run.
+  FleetConfig cfg;
+  cfg.template_cache.enabled = true;
+  cfg.template_cache.capacity = 64;
+  const std::string expected = SequentialReports(cfg, /*budgeted=*/false);
+  EXPECT_NE(expected.find("\"cache_hits\""), std::string::npos);
+  for (int n : {1, 2, 4}) {
+    SCOPED_TRACE(n);
+    EXPECT_EQ(expected, ShardedReports(cfg, /*budgeted=*/false, n));
+  }
+}
+
+TEST_F(FleetShardFixture, ShardMergeByteIdenticalApproximateCache) {
+  // Approximate mode serves drifted followers from stale entries; leader
+  // decisions are still computed fresh in both paths, so byte-identity must
+  // hold here too.
+  FleetConfig cfg;
+  cfg.template_cache.enabled = true;
+  cfg.template_cache.capacity = 64;
+  cfg.template_cache.quantize_bps = 5000;
+  const std::string expected = SequentialReports(cfg, /*budgeted=*/false);
+  for (int n : {1, 2, 4}) {
+    SCOPED_TRACE(n);
+    EXPECT_EQ(expected, ShardedReports(cfg, /*budgeted=*/false, n));
+  }
+}
+
+TEST_F(FleetShardFixture, ShardMergeByteIdenticalBudgeted) {
+  FleetConfig cfg;
+  cfg.storage_budget_bytes = 2e9;
+  const std::string expected = SequentialReports(cfg, /*budgeted=*/true);
+  EXPECT_NE(expected.find("\"knapsack_threshold\""), std::string::npos);
+  for (int n : {1, 2, 4}) {
+    SCOPED_TRACE(n);
+    EXPECT_EQ(expected, ShardedReports(cfg, /*budgeted=*/true, n));
+  }
+}
+
+TEST_F(FleetShardFixture, BlobTextRoundTripIsIdentity) {
+  FleetDriver driver(&pipeline_->engine(), FleetConfig{});
+  auto decisions = driver.DecideDay(FleetDay(1), FleetStats(1));
+  ASSERT_TRUE(decisions.ok());
+  std::map<int, FleetDayDecisions> days;
+  days.emplace(1, std::move(*decisions));
+  FleetShardHeader header{1, 2, kFleetDays, pipeline_->bundle()->checksum()};
+  auto text = SerializeFleetShard(header, days);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto parsed = ParseFleetShard(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto text2 = SerializeFleetShard(parsed->header, parsed->days);
+  ASSERT_TRUE(text2.ok());
+  EXPECT_EQ(*text, *text2);
+}
+
+TEST_F(FleetShardFixture, SerializeRejectsForeignDays) {
+  FleetDayDecisions empty_day;
+  std::map<int, FleetDayDecisions> days;
+  days.emplace(0, empty_day);  // day 0 belongs to shard 0, not 1
+  FleetShardHeader header{1, 2, kFleetDays, 0};
+  EXPECT_FALSE(SerializeFleetShard(header, days).ok());
+  days.clear();
+  days.emplace(kFleetDays + 3, empty_day);  // outside the day range
+  FleetShardHeader header0{0, 1, kFleetDays, 0};
+  EXPECT_FALSE(SerializeFleetShard(header0, days).ok());
+}
+
+TEST_F(FleetShardFixture, CombineValidatesShardSet) {
+  FleetDriver driver(&pipeline_->engine(), FleetConfig{});
+  const uint32_t checksum = pipeline_->bundle()->checksum();
+  auto make_blob = [&](int index, int count) {
+    std::map<int, FleetDayDecisions> days;
+    for (int d = 0; d < kFleetDays; ++d) {
+      if (!ShardOwnsDay(d, index, count)) continue;
+      auto decisions = driver.DecideDay(FleetDay(d), FleetStats(d));
+      decisions.status().Check();
+      days.emplace(d, std::move(*decisions));
+    }
+    FleetShardHeader header{index, count, kFleetDays, checksum};
+    auto text = SerializeFleetShard(header, days);
+    text.status().Check();
+    auto parsed = ParseFleetShard(*text);
+    parsed.status().Check();
+    return std::move(*parsed);
+  };
+
+  FleetShardBlob b0 = make_blob(0, 2);
+  FleetShardBlob b1 = make_blob(1, 2);
+
+  // Complete set merges and covers every day.
+  auto ok = CombineFleetShards({b0, b1}, checksum);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->size(), static_cast<size_t>(kFleetDays));
+
+  // Missing shard, duplicate shard, and wrong bundle all refuse.
+  EXPECT_FALSE(CombineFleetShards({b0}, checksum).ok());
+  EXPECT_FALSE(CombineFleetShards({b0, b0}, checksum).ok());
+  EXPECT_FALSE(CombineFleetShards({b0, b1}, checksum + 1).ok());
+  EXPECT_FALSE(CombineFleetShards({}, checksum).ok());
+}
+
+TEST_F(FleetShardFixture, ParseRejectsMalformedBlobs) {
+  FleetDriver driver(&pipeline_->engine(), FleetConfig{});
+  auto decisions = driver.DecideDay(FleetDay(0), FleetStats(0));
+  ASSERT_TRUE(decisions.ok());
+  std::map<int, FleetDayDecisions> days;
+  days.emplace(0, std::move(*decisions));
+  FleetShardHeader header{0, 2, kFleetDays, 0x1234u};
+  auto text = SerializeFleetShard(header, days);
+  ASSERT_TRUE(text.ok());
+
+  EXPECT_FALSE(ParseFleetShard("").ok());
+  EXPECT_FALSE(ParseFleetShard("garbage\n").ok());
+  EXPECT_FALSE(ParseFleetShard(text->substr(0, text->size() / 2)).ok());
+  EXPECT_FALSE(ParseFleetShard(text->substr(0, text->size() - 1)).ok());
+  EXPECT_FALSE(ParseFleetShard(*text + "junk\n").ok());
+  {
+    std::string t = *text;  // version bump must be rejected
+    t.replace(t.find(" 1\n"), 3, " 2\n");
+    EXPECT_FALSE(ParseFleetShard(t).ok());
+  }
+}
+
+TEST_F(FleetShardFixture, ReplayRejectsMismatchedDecisions) {
+  FleetConfig cfg;
+  FleetDriver driver(&pipeline_->engine(), cfg);
+  auto decisions = driver.DecideDay(FleetDay(0), FleetStats(0));
+  ASSERT_TRUE(decisions.ok());
+  FleetDayDecisions truncated = *decisions;
+  ASSERT_FALSE(truncated.decisions.empty());
+  truncated.decisions.pop_back();
+  EXPECT_FALSE(driver.ReplayDay(FleetDay(0), FleetStats(0), truncated).ok());
+  FleetDayDecisions empty;
+  EXPECT_FALSE(driver.ReplayDay(FleetDay(0), FleetStats(0), empty).ok());
+}
+
+}  // namespace
+}  // namespace phoebe::core

@@ -25,6 +25,7 @@
 #include "core/checkpoint_ip.h"
 #include "core/evaluate.h"
 #include "core/fleet.h"
+#include "core/pipeline.h"
 #include "telemetry/repository.h"
 #include "testing/generators.h"
 #include "testing/oracles.h"
@@ -164,7 +165,7 @@ PhoebePipeline* MultiCutFleetFixture::pipeline_ = nullptr;
 TEST_F(MultiCutFleetFixture, DriverReportsDpObjectiveAndPhysicalRealizedValue) {
   FleetConfig cfg;
   cfg.num_cuts = 3;
-  FleetDriver driver(pipeline_, cfg);
+  FleetDriver driver(&pipeline_->engine(), cfg);
   const auto& jobs = repo_->Day(5);
   auto report = driver.RunDay(jobs, repo_->StatsBefore(5));
   ASSERT_TRUE(report.ok());
@@ -197,7 +198,7 @@ TEST_F(MultiCutFleetFixture, DriverReportsDpObjectiveAndPhysicalRealizedValue) {
 TEST_F(MultiCutFleetFixture, StorageCountsEachStageOnce) {
   FleetConfig cfg;
   cfg.num_cuts = 3;
-  FleetDriver driver(pipeline_, cfg);
+  FleetDriver driver(&pipeline_->engine(), cfg);
   const auto& jobs = repo_->Day(5);
   auto report = driver.RunDay(jobs, repo_->StatsBefore(5));
   ASSERT_TRUE(report.ok());

@@ -162,7 +162,7 @@ TEST_F(PipelineFixture, ApproachOrderingMatchesPaperShape) {
   // Figure 12's qualitative ordering: Random < OML <= OMLS <= Optimal.
   const auto& jobs = repo_->Day(4);
   auto stats = repo_->StatsBefore(4);
-  BackTester tester(pipeline_, /*mtbf_seconds=*/12 * 3600.0);
+  BackTester tester(&pipeline_->engine(), /*mtbf_seconds=*/12 * 3600.0);
   auto result = tester.EvaluateTempStorage(jobs, stats);
   ASSERT_TRUE(result.ok());
   double random = (*result)[Approach::kRandom].mean();
@@ -186,7 +186,7 @@ TEST_F(PipelineFixture, RecoveryOrderingMatchesPaperShape) {
   // Figure 14: Random < Mid-Point < Phoebe <= Optimal.
   const auto& jobs = repo_->Day(4);
   auto stats = repo_->StatsBefore(4);
-  BackTester tester(pipeline_, 12 * 3600.0);
+  BackTester tester(&pipeline_->engine(), 12 * 3600.0);
   auto result = tester.EvaluateRecovery(
       jobs, stats,
       {Approach::kRandom, Approach::kMidPoint, Approach::kMlStacked,
@@ -203,7 +203,7 @@ TEST_F(PipelineFixture, RecoveryOrderingMatchesPaperShape) {
 TEST_F(PipelineFixture, RealizedTempSavingBounds) {
   const auto& jobs = repo_->Day(4);
   auto stats = repo_->StatsBefore(4);
-  BackTester tester(pipeline_, 12 * 3600.0);
+  BackTester tester(&pipeline_->engine(), 12 * 3600.0);
   for (const auto& job : jobs) {
     if (job.graph.num_stages() < 2) continue;
     auto cut = tester.ChooseCut(job, Approach::kMlStacked, Objective::kTempStorage,

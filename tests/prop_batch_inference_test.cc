@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "core/fleet.h"
+#include "core/pipeline.h"
 #include "ml/gbdt.h"
 #include "ml/linear.h"
 #include "ml/mlp.h"
@@ -178,7 +179,7 @@ class BatchCacheFleetFixture : public ::testing::Test {
   }
 
   static core::FleetDayReport Run(core::FleetConfig cfg) {
-    core::FleetDriver driver(pipeline_, cfg);
+    core::FleetDriver driver(&pipeline_->engine(), cfg);
     auto report = driver.RunDay(*day_, *stats_);
     report.status().Check();
     return *std::move(report);

@@ -112,6 +112,44 @@ if ! diff -q <(normalize_fleet "$WORKDIR/fleet_serial.out") \
   fail "fleet: exact-mode cached report differs from uncached report"
 fi
 
+# bundle round trip: train --out writes a loadable artifact, bundle-info
+# reads it, and fleet --bundle must reproduce the in-process fleet report
+# byte-for-byte (save -> load -> decide is bit-identical).
+expect_exit 0 "train --out bundle" -- \
+  "$CLI" train "${SMALL[@]}" --train-days 2 --out "$WORKDIR/model.phoebe"
+if [ ! -s "$WORKDIR/model.phoebe" ]; then
+  fail "train --out: $WORKDIR/model.phoebe is empty or missing"
+fi
+expect_exit 0 "bundle-info" -- "$CLI" bundle-info --in "$WORKDIR/model.phoebe"
+expect_stdout_contains "bundle-info" "checksum"
+expect_exit 1 "bundle-info on corrupt file" -- \
+  "$CLI" bundle-info --in "$WORKDIR/trace.csv"
+expect_exit 0 "fleet from bundle" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --bundle "$WORKDIR/model.phoebe"
+if ! diff -q "$WORKDIR/fleet_serial.out" "$WORKDIR/stdout" >/dev/null; then
+  fail "fleet: --bundle report differs from in-process report"
+fi
+
+# shard/merge: two shard processes over the same bundle, merged, must produce
+# the same per-day JSON report as the unsharded run.
+expect_exit 0 "fleet unsharded report" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --report "$WORKDIR/report_unsharded.jsonl"
+expect_exit 0 "fleet shard 0/2" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --shard 0/2 --out "$WORKDIR/shard0.blob"
+expect_exit 0 "fleet shard 1/2" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --shard 1/2 --out "$WORKDIR/shard1.blob"
+expect_exit 0 "fleet merge" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" \
+  --merge "$WORKDIR/shard0.blob,$WORKDIR/shard1.blob" \
+  --report "$WORKDIR/report_merged.jsonl"
+if ! diff -q "$WORKDIR/report_unsharded.jsonl" "$WORKDIR/report_merged.jsonl" >/dev/null; then
+  fail "fleet: merged shard report differs from unsharded report"
+fi
+
 # trace round trip through the CLI surface.
 expect_exit 0 "trace-export" -- \
   "$CLI" trace-export "${SMALL[@]}" --days 1 --out "$WORKDIR/trace.txt"

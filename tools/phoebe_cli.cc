@@ -3,13 +3,18 @@
 // Subcommands:
 //   generate   generate a synthetic workload and export per-stage telemetry CSV
 //   inspect    print one job's execution graph, metrics, and schedule
-//   train      train the pipeline and report held-out accuracy
+//   train      train the pipeline and report held-out accuracy; --out saves
+//              the trained state as a versioned PipelineBundle file
+//   bundle-info  inspect a saved bundle (version, checksum, model config)
 //   decide     make a checkpoint decision for one job and explain it
 //   backtest   compare checkpoint-selection approaches on a held-out day
-//   fleet      run the day-level fleet driver (parallel decisions + budget)
+//   fleet      run the day-level fleet driver (parallel decisions + budget);
+//              --bundle serves a saved artifact, --shard/--merge split the
+//              run across processes with byte-identical merged reports
 //
 // Run with no arguments for usage. All commands are deterministic given
 // --seed.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,9 +28,11 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "common/threadpool.h"
+#include "core/bundle.h"
 #include "core/evaluate.h"
 #include "core/explain.h"
 #include "core/fleet.h"
+#include "core/fleet_shard.h"
 #include "core/pipeline.h"
 #include "dag/graph_metrics.h"
 #include "telemetry/repository.h"
@@ -146,9 +153,18 @@ struct Trained {
 
 Trained TrainFromArgs(const Args& args) {
   Trained t{MakeGen(args), {}, core::PhoebePipeline(), args.Int("train-days", 5)};
-  int total = t.train_days + std::max(1, args.Int("test-days", 1));
+  int test_days = std::max({1, args.Int("test-days", 1), args.Int("days", 1)});
+  int total = t.train_days + test_days;
   for (int d = 0; d < total; ++d) t.repo.AddDay(d, t.gen.GenerateDay(d)).Check();
-  t.phoebe.Train(t.repo, 0, t.train_days).Check();
+  // --bundle serves from a pre-trained artifact instead of training here —
+  // the serve-side half of the train/serve split. Every process loading the
+  // same file decides identically (the bundle checksum names the state).
+  std::string bundle = args.Str("bundle", "");
+  if (!bundle.empty()) {
+    t.phoebe.LoadBundle(bundle).Check();
+  } else {
+    t.phoebe.Train(t.repo, 0, t.train_days).Check();
+  }
   return t;
 }
 
@@ -179,6 +195,43 @@ int CmdTrain(const Args& args) {
   tab.AddRow("output size", {RSquared(ot, op), PearsonCorrelation(ot, op)});
   tab.AddRow("TTL (stacked)", {RSquared(tt, tp), PearsonCorrelation(tt, tp)});
   tab.Print();
+
+  std::string out = args.Str("out", "");
+  if (!out.empty()) {
+    t.phoebe.SaveBundle(out).Check();
+    std::fprintf(stderr, "wrote bundle (checksum %08x) to %s\n",
+                 t.phoebe.bundle()->checksum(), out.c_str());
+  }
+  return 0;
+}
+
+int CmdBundleInfo(const Args& args) {
+  std::string in = args.Str("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "bundle-info requires --in <file>\n");
+    return 2;
+  }
+  auto bundle = core::PipelineBundle::LoadFromFile(in);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "load error: %s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  const core::PipelineBundle& b = **bundle;
+  std::printf("bundle %s\n", in.c_str());
+  std::printf("format version %d  checksum %08x\n",
+              core::PipelineBundle::kFormatVersion, b.checksum());
+  const core::PipelineConfig& cfg = b.config();
+  std::printf("exec predictor: kind %d, %d trees\n",
+              static_cast<int>(cfg.exec_predictor.kind),
+              cfg.exec_predictor.gbdt.num_trees);
+  std::printf("size predictor: kind %d, %d trees\n",
+              static_cast<int>(cfg.size_predictor.kind),
+              cfg.size_predictor.gbdt.num_trees);
+  std::printf("ttl stacker: %d trees\n", cfg.ttl.gbdt.num_trees);
+  std::printf("delta %g  batch inference %s\n", cfg.delta,
+              cfg.exec_predictor.batch_inference ? "on" : "off");
+  std::printf("historic stats: %lld stage observations\n",
+              static_cast<long long>(b.stats().total_observations()));
   return 0;
 }
 
@@ -334,8 +387,7 @@ int CmdSaveModels(const Args& args) {
 
 int CmdFleet(const Args& args) {
   Trained t = TrainFromArgs(args);
-  const auto& jobs = t.repo.Day(t.train_days);
-  auto stats = t.repo.StatsBefore(t.train_days);
+  const int num_days = std::max(1, args.Int("days", 1));
 
   core::FleetConfig cfg;
   cfg.objective = args.Str("objective", "temp") == "recovery"
@@ -360,43 +412,148 @@ int CmdFleet(const Args& args) {
     cfg.template_cache.quantize_bps = std::max(0, args.Int("cache-bps", 0));
   }
 
-  core::FleetDriver driver(&t.phoebe, cfg);
+  core::FleetDriver driver(&t.phoebe.engine(), cfg);
+
+  // --shard I/N: decide-only mode. Compute raw decisions for the days this
+  // shard owns (day d belongs to shard d % N) and write one blob; a later
+  // `fleet --merge` run replays all blobs into the canonical report stream.
+  // No calibration, no admission, no cache — those are merge-time concerns.
+  std::string shard = args.Str("shard", "");
+  if (!shard.empty()) {
+    std::vector<std::string> parts = Split(shard, '/');
+    int32_t index = -1, count = 0;
+    if (parts.size() != 2 || !ParseInt32(parts[0], &index) ||
+        !ParseInt32(parts[1], &count) || count < 1 || index < 0 || index >= count) {
+      std::fprintf(stderr, "--shard expects I/N with 0 <= I < N, got '%s'\n",
+                   shard.c_str());
+      return 2;
+    }
+    std::string out = args.Str("out", "");
+    if (out.empty()) {
+      std::fprintf(stderr, "fleet --shard requires --out <file>\n");
+      return 2;
+    }
+    core::FleetShardHeader header{index, count, num_days,
+                                  t.phoebe.bundle()->checksum()};
+    std::map<int, core::FleetDayDecisions> days;
+    for (int d = 0; d < num_days; ++d) {
+      if (!core::ShardOwnsDay(d, index, count)) continue;
+      auto decisions = driver.DecideDay(t.repo.Day(t.train_days + d),
+                                        t.repo.StatsBefore(t.train_days + d));
+      decisions.status().Check();
+      days.emplace(d, std::move(*decisions));
+    }
+    auto blob = core::SerializeFleetShard(header, days);
+    blob.status().Check();
+    std::ofstream f(out, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", out.c_str());
+      return 1;
+    }
+    f << *blob;
+    std::fprintf(stderr, "shard %d/%d: wrote %zu of %d day(s) to %s\n", index,
+                 count, days.size(), num_days, out.c_str());
+    return 0;
+  }
+
+  // --merge f1,f2,...: replace the decision phase with the shard blobs'
+  // precomputed decisions. The admission knapsack and the template cache
+  // replay serially here, so the reports are byte-identical to an unsharded
+  // run with this same configuration.
+  std::map<int, core::FleetDayDecisions> merged;
+  bool replay = false;
+  std::string merge = args.Str("merge", "");
+  if (!merge.empty()) {
+    std::vector<core::FleetShardBlob> blobs;
+    for (const std::string& path : Split(merge, ',')) {
+      std::ifstream f(path, std::ios::binary);
+      if (!f) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 1;
+      }
+      std::string text((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+      auto blob = core::ParseFleetShard(text);
+      if (!blob.ok()) {
+        std::fprintf(stderr, "parse error in '%s': %s\n", path.c_str(),
+                     blob.status().ToString().c_str());
+        return 1;
+      }
+      blobs.push_back(std::move(*blob));
+    }
+    if (blobs.front().header.num_days != num_days) {
+      std::fprintf(stderr, "shard blobs cover %d day(s); pass --days %d\n",
+                   blobs.front().header.num_days, blobs.front().header.num_days);
+      return 2;
+    }
+    auto m = core::CombineFleetShards(blobs, t.phoebe.bundle()->checksum());
+    m.status().Check();
+    merged = std::move(*m);
+    replay = true;
+  }
+
   if (budget_gb > 0.0) {
-    // Calibrate the admission threshold on the day before the test day.
+    // Calibrate the admission threshold on the day before the first test day.
     driver.Calibrate(t.repo.Day(t.train_days - 1), t.repo.StatsBefore(t.train_days - 1))
         .Check();
   }
-  auto report = driver.RunDay(jobs, stats);
-  report.status().Check();
 
-  std::printf("fleet day %d: %zu jobs, %d threads, %d cut(s)%s\n", t.train_days,
-              jobs.size(), ThreadPool::Resolve(cfg.num_threads), cfg.num_cuts,
-              budget_gb > 0.0 ? StrFormat(", budget %.1f GB", budget_gb).c_str() : "");
-  TablePrinter tab({"metric", "value"});
-  tab.AddRow({"jobs considered", StrFormat("%d", report->jobs_considered)});
-  tab.AddRow({"jobs with a cut", StrFormat("%d", report->jobs_with_cut)});
-  tab.AddRow({"jobs admitted", StrFormat("%d", report->jobs_admitted)});
-  tab.AddRow({"storage used", HumanBytes(report->storage_used_bytes)});
-  tab.AddRow({"realized saving", StrFormat("%.1f%%", 100.0 * report->SavingFraction())});
-  if (report->knapsack_threshold > 0.0) {
-    tab.AddRow({"knapsack threshold", StrFormat("%.3g", report->knapsack_threshold)});
-  }
-  if (cfg.template_cache.enabled) {
-    tab.AddRow({"cache hits/misses",
-                StrFormat("%lld/%lld", static_cast<long long>(report->cache_hits),
-                          static_cast<long long>(report->cache_misses))});
-    if (report->cache_evictions > 0) {
-      tab.AddRow({"cache evictions",
-                  StrFormat("%lld", static_cast<long long>(report->cache_evictions))});
+  std::string report_path = args.Str("report", "");
+  std::ofstream report_file;
+  if (!report_path.empty()) {
+    report_file.open(report_path, std::ios::binary);
+    if (!report_file) {
+      std::fprintf(stderr, "cannot open '%s'\n", report_path.c_str());
+      return 1;
     }
   }
-  tab.Print();
+
+  for (int d = 0; d < num_days; ++d) {
+    const auto& jobs = t.repo.Day(t.train_days + d);
+    auto stats = t.repo.StatsBefore(t.train_days + d);
+    auto report = replay ? driver.ReplayDay(jobs, stats, merged.at(d))
+                         : driver.RunDay(jobs, stats);
+    report.status().Check();
+
+    std::printf("fleet day %d: %zu jobs, %d threads, %d cut(s)%s%s\n",
+                t.train_days + d, jobs.size(), ThreadPool::Resolve(cfg.num_threads),
+                cfg.num_cuts,
+                budget_gb > 0.0 ? StrFormat(", budget %.1f GB", budget_gb).c_str() : "",
+                replay ? " (merged from shards)" : "");
+    TablePrinter tab({"metric", "value"});
+    tab.AddRow({"jobs considered", StrFormat("%d", report->jobs_considered)});
+    tab.AddRow({"jobs with a cut", StrFormat("%d", report->jobs_with_cut)});
+    tab.AddRow({"jobs admitted", StrFormat("%d", report->jobs_admitted)});
+    tab.AddRow({"storage used", HumanBytes(report->storage_used_bytes)});
+    tab.AddRow({"realized saving", StrFormat("%.1f%%", 100.0 * report->SavingFraction())});
+    if (report->knapsack_threshold > 0.0) {
+      tab.AddRow({"knapsack threshold", StrFormat("%.3g", report->knapsack_threshold)});
+    }
+    if (cfg.template_cache.enabled) {
+      tab.AddRow({"cache hits/misses",
+                  StrFormat("%lld/%lld", static_cast<long long>(report->cache_hits),
+                            static_cast<long long>(report->cache_misses))});
+      if (report->cache_evictions > 0) {
+        tab.AddRow({"cache evictions",
+                    StrFormat("%lld", static_cast<long long>(report->cache_evictions))});
+      }
+    }
+    tab.Print();
+    if (report_file.is_open()) {
+      report_file << core::FleetDayReportJson(*report, d) << "\n";
+    }
+  }
+  if (report_file.is_open()) {
+    report_file.close();
+    std::fprintf(stderr, "wrote %d day report(s) to %s\n", num_days,
+                 report_path.c_str());
+  }
   return 0;
 }
 
 int CmdBacktest(const Args& args) {
   Trained t = TrainFromArgs(args);
-  core::BackTester tester(&t.phoebe, /*mtbf_seconds=*/12 * 3600.0);
+  core::BackTester tester(&t.phoebe.engine(), /*mtbf_seconds=*/12 * 3600.0);
   const auto& jobs = t.repo.Day(t.train_days);
   auto stats = t.repo.StatsBefore(t.train_days);
   bool recovery = args.Str("objective", "temp") == "recovery";
@@ -423,14 +580,22 @@ void Usage() {
       "commands:\n"
       "  generate  --templates N --days D --seed S [--out file.csv]\n"
       "  inspect   --seed S --day D --job K [--graph]\n"
-      "  train     --templates N --train-days D --seed S\n"
+      "  train     --templates N --train-days D --seed S [--out bundle.phoebe]\n"
+      "            (--out saves the trained state as a versioned single-file\n"
+      "             bundle; serve it later with --bundle on any command)\n"
+      "  bundle-info --in bundle.phoebe      (inspect a saved bundle)\n"
       "  decide    --seed S --job K [--objective temp|recovery]\n"
       "  backtest  --seed S [--objective temp|recovery]\n"
-      "  fleet     --seed S [--threads T] [--num-cuts K] [--budget-gb G]\n"
+      "  fleet     --seed S [--days D] [--threads T] [--num-cuts K] [--budget-gb G]\n"
       "            [--batch|--no-batch] [--template-cache N] [--cache-bps B]\n"
+      "            [--bundle file] [--report file.jsonl]\n"
+      "            [--shard I/N --out blob] [--merge blob0,blob1,...]\n"
       "            (day-level driver; T=0 uses all cores, results are\n"
       "             byte-identical for any T; --template-cache N caches\n"
-      "             decisions for recurring templates, B=0 is exact mode)\n"
+      "             decisions for recurring templates, B=0 is exact mode;\n"
+      "             --shard decides only days d with d%N==I and writes a\n"
+      "             blob, --merge replays N blobs into reports that are\n"
+      "             byte-identical to the unsharded run)\n"
       "  dot       --seed S --job K          (Graphviz of the job + cut)\n"
       "  explain   --seed S --job K [--json]  (why this cut was chosen)\n"
       "  trace-export --seed S --days D [--out file.trace]\n"
@@ -451,6 +616,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "inspect") return CmdInspect(args);
   if (cmd == "train") return CmdTrain(args);
+  if (cmd == "bundle-info") return CmdBundleInfo(args);
   if (cmd == "decide") return CmdDecide(args);
   if (cmd == "backtest") return CmdBacktest(args);
   if (cmd == "fleet") return CmdFleet(args);
