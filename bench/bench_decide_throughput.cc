@@ -14,18 +14,30 @@
 // The timed runs use an approximate cache (--cache-bps, default 5000) since
 // that is the configuration that shows real hit rates on noisy recurrences.
 //
+// A third gate covers the observability layer: the "batch" corner re-runs
+// with a MetricsRegistry attached (min-of-3 each way). Reports must stay
+// byte-identical with telemetry on — always fatal — and when
+// --gate-overhead-bps N is passed (the nightly CI does, with N=200 = 2%)
+// the measured overhead must stay under N basis points of decide time.
+// --metrics-out writes the instrumented run's telemetry JSONL artifact.
+//
 // Usage: bench_decide_throughput [--jobs N] [--num-cuts K]
 //                                [--template-cache CAP] [--cache-bps B]
+//                                [--metrics-out FILE] [--gate-overhead-bps N]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/json.h"
+#include "core/engine.h"
 #include "core/fleet.h"
+#include "obs/metrics.h"
 
 namespace phoebe::bench {
 namespace {
@@ -33,6 +45,13 @@ namespace {
 int ArgInt(int argc, char** argv, const char* flag, int fallback) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* ArgStr(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return fallback;
 }
@@ -85,6 +104,9 @@ int Run(int argc, char** argv) {
   const int num_cuts = ArgInt(argc, argv, "--num-cuts", 1);
   const int cache_capacity = ArgInt(argc, argv, "--template-cache", 65536);
   const int cache_bps = ArgInt(argc, argv, "--cache-bps", 5000);
+  const std::string metrics_out = ArgStr(argc, argv, "--metrics-out", "");
+  // 0 = measure and report only; N > 0 = fail if overhead exceeds N bps.
+  const int gate_overhead_bps = ArgInt(argc, argv, "--gate-overhead-bps", 0);
 
   std::fprintf(stderr, "training pipeline...\n");
   BenchEnv env = MakeEnv(/*num_templates=*/60, /*train_days=*/3, /*test_days=*/1);
@@ -173,6 +195,57 @@ int Run(int argc, char** argv) {
   }
   env.phoebe->set_batch_inference(true);  // restore the default
 
+  // Gate 3: the observability layer. Re-run the batch corner with a
+  // MetricsRegistry attached to both the engine and the driver; min-of-3
+  // per side to shave scheduler noise. Byte-identical reports are a hard
+  // requirement; the overhead gate is opt-in (nightly CI passes
+  // --gate-overhead-bps 200, i.e. <= 2% of decide time).
+  obs::MetricsRegistry registry;
+  core::DecisionEngine metrics_engine(env.phoebe->bundle(), &registry);
+  double plain_seconds = 0.0, metrics_seconds = 0.0;
+  bool metrics_identical = true;
+  {
+    core::FleetConfig mcfg;
+    mcfg.num_cuts = num_cuts;
+    mcfg.num_threads = 1;
+    auto timed_day = [&](const core::DecisionEngine* engine,
+                         obs::MetricsRegistry* reg,
+                         core::FleetDayReport* report) -> double {
+      mcfg.metrics = reg;
+      core::FleetDriver driver(engine, mcfg);
+      auto t0 = std::chrono::steady_clock::now();
+      auto r = driver.RunDay(jobs, stats);
+      auto t1 = std::chrono::steady_clock::now();
+      r.status().Check();
+      *report = *std::move(r);
+      return Seconds(t0, t1);
+    };
+    core::FleetDayReport plain_report, metrics_report;
+    plain_seconds = timed_day(&env.phoebe->engine(), nullptr, &plain_report);
+    metrics_seconds = timed_day(&metrics_engine, &registry, &metrics_report);
+    for (int rep = 1; rep < 3; ++rep) {
+      plain_seconds = std::min(
+          plain_seconds, timed_day(&env.phoebe->engine(), nullptr, &plain_report));
+      metrics_seconds = std::min(
+          metrics_seconds, timed_day(&metrics_engine, &registry, &metrics_report));
+    }
+    metrics_identical = ReportsIdentical(plain_report, metrics_report);
+    std::fprintf(stderr, "metrics off %.3f s, on %.3f s (overhead %.2f%%)\n",
+                 plain_seconds, metrics_seconds,
+                 100.0 * (metrics_seconds - plain_seconds) / plain_seconds);
+  }
+  const double overhead_frac = (metrics_seconds - plain_seconds) / plain_seconds;
+
+  if (!metrics_out.empty()) {
+    std::ofstream tele(metrics_out, std::ios::binary);
+    if (!tele) {
+      std::fprintf(stderr, "cannot open '%s'\n", metrics_out.c_str());
+      return 1;
+    }
+    tele << obs::TelemetryLineJson(registry.Snapshot(), "run", -1) << "\n";
+    std::fprintf(stderr, "wrote telemetry to %s\n", metrics_out.c_str());
+  }
+
   JsonWriter json;
   json.BeginObject();
   json.KV("bench", "decide_throughput");
@@ -199,6 +272,13 @@ int Run(int argc, char** argv) {
   json.EndArray();
   json.KV("batch_reports_identical", batch_identical);
   json.KV("exact_mode_reports_identical", exact_identical);
+  json.Key("metrics_overhead").BeginObject();
+  json.KV("plain_seconds", plain_seconds);
+  json.KV("metrics_seconds", metrics_seconds);
+  json.KV("overhead_fraction", overhead_frac);
+  json.KV("reports_identical", metrics_identical);
+  json.KV("gate_bps", gate_overhead_bps);
+  json.EndObject();
   json.EndObject();
   std::printf("%s\n", json.str().c_str());
 
@@ -208,6 +288,15 @@ int Run(int argc, char** argv) {
   }
   if (!exact_identical) {
     std::fprintf(stderr, "FAIL: exact-mode cache changed a decision\n");
+    return 1;
+  }
+  if (!metrics_identical) {
+    std::fprintf(stderr, "FAIL: attaching metrics changed a decision\n");
+    return 1;
+  }
+  if (gate_overhead_bps > 0 && overhead_frac * 1e4 > gate_overhead_bps) {
+    std::fprintf(stderr, "FAIL: metrics overhead %.1f bps exceeds the %d bps gate\n",
+                 overhead_frac * 1e4, gate_overhead_bps);
     return 1;
   }
   return 0;

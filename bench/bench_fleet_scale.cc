@@ -15,7 +15,13 @@
 // to an unsharded sequential run. On a single-core runner the process series
 // also reports ~1x; the JSON's hardware_concurrency says how to read it.
 //
+// --metrics-out FILE runs one extra instrumented day (4 threads, metrics
+// registry attached to engine + driver) and writes its telemetry JSONL
+// artifact — the flight-recorder view the nightly CI uploads next to this
+// bench's own JSON.
+//
 // Usage: bench_fleet_scale [--jobs N] [--num-cuts K] [--budget-gb G]
+//                          [--metrics-out FILE]
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -33,8 +39,10 @@
 #include "bench_util.h"
 #include "common/json.h"
 #include "common/threadpool.h"
+#include "core/engine.h"
 #include "core/fleet.h"
 #include "core/fleet_shard.h"
+#include "obs/metrics.h"
 
 namespace phoebe::bench {
 namespace {
@@ -42,6 +50,13 @@ namespace {
 int ArgInt(int argc, char** argv, const char* flag, int fallback) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* ArgStr(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return fallback;
 }
@@ -73,6 +88,7 @@ int Run(int argc, char** argv) {
   const int target_jobs = ArgInt(argc, argv, "--jobs", 10000);
   const int num_cuts = ArgInt(argc, argv, "--num-cuts", 1);
   const int budget_gb = ArgInt(argc, argv, "--budget-gb", 0);
+  const std::string metrics_out = ArgStr(argc, argv, "--metrics-out", "");
 
   std::fprintf(stderr, "training pipeline...\n");
   BenchEnv env = MakeEnv(/*num_templates=*/60, /*train_days=*/3, /*test_days=*/1);
@@ -247,6 +263,31 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "procs %d: decide %.3f s, merge %.3f s%s\n", procs,
                  decide_seconds, merge_seconds,
                  identical ? "" : "  REPORT MISMATCH");
+  }
+
+  // Optional instrumented run: one extra day at 4 threads with the metrics
+  // registry attached, outside every timed series so the numbers above stay
+  // clean. The resulting telemetry JSONL is the artifact CI uploads.
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry registry;
+    core::DecisionEngine metrics_engine(env.phoebe->bundle(), &registry);
+    core::FleetConfig mcfg = cfg;
+    mcfg.num_threads = 4;
+    mcfg.metrics = &registry;
+    core::FleetDriver driver(&metrics_engine, mcfg);
+    if (budget_gb > 0) {
+      driver.Calibrate(env.repo.Day(env.train_days - 1),
+                       env.repo.StatsBefore(env.train_days - 1))
+          .Check();
+    }
+    driver.RunDay(jobs, stats).status().Check();
+    std::ofstream tele(metrics_out, std::ios::binary);
+    if (!tele) {
+      std::fprintf(stderr, "cannot open '%s'\n", metrics_out.c_str());
+      return 1;
+    }
+    tele << obs::TelemetryLineJson(registry.Snapshot(), "run", -1) << "\n";
+    std::fprintf(stderr, "wrote telemetry to %s\n", metrics_out.c_str());
   }
 
   JsonWriter json;

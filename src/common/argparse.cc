@@ -1,0 +1,238 @@
+#include "common/argparse.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace phoebe {
+namespace {
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "string";
+    default: return "bool";
+  }
+}
+
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser::Flag& ArgParser::Register(const std::string& name, Kind kind,
+                                     const std::string& help) {
+  PHOEBE_CHECK_MSG(!name.empty() && name.rfind("--", 0) != 0,
+                   "flag names are registered without the leading --");
+  auto [it, inserted] = flags_.emplace(name, Flag{});
+  PHOEBE_CHECK_MSG(inserted, "duplicate flag registration");
+  order_.push_back(name);
+  it->second.kind = kind;
+  it->second.help = help;
+  return it->second;
+}
+
+ArgParser& ArgParser::AddInt(const std::string& name, int default_value,
+                             const std::string& help) {
+  Flag& f = Register(name, Kind::kInt, help);
+  f.int_value = default_value;
+  f.default_text = StrFormat("%d", default_value);
+  return *this;
+}
+
+ArgParser& ArgParser::AddDouble(const std::string& name, double default_value,
+                                const std::string& help) {
+  Flag& f = Register(name, Kind::kDouble, help);
+  f.double_value = default_value;
+  f.default_text = StrFormat("%g", default_value);
+  return *this;
+}
+
+ArgParser& ArgParser::AddString(const std::string& name, const std::string& default_value,
+                                const std::string& help) {
+  Flag& f = Register(name, Kind::kString, help);
+  f.string_value = default_value;
+  f.default_text = default_value.empty() ? "\"\"" : default_value;
+  return *this;
+}
+
+ArgParser& ArgParser::AddBool(const std::string& name, const std::string& help) {
+  Flag& f = Register(name, Kind::kBool, help);
+  f.default_text = "false";
+  return *this;
+}
+
+std::string ArgParser::Suggest(const std::string& name) const {
+  std::string best;
+  size_t best_dist = name.size();  // a suggestion must beat retyping from scratch
+  auto consider = [&](const std::string& candidate) {
+    size_t d = EditDistance(name, candidate);
+    if (d < best_dist) {
+      best_dist = d;
+      best = candidate;
+    }
+  };
+  consider("help");  // special-cased in Parse, so not in flags_
+  for (const auto& [candidate, flag] : flags_) consider(candidate);
+  return best_dist <= 3 ? best : "";
+}
+
+Status ArgParser::Parse(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument(
+          StrFormat("unexpected positional argument '%s' (flags are --name value; "
+                    "see %s --help)",
+                    arg.c_str(), program_.c_str()));
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (size_t eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    if (name == "help") {
+      help_requested_ = true;
+      return Status::OK();
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::string hint = Suggest(name);
+      if (!hint.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "unknown flag '--%s'; did you mean '--%s'?", name.c_str(), hint.c_str()));
+      }
+      return Status::InvalidArgument(StrFormat("unknown flag '--%s' (see %s --help)",
+                                               name.c_str(), program_.c_str()));
+    }
+    Flag& flag = it->second;
+    flag.provided = true;
+
+    if (flag.kind == Kind::kBool) {
+      if (!has_inline) {
+        flag.bool_value = true;
+      } else if (inline_value == "true" || inline_value == "1") {
+        flag.bool_value = true;
+      } else if (inline_value == "false" || inline_value == "0") {
+        flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("flag '--%s' expects true/false, got '%s'", name.c_str(),
+                      inline_value.c_str()));
+      }
+      continue;
+    }
+
+    std::string value;
+    if (has_inline) {
+      value = inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(
+            StrFormat("flag '--%s' is missing its %s value", name.c_str(),
+                      KindName(static_cast<int>(flag.kind))));
+      }
+      value = argv[++i];
+    }
+
+    Status parsed = Status::OK();
+    switch (flag.kind) {
+      case Kind::kInt: {
+        int32_t v = 0;
+        parsed = ParseInt32(value, &v);
+        if (parsed.ok()) flag.int_value = v;
+        break;
+      }
+      case Kind::kDouble: {
+        double v = 0.0;
+        parsed = ParseFiniteDouble(value, &v);
+        if (parsed.ok()) flag.double_value = v;
+        break;
+      }
+      case Kind::kString:
+        flag.string_value = value;
+        break;
+      case Kind::kBool:
+        break;  // handled above
+    }
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(StrFormat("flag '--%s': %s", name.c_str(),
+                                               parsed.message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string ArgParser::Help() const {
+  std::string out = program_;
+  out += " [--flag value ...]\n";
+  if (!description_.empty()) {
+    out += description_;
+    out += "\n";
+  }
+  out += "\nflags:\n";
+  size_t width = 0;
+  for (const std::string& name : order_) width = std::max(width, name.size());
+  for (const std::string& name : order_) {
+    const Flag& f = flags_.at(name);
+    out += StrFormat("  --%-*s  %s", static_cast<int>(width), name.c_str(),
+                     f.help.c_str());
+    if (f.kind != Kind::kBool) {
+      out += StrFormat(" (default %s)", f.default_text.c_str());
+    }
+    out += "\n";
+  }
+  out += "  --help" + std::string(width > 4 ? width - 4 : 0, ' ') +
+         "  print this help and exit\n";
+  return out;
+}
+
+const ArgParser::Flag& ArgParser::Lookup(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  PHOEBE_CHECK_MSG(it != flags_.end(), "flag read but never registered");
+  PHOEBE_CHECK_MSG(it->second.kind == kind, "flag read with the wrong type");
+  return it->second;
+}
+
+int ArgParser::GetInt(const std::string& name) const {
+  return Lookup(name, Kind::kInt).int_value;
+}
+
+double ArgParser::GetDouble(const std::string& name) const {
+  return Lookup(name, Kind::kDouble).double_value;
+}
+
+const std::string& ArgParser::GetString(const std::string& name) const {
+  return Lookup(name, Kind::kString).string_value;
+}
+
+bool ArgParser::GetBool(const std::string& name) const {
+  return Lookup(name, Kind::kBool).bool_value;
+}
+
+bool ArgParser::Provided(const std::string& name) const {
+  auto it = flags_.find(name);
+  PHOEBE_CHECK_MSG(it != flags_.end(), "flag read but never registered");
+  return it->second.provided;
+}
+
+}  // namespace phoebe

@@ -1,0 +1,87 @@
+// Typed command-line flag parser for the tools in this repo.
+//
+// Flags are registered up front with a type, a default, and one line of help;
+// Parse then walks argv and fills them in. Design points:
+//
+//  - `--flag value` and `--flag=value` are both accepted; bool flags take no
+//    value (`--graph`) but tolerate an explicit `--graph=false`.
+//  - Unknown flags are an InvalidArgument Status, with a "did you mean"
+//    suggestion from the registered set — a typo must never silently fall
+//    back to a default.
+//  - Typed values parse through the hardened common/strings.h parsers, so a
+//    bad value is a clean Status naming the flag and token, never UB.
+//  - `--help` is synthesized from the registrations (Help()); callers check
+//    help_requested() after a successful Parse.
+//
+// Getters abort on programmer error (asking for an unregistered flag or the
+// wrong type); user error always comes back as a Status from Parse.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phoebe {
+
+class ArgParser {
+ public:
+  /// `program` and `description` head the generated --help text.
+  ArgParser(std::string program, std::string description);
+
+  /// Register a flag. Registration order is the --help order. Registering
+  /// the same name twice aborts (programmer error).
+  ArgParser& AddInt(const std::string& name, int default_value, const std::string& help);
+  ArgParser& AddDouble(const std::string& name, double default_value,
+                       const std::string& help);
+  ArgParser& AddString(const std::string& name, const std::string& default_value,
+                       const std::string& help);
+  /// Presence flag, default false. `--name` sets it; `--name=true/false`
+  /// also works.
+  ArgParser& AddBool(const std::string& name, const std::string& help);
+
+  /// Parse argv[first..argc). On error (unknown flag, missing or malformed
+  /// value, positional argument) returns InvalidArgument and leaves parsed
+  /// values unspecified. `--help` anywhere short-circuits to OK with
+  /// help_requested() set.
+  Status Parse(int argc, char** argv, int first);
+
+  bool help_requested() const { return help_requested_; }
+  /// Usage text generated from the registrations.
+  std::string Help() const;
+
+  int GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  /// True if the flag appeared on the command line (vs. its default).
+  bool Provided(const std::string& name) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+
+  struct Flag {
+    Kind kind = Kind::kString;
+    std::string help;
+    std::string default_text;  // rendered in --help
+    bool provided = false;
+    int int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Flag& Register(const std::string& name, Kind kind, const std::string& help);
+  const Flag& Lookup(const std::string& name, Kind kind) const;
+  /// Closest registered flag name by edit distance, or "" if nothing close.
+  std::string Suggest(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  bool help_requested_ = false;
+};
+
+}  // namespace phoebe

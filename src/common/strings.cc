@@ -66,52 +66,86 @@ bool Contains(const std::string& s, const std::string& sub) {
   return s.find(sub) != std::string::npos;
 }
 
-bool ParseInt64(const std::string& token, int64_t* out) {
-  if (token.empty()) return false;
+namespace {
+
+/// Quote a (possibly hostile/binary/huge) token for an error message:
+/// non-printable bytes become '?', long tokens truncate with an ellipsis.
+std::string QuoteToken(const std::string& token) {
+  constexpr size_t kMax = 32;
+  std::string q = "'";
+  for (size_t i = 0; i < token.size() && i < kMax; ++i) {
+    unsigned char c = static_cast<unsigned char>(token[i]);
+    q += (c >= 0x20 && c < 0x7f) ? token[i] : '?';
+  }
+  if (token.size() > kMax) q += "...";
+  q += "'";
+  return q;
+}
+
+Status BadToken(const char* what, const std::string& token) {
+  return Status::InvalidArgument(std::string(what) + ": " + QuoteToken(token));
+}
+
+}  // namespace
+
+Status ParseInt64(const std::string& token, int64_t* out) {
+  if (token.empty()) return Status::InvalidArgument("empty integer token");
   // strtoll skips leading whitespace; the strict contract forbids it.
-  if (std::isspace(static_cast<unsigned char>(token.front()))) return false;
+  if (std::isspace(static_cast<unsigned char>(token.front()))) {
+    return BadToken("integer token starts with whitespace", token);
+  }
   errno = 0;
   char* end = nullptr;
   long long v = std::strtoll(token.c_str(), &end, 10);
-  if (errno == ERANGE) return false;
-  if (end != token.c_str() + token.size()) return false;  // junk or embedded NUL
+  if (errno == ERANGE) return BadToken("integer out of range", token);
+  if (end != token.c_str() + token.size()) {
+    return BadToken("not an integer", token);  // junk or embedded NUL
+  }
   *out = static_cast<int64_t>(v);
-  return true;
+  return Status::OK();
 }
 
-bool ParseInt32(const std::string& token, int32_t* out) {
+Status ParseInt32(const std::string& token, int32_t* out) {
   int64_t v = 0;
-  if (!ParseInt64(token, &v)) return false;
-  if (v < INT32_MIN || v > INT32_MAX) return false;
+  PHOEBE_RETURN_NOT_OK(ParseInt64(token, &v));
+  if (v < INT32_MIN || v > INT32_MAX) {
+    return BadToken("integer out of int32 range", token);
+  }
   *out = static_cast<int32_t>(v);
-  return true;
+  return Status::OK();
 }
 
-bool ParseFiniteDouble(const std::string& token, double* out) {
-  if (token.empty()) return false;
-  if (std::isspace(static_cast<unsigned char>(token.front()))) return false;
+Status ParseFiniteDouble(const std::string& token, double* out) {
+  if (token.empty()) return Status::InvalidArgument("empty numeric token");
+  if (std::isspace(static_cast<unsigned char>(token.front()))) {
+    return BadToken("numeric token starts with whitespace", token);
+  }
   errno = 0;
   char* end = nullptr;
   double v = std::strtod(token.c_str(), &end);
-  if (end != token.c_str() + token.size()) return false;
-  if (!std::isfinite(v)) return false;  // covers ERANGE overflow, inf, nan
+  if (end != token.c_str() + token.size()) return BadToken("not a number", token);
+  if (!std::isfinite(v)) {
+    return BadToken("number is not finite", token);  // ERANGE, inf, nan
+  }
   *out = v;
-  return true;
+  return Status::OK();
 }
 
-bool ParseHexU32(const std::string& token, uint32_t* out) {
-  if (token.empty() || token.size() > 8) return false;
+Status ParseHexU32(const std::string& token, uint32_t* out) {
+  if (token.empty() || token.size() > 8) {
+    return BadToken("not an 8-digit-or-less hex token", token);
+  }
   uint32_t v = 0;
   for (char ch : token) {
     uint32_t digit;
     if (ch >= '0' && ch <= '9') digit = static_cast<uint32_t>(ch - '0');
     else if (ch >= 'a' && ch <= 'f') digit = static_cast<uint32_t>(ch - 'a') + 10;
     else if (ch >= 'A' && ch <= 'F') digit = static_cast<uint32_t>(ch - 'A') + 10;
-    else return false;
+    else return BadToken("not a hex token", token);
     v = (v << 4) | digit;
   }
   *out = v;
-  return true;
+  return Status::OK();
 }
 
 std::string HumanBytes(double bytes) {

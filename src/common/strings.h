@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace phoebe {
 
 /// Split `s` on `sep`, keeping empty pieces.
@@ -28,17 +30,20 @@ bool Contains(const std::string& s, const std::string& sub);
 /// Strict numeric token parsers for untrusted text (fuzzed traces, external
 /// graph files). Unlike atoi/atof, they reject empty tokens, trailing junk,
 /// and out-of-range values instead of returning garbage or invoking UB, so a
-/// corrupted input surfaces as a clean parse error. The whole token must be
-/// the number; leading/trailing whitespace is rejected.
-bool ParseInt32(const std::string& token, int32_t* out);
-bool ParseInt64(const std::string& token, int64_t* out);
+/// corrupted input surfaces as a clean error Status naming the offending
+/// token (never a crash; fuzz_parser_test pins this). The whole token must be
+/// the number; leading/trailing whitespace is rejected. On error `*out` is
+/// untouched. Callers that only want a yes/no test use `.ok()`; callers
+/// building a richer message can still wrap the returned Status.
+Status ParseInt32(const std::string& token, int32_t* out);
+Status ParseInt64(const std::string& token, int64_t* out);
 /// Accepts only finite values (inf/nan/overflow are rejected): every numeric
 /// field in the text formats is a finite quantity, and letting an overflowed
 /// 1e999 through as +inf would poison downstream arithmetic.
-bool ParseFiniteDouble(const std::string& token, double* out);
+Status ParseFiniteDouble(const std::string& token, double* out);
 /// Unsigned 32-bit hex token (no 0x prefix), e.g. a CRC-32 printed "%08x".
 /// Same strictness as the parsers above: the whole token must be hex digits.
-bool ParseHexU32(const std::string& token, uint32_t* out);
+Status ParseHexU32(const std::string& token, uint32_t* out);
 
 /// Human-readable byte count, e.g. "1.50 GB".
 std::string HumanBytes(double bytes);

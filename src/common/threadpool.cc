@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   // The caller is worker 0; spawn the rest.
   workers_.reserve(static_cast<size_t>(num_threads - 1));
   for (int i = 1; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -29,15 +29,15 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::RunIterations() {
+void ThreadPool::RunIterations(int worker) {
   while (true) {
     size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n_) return;
-    (*body_)(i);
+    (*body_)(worker, i);
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen = 0;
   while (true) {
     {
@@ -46,7 +46,7 @@ void ThreadPool::WorkerLoop() {
       if (stop_) return;
       seen = generation_;
     }
-    RunIterations();
+    RunIterations(worker);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--busy_ == 0) done_cv_.notify_all();
@@ -55,10 +55,15 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  ParallelForWorker(n, [&body](int, size_t i) { body(i); });
+}
+
+void ThreadPool::ParallelForWorker(size_t n,
+                                   const std::function<void(int, size_t)>& body) {
   if (n == 0) return;
   if (workers_.empty()) {
     // Serial path: no synchronization, identical to a plain loop.
-    for (size_t i = 0; i < n; ++i) body(i);
+    for (size_t i = 0; i < n; ++i) body(0, i);
     return;
   }
   {
@@ -71,7 +76,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
     ++generation_;
   }
   work_cv_.notify_all();
-  RunIterations();  // the caller participates
+  RunIterations(0);  // the caller participates as worker 0
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return busy_ == 0; });
   body_ = nullptr;

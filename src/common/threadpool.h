@@ -39,6 +39,14 @@ class ThreadPool {
   /// indices and must not call ParallelFor on the same pool (no nesting).
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
+  /// ParallelFor that also tells the body which worker runs the iteration:
+  /// `body(worker, i)` with worker in [0, num_threads), caller = worker 0.
+  /// Which worker gets which index is scheduling-dependent — use the worker
+  /// id only for telemetry (per-thread work counts) or for indexing
+  /// per-worker scratch space, never for anything that feeds a result.
+  void ParallelForWorker(size_t n,
+                         const std::function<void(int, size_t)>& body);
+
   /// Workers participating in ParallelFor (>= 1, caller included).
   int num_threads() const { return num_threads_; }
 
@@ -48,8 +56,8 @@ class ThreadPool {
   static int Resolve(int requested);
 
  private:
-  void WorkerLoop();
-  void RunIterations();
+  void WorkerLoop(int worker);
+  void RunIterations(int worker);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -63,7 +71,7 @@ class ThreadPool {
 
   // Current loop; valid while busy_ > 0 or the caller is in ParallelFor.
   size_t n_ = 0;
-  const std::function<void(size_t)>* body_ = nullptr;
+  const std::function<void(int, size_t)>* body_ = nullptr;
   std::atomic<size_t> next_{0};
 };
 

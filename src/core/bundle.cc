@@ -119,7 +119,7 @@ class ConfigMap {
   Result<int> Int(const std::string& key) {
     PHOEBE_ASSIGN_OR_RETURN(std::string raw, Raw(key));
     int32_t v = 0;
-    if (!ParseInt32(raw, &v)) {
+    if (!ParseInt32(raw, &v).ok()) {
       return Status::InvalidArgument("bundle config: bad int for '" + key + "'");
     }
     return static_cast<int>(v);
@@ -128,7 +128,7 @@ class ConfigMap {
   Result<uint64_t> Seed(const std::string& key) {
     PHOEBE_ASSIGN_OR_RETURN(std::string raw, Raw(key));
     int64_t v = 0;
-    if (!ParseInt64(raw, &v) || v < 0) {
+    if (!ParseInt64(raw, &v).ok() || v < 0) {
       return Status::InvalidArgument("bundle config: bad seed for '" + key + "'");
     }
     return static_cast<uint64_t>(v);
@@ -137,7 +137,7 @@ class ConfigMap {
   Result<double> Double(const std::string& key) {
     PHOEBE_ASSIGN_OR_RETURN(std::string raw, Raw(key));
     double v = 0.0;
-    if (!ParseFiniteDouble(raw, &v)) {
+    if (!ParseFiniteDouble(raw, &v).ok()) {
       return Status::InvalidArgument("bundle config: bad double for '" + key + "'");
     }
     return v;
@@ -193,7 +193,7 @@ Status ParseMlp(ConfigMap& m, const std::string& p, ml::MlpParams* out) {
   if (hidden != "-") {
     for (const std::string& piece : Split(hidden, ',')) {
       int32_t width = 0;
-      if (!ParseInt32(piece, &width) || width <= 0) {
+      if (!ParseInt32(piece, &width).ok() || width <= 0) {
         return Status::InvalidArgument("bundle config: bad mlp hidden widths");
       }
       out->hidden.push_back(width);
@@ -287,7 +287,7 @@ class Reader {
     std::vector<std::string> pieces = Split(header, ' ');
     int64_t n = 0;
     if (pieces.size() != 3 || pieces[0] != "section" || pieces[1] != name ||
-        !ParseInt64(pieces[2], &n) || n < 0) {
+        !ParseInt64(pieces[2], &n).ok() || n < 0) {
       return Status::InvalidArgument("bundle: expected 'section " + name +
                                      " <nbytes>', got '" + header + "'");
     }
@@ -387,7 +387,7 @@ Result<std::shared_ptr<const PipelineBundle>> PipelineBundle::FromText(
       return Status::InvalidArgument("not a phoebe bundle (bad magic)");
     }
     int32_t version = 0;
-    if (!ParseInt32(pieces[1], &version)) {
+    if (!ParseInt32(pieces[1], &version).ok()) {
       return Status::InvalidArgument("bundle: malformed format version");
     }
     if (version != kFormatVersion) {
@@ -402,7 +402,7 @@ Result<std::shared_ptr<const PipelineBundle>> PipelineBundle::FromText(
     std::vector<std::string> pieces = Split(checksum_line, ' ');
     uint32_t stored = 0;
     if (pieces.size() != 2 || pieces[0] != "checksum" ||
-        !ParseHexU32(pieces[1], &stored)) {
+        !ParseHexU32(pieces[1], &stored).ok()) {
       return Status::InvalidArgument("bundle: malformed checksum line");
     }
     uint32_t actual = Crc32(text.data() + r.pos(), text.size() - r.pos());
@@ -446,14 +446,25 @@ Result<std::shared_ptr<const PipelineBundle>> PipelineBundle::FromText(
                          std::move(ttl), std::move(stats)));
 }
 
-Status PipelineBundle::SaveToFile(const std::string& path) const {
+Status PipelineBundle::SaveToFile(const std::string& path,
+                                  obs::MetricsRegistry* metrics) const {
+  obs::ScopedTimer timer(
+      metrics != nullptr ? metrics->histogram("bundle.save.seconds") : nullptr);
   PHOEBE_ASSIGN_OR_RETURN(std::string text, ToText());
+  if (metrics != nullptr) {
+    metrics->gauge("bundle.file.bytes")->Set(static_cast<double>(text.size()));
+  }
   return WriteFile(path, text);
 }
 
 Result<std::shared_ptr<const PipelineBundle>> PipelineBundle::LoadFromFile(
-    const std::string& path) {
+    const std::string& path, obs::MetricsRegistry* metrics) {
+  obs::ScopedTimer timer(
+      metrics != nullptr ? metrics->histogram("bundle.load.seconds") : nullptr);
   PHOEBE_ASSIGN_OR_RETURN(std::string text, ReadWholeFile(path));
+  if (metrics != nullptr) {
+    metrics->gauge("bundle.file.bytes")->Set(static_cast<double>(text.size()));
+  }
   return FromText(text);
 }
 

@@ -40,6 +40,7 @@
 
 #include "core/predictors.h"
 #include "core/ttl.h"
+#include "obs/metrics.h"
 #include "telemetry/repository.h"
 
 namespace phoebe::core {
@@ -114,8 +115,12 @@ class PipelineBundle {
   /// yields an error Status (never a crash; see fuzz_bundle_test).
   static Result<std::shared_ptr<const PipelineBundle>> FromText(const std::string& text);
 
-  Status SaveToFile(const std::string& path) const;
-  static Result<std::shared_ptr<const PipelineBundle>> LoadFromFile(const std::string& path);
+  /// Save/load the serialized form. `metrics` (optional, borrowed) records
+  /// bundle.save/load.seconds and bundle.file.bytes; null = metrics off.
+  Status SaveToFile(const std::string& path,
+                    obs::MetricsRegistry* metrics = nullptr) const;
+  static Result<std::shared_ptr<const PipelineBundle>> LoadFromFile(
+      const std::string& path, obs::MetricsRegistry* metrics = nullptr);
 
   /// A copy of this bundle with batched inference toggled on every model
   /// stack — the only config change that does not invalidate trained state

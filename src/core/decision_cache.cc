@@ -8,6 +8,19 @@
 #include "ml/text.h"
 
 namespace phoebe::core {
+
+Status TemplateCacheConfig::Validate() const {
+  if (enabled && capacity == 0) {
+    return Status::InvalidArgument(
+        "template cache enabled with zero capacity — every insert would "
+        "be dropped; disable the cache or give it room");
+  }
+  if (quantize_bps < 0) {
+    return Status::InvalidArgument("template cache quantize_bps must be >= 0");
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// Raw bit pattern of a double, with -0.0 collapsed to +0.0 so the two

@@ -45,6 +45,10 @@ struct TemplateCacheConfig {
   /// 0 = exact mode (bit-identical inputs only; provably byte-neutral).
   /// e.g. 5000 = instances within ~±25% input size share a log bucket.
   int quantize_bps = 0;
+
+  /// Structural validity: an enabled cache needs capacity >= 1, and
+  /// quantize_bps must be non-negative.
+  Status Validate() const;
 };
 
 /// \brief Cache key: decision context plus the input signature.

@@ -9,9 +9,34 @@
 
 namespace phoebe::core {
 
-DecisionEngine::DecisionEngine(std::shared_ptr<const PipelineBundle> bundle)
+const char* CostSourceToken(CostSource source) {
+  switch (source) {
+    case CostSource::kTruth: return "truth";
+    case CostSource::kOptimizerEstimates: return "opt_est";
+    case CostSource::kConstant: return "constant";
+    case CostSource::kMlSimulator: return "ml_sim";
+    case CostSource::kMlStacked: return "ml_stacked";
+  }
+  return "unknown";
+}
+
+DecisionEngine::DecisionEngine(std::shared_ptr<const PipelineBundle> bundle,
+                               obs::MetricsRegistry* metrics)
     : bundle_(std::move(bundle)) {
   PHOEBE_CHECK(bundle_ != nullptr);
+  if (metrics == nullptr) return;
+  for (CostSource s : {CostSource::kTruth, CostSource::kOptimizerEstimates,
+                       CostSource::kConstant, CostSource::kMlSimulator,
+                       CostSource::kMlStacked}) {
+    const std::string base = std::string("engine.") + CostSourceToken(s);
+    SourceMetrics& m = source_metrics_[static_cast<size_t>(s)];
+    m.decide_seconds = metrics->histogram(base + ".decide.seconds");
+    m.infer_seconds = metrics->histogram(base + ".inference.seconds");
+    m.batch_stages = metrics->histogram(
+        base + ".inference.batch_stages",
+        obs::Histogram::ExponentialBounds(1.0, 2.0, 12));
+    m.batches = metrics->counter(base + ".inference.batches");
+  }
 }
 
 Result<StageCosts> DecisionEngine::BuildCosts(const workload::JobInstance& job,
@@ -66,8 +91,15 @@ Result<StageCosts> DecisionEngine::BuildCosts(
     case CostSource::kMlSimulator:
     case CostSource::kMlStacked: {
       if (!bundle_->trained()) return Status::FailedPrecondition("pipeline not trained");
+      const SourceMetrics& m = metrics_for(source);
+      obs::ScopedTimer infer_timer(m.infer_seconds);
       exec = bundle_->exec_predictor().PredictJob(job, stats);
       output = bundle_->size_predictor().PredictJob(job, stats);
+      infer_timer.Stop();
+      // Each PredictJob scores the job's stages as one batch.
+      obs::Observe(m.batch_stages, static_cast<double>(n));
+      obs::Observe(m.batch_stages, static_cast<double>(n));
+      obs::Add(m.batches, 2);
       break;
     }
     case CostSource::kTruth:
@@ -83,7 +115,12 @@ Result<StageCosts> DecisionEngine::BuildCosts(
   // estimate-based sources this leaves the final-clear adjustment at zero.
   costs.job_end = sim.job_end;
   if (source == CostSource::kMlStacked && bundle_->trained()) {
+    const SourceMetrics& m = metrics_for(source);
+    obs::ScopedTimer ttl_timer(m.infer_seconds);
     costs.ttl = bundle_->ttl_estimator().Predict(job, sim);
+    ttl_timer.Stop();
+    obs::Observe(m.batch_stages, static_cast<double>(n));
+    obs::Increment(m.batches);
   } else {
     costs.ttl.resize(n);
     for (size_t i = 0; i < n; ++i) {
@@ -136,6 +173,7 @@ Result<PipelineDecision> DecisionEngine::Decide(const workload::JobInstance& job
 Result<FleetDecision> DecisionEngine::DecideJob(const workload::JobInstance& job,
                                                 const telemetry::HistoricStats& stats,
                                                 const DecideOptions& options) const {
+  obs::ScopedTimer decide_timer(metrics_for(options.source).decide_seconds);
   PHOEBE_ASSIGN_OR_RETURN(StageCosts costs, BuildCosts(job, options.source, stats));
   FleetDecision d;
   if (options.objective == Objective::kRecovery) {

@@ -11,10 +11,12 @@
 // (across threads or processes) can serve from the same bundle.
 #pragma once
 
+#include <array>
 #include <memory>
 
 #include "core/bundle.h"
 #include "core/checkpoint.h"
+#include "obs/metrics.h"
 
 namespace phoebe::core {
 
@@ -53,7 +55,12 @@ class DecisionEngine {
  public:
   /// \param bundle the trained (or untrained, for non-ML sources) state to
   /// serve from. Shared ownership: the bundle outlives every engine view.
-  explicit DecisionEngine(std::shared_ptr<const PipelineBundle> bundle);
+  /// \param metrics optional observability registry (borrowed; must outlive
+  /// the engine). Null = metrics off, the default. Metrics are strictly
+  /// passive — they never feed a decision — so two engines over one bundle,
+  /// one instrumented and one not, decide byte-identically.
+  explicit DecisionEngine(std::shared_ptr<const PipelineBundle> bundle,
+                          obs::MetricsRegistry* metrics = nullptr);
 
   const PipelineBundle& bundle() const { return *bundle_; }
   std::shared_ptr<const PipelineBundle> shared_bundle() const { return bundle_; }
@@ -87,7 +94,25 @@ class DecisionEngine {
                                   const DecideOptions& options) const;
 
  private:
+  /// Metric pointers for one cost source, resolved once at construction so
+  /// the decide path never touches the registry mutex. All null when the
+  /// engine runs without metrics.
+  struct SourceMetrics {
+    obs::Histogram* decide_seconds = nullptr;  ///< engine.decide.<src>.seconds
+    obs::Histogram* infer_seconds = nullptr;   ///< engine.inference.<src>.seconds
+    obs::Histogram* batch_stages = nullptr;    ///< stages per inference batch
+    obs::Counter* batches = nullptr;           ///< inference batches issued
+  };
+  const SourceMetrics& metrics_for(CostSource source) const {
+    return source_metrics_[static_cast<size_t>(source)];
+  }
+
   std::shared_ptr<const PipelineBundle> bundle_;
+  std::array<SourceMetrics, 5> source_metrics_;
 };
+
+/// Lower-case token for a cost source, used in metric names and reports
+/// ("truth", "opt_est", "constant", "ml_sim", "ml_stacked").
+const char* CostSourceToken(CostSource source);
 
 }  // namespace phoebe::core

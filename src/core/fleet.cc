@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "common/threadpool.h"
@@ -18,10 +19,48 @@ std::vector<cluster::CutSet> FleetDayReport::AdmittedCuts() const {
   return cuts;
 }
 
+Status FleetConfig::Validate() const {
+  if (std::isnan(storage_budget_bytes) || storage_budget_bytes <= 0.0) {
+    return Status::InvalidArgument(
+        "storage_budget_bytes must be positive (infinite = unbudgeted)");
+  }
+  if (!std::isfinite(expected_arrivals) || expected_arrivals < 0.0) {
+    return Status::InvalidArgument(
+        "expected_arrivals must be finite and >= 0 (0 = calibration size)");
+  }
+  if (num_cuts < 1) {
+    return Status::InvalidArgument("num_cuts must be >= 1");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (0 = hardware concurrency)");
+  }
+  return template_cache.Validate();
+}
+
 FleetDriver::FleetDriver(const DecisionEngine* engine, FleetConfig config)
-    : engine_(engine), config_(config),
+    : engine_(engine), config_(config), config_status_(config.Validate()),
       template_cache_(config.template_cache.capacity) {
   PHOEBE_CHECK(engine != nullptr);
+  if (obs::MetricsRegistry* reg = config_.metrics) {
+    metrics_.day_seconds = reg->histogram("fleet.day.seconds");
+    metrics_.decide_seconds = reg->histogram("fleet.phase.decide.seconds");
+    metrics_.admission_seconds = reg->histogram("fleet.phase.admission.seconds");
+    metrics_.decide_day_seconds = reg->histogram("fleet.shard.decide_day.seconds");
+    metrics_.replay_day_seconds = reg->histogram("fleet.shard.replay_day.seconds");
+    metrics_.cache_lookup_seconds = reg->histogram("fleet.cache.lookup.seconds");
+    metrics_.cache_insert_seconds = reg->histogram("fleet.cache.insert.seconds");
+    metrics_.cache_hits = reg->counter("fleet.cache.hits");
+    metrics_.cache_misses = reg->counter("fleet.cache.misses");
+    metrics_.cache_evictions = reg->counter("fleet.cache.evictions");
+    metrics_.jobs_decided = reg->counter("fleet.decide.jobs");
+    const int threads = ThreadPool::Resolve(config_.num_threads);
+    metrics_.worker_jobs.reserve(static_cast<size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      metrics_.worker_jobs.push_back(
+          reg->counter("fleet.worker." + std::to_string(w) + ".jobs"));
+    }
+  }
 }
 
 namespace {
@@ -31,22 +70,29 @@ namespace {
 /// written by index, so the result is independent of scheduling order. Pure
 /// map over the jobs: the engine's bundle is immutable, so concurrent calls
 /// for distinct jobs are safe by construction (see DESIGN.md "Concurrency").
+/// `jobs_decided`/`worker_jobs` are the driver's (possibly null/empty)
+/// telemetry counters; per-worker attribution never touches the result slots.
 std::vector<std::optional<Result<FleetDecision>>> DecideAll(
     const DecisionEngine& engine, const FleetConfig& config,
     const std::vector<workload::JobInstance>& jobs,
-    const telemetry::HistoricStats& stats) {
+    const telemetry::HistoricStats& stats, obs::Counter* jobs_decided,
+    const std::vector<obs::Counter*>& worker_jobs) {
   std::vector<std::optional<Result<FleetDecision>>> slots(jobs.size());
   const DecideOptions options = config.decide_options();
-  auto decide = [&](size_t i) {
+  auto decide = [&](int worker, size_t i) {
     if (jobs[i].graph.num_stages() < 2) return;
     slots[i].emplace(engine.DecideJob(jobs[i], stats, options));
+    obs::Increment(jobs_decided);
+    if (static_cast<size_t>(worker) < worker_jobs.size()) {
+      obs::Increment(worker_jobs[static_cast<size_t>(worker)]);
+    }
   };
   const int threads = ThreadPool::Resolve(config.num_threads);
   if (threads <= 1) {
-    for (size_t i = 0; i < jobs.size(); ++i) decide(i);
+    for (size_t i = 0; i < jobs.size(); ++i) decide(0, i);
   } else {
     ThreadPool pool(threads);
-    pool.ParallelFor(jobs.size(), decide);
+    pool.ParallelForWorker(jobs.size(), decide);
   }
   return slots;
 }
@@ -55,8 +101,10 @@ std::vector<std::optional<Result<FleetDecision>>> DecideAll(
 
 Status FleetDriver::Calibrate(const std::vector<workload::JobInstance>& history_jobs,
                               const telemetry::HistoricStats& history_stats) {
+  PHOEBE_RETURN_NOT_OK(config_status_);
   calibration_.clear();
-  auto decisions = DecideAll(*engine_, config_, history_jobs, history_stats);
+  auto decisions = DecideAll(*engine_, config_, history_jobs, history_stats,
+                             metrics_.jobs_decided, metrics_.worker_jobs);
   for (size_t i = 0; i < history_jobs.size(); ++i) {
     if (!decisions[i].has_value()) continue;  // < 2 stages
     const Result<FleetDecision>& d = *decisions[i];
@@ -75,11 +123,14 @@ Status FleetDriver::Calibrate(const std::vector<workload::JobInstance>& history_
 Result<FleetDayDecisions> FleetDriver::DecideDay(
     const std::vector<workload::JobInstance>& jobs,
     const telemetry::HistoricStats& stats) const {
+  PHOEBE_RETURN_NOT_OK(config_status_);
+  obs::ScopedTimer day_timer(metrics_.decide_day_seconds);
   // Fresh decisions for *every* eligible job, never consulting the template
   // cache: a shard process has no cache state, and the merge's ReplayDay only
   // consumes the slots RunDay would have computed (leaders / all jobs), so
   // extra slots cost shard CPU but never change the merged report.
-  auto slots = DecideAll(*engine_, config_, jobs, stats);
+  auto slots = DecideAll(*engine_, config_, jobs, stats, metrics_.jobs_decided,
+                         metrics_.worker_jobs);
   FleetDayDecisions day;
   day.decisions.resize(jobs.size());
   for (size_t i = 0; i < jobs.size(); ++i) {
@@ -99,12 +150,15 @@ Result<FleetDayReport> FleetDriver::RunDay(
 Result<FleetDayReport> FleetDriver::ReplayDay(
     const std::vector<workload::JobInstance>& jobs,
     const telemetry::HistoricStats& stats, const FleetDayDecisions& precomputed) {
+  obs::ScopedTimer replay_timer(metrics_.replay_day_seconds);
   return RunDayImpl(jobs, stats, &precomputed);
 }
 
 Result<FleetDayReport> FleetDriver::RunDayImpl(
     const std::vector<workload::JobInstance>& jobs,
     const telemetry::HistoricStats& stats, const FleetDayDecisions* precomputed) {
+  PHOEBE_RETURN_NOT_OK(config_status_);
+  obs::ScopedTimer day_timer(metrics_.day_seconds);
   const bool budgeted = std::isfinite(config_.storage_budget_bytes);
   if (budgeted && !calibrated_) {
     return Status::FailedPrecondition("Calibrate must run before a budgeted RunDay");
@@ -162,6 +216,7 @@ Result<FleetDayReport> FleetDriver::RunDayImpl(
   std::vector<size_t> leader_of;  // follower i -> index of its leader
   std::vector<char> is_leader;
   const int64_t evictions_before = template_cache_.evictions();
+  obs::ScopedTimer decide_timer(metrics_.decide_seconds);
   if (!cache_cfg.enabled) {
     if (precomputed != nullptr) {
       decisions.resize(jobs.size());
@@ -171,7 +226,8 @@ Result<FleetDayReport> FleetDriver::RunDayImpl(
         }
       }
     } else {
-      decisions = DecideAll(*engine_, config_, jobs, stats);
+      decisions = DecideAll(*engine_, config_, jobs, stats,
+                            metrics_.jobs_decided, metrics_.worker_jobs);
     }
   } else {
     decisions.resize(jobs.size());
@@ -191,7 +247,10 @@ Result<FleetDayReport> FleetDriver::RunDayImpl(
         ++report.cache_hits;
         continue;
       }
-      if (const FleetDecision* hit = template_cache_.Lookup(keys[i])) {
+      obs::ScopedTimer lookup_timer(metrics_.cache_lookup_seconds);
+      const FleetDecision* hit = template_cache_.Lookup(keys[i]);
+      lookup_timer.Stop();
+      if (hit != nullptr) {
         decisions[i].emplace(*hit);
         ++report.cache_hits;
         continue;
@@ -206,16 +265,20 @@ Result<FleetDayReport> FleetDriver::RunDayImpl(
       }
     } else {
       const DecideOptions options = config_.decide_options();
-      auto decide = [&](size_t i) {
+      auto decide = [&](int worker, size_t i) {
         if (!is_leader[i]) return;
         decisions[i].emplace(engine_->DecideJob(jobs[i], stats, options));
+        obs::Increment(metrics_.jobs_decided);
+        if (static_cast<size_t>(worker) < metrics_.worker_jobs.size()) {
+          obs::Increment(metrics_.worker_jobs[static_cast<size_t>(worker)]);
+        }
       };
       const int threads = ThreadPool::Resolve(config_.num_threads);
       if (threads <= 1) {
-        for (size_t i = 0; i < jobs.size(); ++i) decide(i);
+        for (size_t i = 0; i < jobs.size(); ++i) decide(0, i);
       } else {
         ThreadPool pool(threads);
-        pool.ParallelFor(jobs.size(), decide);
+        pool.ParallelForWorker(jobs.size(), decide);
       }
     }
     // Serial admission prologue: insert leader decisions into the cache and
@@ -223,16 +286,19 @@ Result<FleetDayReport> FleetDriver::RunDayImpl(
     // loop below moves anything out of a leader's decision.
     for (size_t i = 0; i < jobs.size(); ++i) {
       if (is_leader[i] && decisions[i]->ok()) {
+        obs::ScopedTimer insert_timer(metrics_.cache_insert_seconds);
         template_cache_.Insert(keys[i], **decisions[i]);
       } else if (leader_of[i] < jobs.size()) {
         decisions[i] = decisions[leader_of[i]];  // copy, leader index < i
       }
     }
   }
+  decide_timer.Stop();
 
   // Phase 2 (serial): replay the online-knapsack admission in arrival order.
   // Every accumulation happens here, in job order, which is what makes the
   // report byte-identical to the legacy serial driver for any thread count.
+  obs::ScopedTimer admission_timer(metrics_.admission_seconds);
   report.outcomes.reserve(jobs.size());
   for (size_t i = 0; i < jobs.size(); ++i) {
     const workload::JobInstance& job = jobs[i];
@@ -264,10 +330,16 @@ Result<FleetDayReport> FleetDriver::RunDayImpl(
     }
     report.outcomes.push_back(std::move(out));
   }
+  admission_timer.Stop();
   if (cache_cfg.enabled) {
     report.cache_evictions = template_cache_.evictions() - evictions_before;
   }
   if (knapsack) report.knapsack_threshold = knapsack->threshold();
+  // Telemetry mirrors of the day's cache traffic (flows, so they accumulate
+  // across days; the per-day report keeps the authoritative values).
+  obs::Add(metrics_.cache_hits, report.cache_hits);
+  obs::Add(metrics_.cache_misses, report.cache_misses);
+  obs::Add(metrics_.cache_evictions, report.cache_evictions);
   return report;
 }
 

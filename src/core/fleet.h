@@ -55,10 +55,19 @@ struct FleetConfig {
   /// order, so reports stay byte-identical for any num_threads; with
   /// quantize_bps == 0 they are also byte-identical to cache-off runs.
   TemplateCacheConfig template_cache;
+  /// Optional observability registry (borrowed; must outlive the driver).
+  /// Null = metrics off. Strictly passive: reports are byte-identical with
+  /// metrics on or off (core_fleet_metrics_test pins this).
+  obs::MetricsRegistry* metrics = nullptr;
 
   DecideOptions decide_options() const {
     return DecideOptions{objective, source, num_cuts};
   }
+
+  /// Structural validity of every knob (budget/arrivals not NaN, cut and
+  /// thread counts in range, nested TemplateCacheConfig valid). Checked once
+  /// at driver construction; every entry point fails fast on the result.
+  Status Validate() const;
 };
 
 /// \brief Decision and outcome for one job of the day.
@@ -157,12 +166,36 @@ class FleetDriver {
                                    const FleetDayDecisions& precomputed);
 
  private:
+  friend struct FleetDriverPeer;  // test-only access to resolved metrics
+
+  /// Metric pointers resolved once at construction (null = metrics off).
+  /// Phase names match DESIGN.md "Observability".
+  struct Metrics {
+    obs::Histogram* day_seconds = nullptr;        ///< fleet.day.seconds
+    obs::Histogram* decide_seconds = nullptr;     ///< fleet.phase.decide.seconds
+    obs::Histogram* admission_seconds = nullptr;  ///< fleet.phase.admission.seconds
+    obs::Histogram* decide_day_seconds = nullptr; ///< fleet.shard.decide_day.seconds
+    obs::Histogram* replay_day_seconds = nullptr; ///< fleet.shard.replay_day.seconds
+    obs::Histogram* cache_lookup_seconds = nullptr;
+    obs::Histogram* cache_insert_seconds = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* cache_evictions = nullptr;
+    obs::Counter* jobs_decided = nullptr;         ///< fleet.decide.jobs
+    /// fleet.worker.<w>.jobs — decisions computed by pool worker w. Worker
+    /// attribution is scheduling-dependent (telemetry only); the sum equals
+    /// fleet.decide.jobs.
+    std::vector<obs::Counter*> worker_jobs;
+  };
+
   Result<FleetDayReport> RunDayImpl(const std::vector<workload::JobInstance>& jobs,
                                     const telemetry::HistoricStats& stats,
                                     const FleetDayDecisions* precomputed);
 
   const DecisionEngine* engine_;
   FleetConfig config_;
+  Status config_status_;  ///< FleetConfig::Validate() at construction
+  Metrics metrics_;
   std::vector<KnapsackItem> calibration_;
   bool calibrated_ = false;
   TemplateDecisionCache<FleetDecision> template_cache_;

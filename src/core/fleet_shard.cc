@@ -109,7 +109,7 @@ Result<FleetShardBlob> ParseFleetShard(const std::string& text) {
   {
     std::vector<std::string> tok = Split(magic_line, ' ');
     int32_t version = 0;
-    if (tok.size() != 2 || tok[0] != kMagic || !ParseInt32(tok[1], &version)) {
+    if (tok.size() != 2 || tok[0] != kMagic || !ParseInt32(tok[1], &version).ok()) {
       return Status::InvalidArgument("not a phoebe shard blob (bad magic)");
     }
     if (version != kFormatVersion) {
@@ -124,12 +124,12 @@ Result<FleetShardBlob> ParseFleetShard(const std::string& text) {
     std::vector<std::string> tok = Split(line, ' ');
     if (tok.size() != 7 || tok[0] != "shard" || tok[3] != "days" ||
         tok[5] != "checksum" ||
-        !ParseInt32(tok[1], &blob.header.shard_index) ||
-        !ParseInt32(tok[2], &blob.header.shard_count) ||
-        !ParseInt32(tok[4], &blob.header.num_days)) {
+        !ParseInt32(tok[1], &blob.header.shard_index).ok() ||
+        !ParseInt32(tok[2], &blob.header.shard_count).ok() ||
+        !ParseInt32(tok[4], &blob.header.num_days).ok()) {
       return Status::InvalidArgument("malformed shard header: " + line);
     }
-    if (!ParseHexU32(tok[6], &blob.header.bundle_checksum)) {
+    if (!ParseHexU32(tok[6], &blob.header.bundle_checksum).ok()) {
       return Status::InvalidArgument("malformed shard checksum: " + tok[6]);
     }
     if (blob.header.shard_count < 1 || blob.header.shard_index < 0 ||
@@ -147,7 +147,7 @@ Result<FleetShardBlob> ParseFleetShard(const std::string& text) {
     std::vector<std::string> tok = Split(line, ' ');
     int32_t day = 0, num_jobs = 0;
     if (tok.size() != 4 || tok[0] != "day" || tok[2] != "jobs" ||
-        !ParseInt32(tok[1], &day) || !ParseInt32(tok[3], &num_jobs) || num_jobs < 0) {
+        !ParseInt32(tok[1], &day).ok() || !ParseInt32(tok[3], &num_jobs).ok() || num_jobs < 0) {
       return Status::InvalidArgument("malformed day header: " + line);
     }
     if (day < 0 || day >= blob.header.num_days) {
@@ -168,16 +168,16 @@ Result<FleetShardBlob> ParseFleetShard(const std::string& text) {
       PHOEBE_ASSIGN_OR_RETURN(std::string job_line, r.Next());
       std::vector<std::string> jt = Split(job_line, ' ');
       int32_t index = -1;
-      if (jt.size() < 2 || jt[0] != "job" || !ParseInt32(jt[1], &index) ||
+      if (jt.size() < 2 || jt[0] != "job" || !ParseInt32(jt[1], &index).ok() ||
           index != i) {
         return Status::InvalidArgument("malformed job line: " + job_line);
       }
       if (jt.size() == 3 && jt[2] == "-") continue;  // ineligible slot
       int32_t num_cuts = -1;
       FleetDecision d;
-      if (jt.size() != 5 || !ParseFiniteDouble(jt[2], &d.combined.objective) ||
-          !ParseFiniteDouble(jt[3], &d.combined.global_bytes) ||
-          !ParseInt32(jt[4], &num_cuts) || num_cuts < 0) {
+      if (jt.size() != 5 || !ParseFiniteDouble(jt[2], &d.combined.objective).ok() ||
+          !ParseFiniteDouble(jt[3], &d.combined.global_bytes).ok() ||
+          !ParseInt32(jt[4], &num_cuts).ok() || num_cuts < 0) {
         return Status::InvalidArgument("malformed job line: " + job_line);
       }
       for (int c = 0; c < num_cuts; ++c) {

@@ -169,10 +169,11 @@ std::string JobGraph::ToText() const {
   return out;
 }
 
-Result<JobGraph> JobGraph::FromText(const std::string& text) {
+Status JobGraph::FromText(std::string_view text, JobGraph* out) {
+  PHOEBE_CHECK(out != nullptr);
   JobGraph g;
   int lineno = 0;
-  for (const std::string& raw : Split(text, '\n')) {
+  for (const std::string& raw : Split(std::string(text), '\n')) {
     ++lineno;
     std::string line = raw;
     // Trim trailing CR and surrounding whitespace.
@@ -192,7 +193,7 @@ Result<JobGraph> JobGraph::FromText(const std::string& text) {
       }
       Stage s;
       s.name = tok[1];
-      if (!ParseInt32(tok[2], &s.stage_type) || !ParseInt32(tok[3], &s.num_tasks)) {
+      if (!ParseInt32(tok[2], &s.stage_type).ok() || !ParseInt32(tok[3], &s.num_tasks).ok()) {
         return Status::InvalidArgument(
             StrFormat("line %d: bad stage type/tasks '%s %s'", lineno, tok[2].c_str(),
                       tok[3].c_str()));
@@ -211,7 +212,7 @@ Result<JobGraph> JobGraph::FromText(const std::string& text) {
         return Status::InvalidArgument(StrFormat("line %d: expected 'edge <u> <v>'", lineno));
       }
       StageId from = kInvalidStage, to = kInvalidStage;
-      if (!ParseInt32(tok[1], &from) || !ParseInt32(tok[2], &to)) {
+      if (!ParseInt32(tok[1], &from).ok() || !ParseInt32(tok[2], &to).ok()) {
         return Status::InvalidArgument(
             StrFormat("line %d: bad edge ids '%s %s'", lineno, tok[1].c_str(),
                       tok[2].c_str()));
@@ -223,6 +224,13 @@ Result<JobGraph> JobGraph::FromText(const std::string& text) {
     }
   }
   PHOEBE_RETURN_NOT_OK(g.Validate());
+  *out = std::move(g);
+  return Status::OK();
+}
+
+Result<JobGraph> JobGraph::FromText(const std::string& text) {
+  JobGraph g;
+  PHOEBE_RETURN_NOT_OK(FromText(std::string_view(text), &g));
   return g;
 }
 

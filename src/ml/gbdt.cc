@@ -462,9 +462,10 @@ std::string GbdtRegressor::ToText() const {
   return out;
 }
 
-Result<GbdtRegressor> GbdtRegressor::FromText(const std::string& text) {
+Status GbdtRegressor::FromText(std::string_view text, GbdtRegressor* out) {
+  PHOEBE_CHECK(out != nullptr);
   GbdtRegressor model;
-  std::vector<std::string> lines = Split(text, '\n');
+  std::vector<std::string> lines = Split(std::string(text), '\n');
   size_t i = 0;
   auto next = [&]() -> const std::string* {
     while (i < lines.size() && lines[i].empty()) ++i;
@@ -510,6 +511,13 @@ Result<GbdtRegressor> GbdtRegressor::FromText(const std::string& text) {
   model.gain_by_feature_.assign(model.num_features_, 0.0);
   model.RebuildFlatForest();
   model.fitted_ = true;
+  *out = std::move(model);
+  return Status::OK();
+}
+
+Result<GbdtRegressor> GbdtRegressor::FromText(const std::string& text) {
+  GbdtRegressor model;
+  PHOEBE_RETURN_NOT_OK(FromText(std::string_view(text), &model));
   return model;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -101,6 +102,10 @@ class GbdtRegressor : public Regressor {
 
   /// Serialize to a line-oriented text format; FromText round-trips it.
   std::string ToText() const;
+  /// Primary Status-first parse entry point: on error `*out` is untouched
+  /// and the Status names what was malformed (never a crash).
+  static Status FromText(std::string_view text, GbdtRegressor* out);
+  /// Deprecated shim; delegates to the two-argument overload.
   static Result<GbdtRegressor> FromText(const std::string& text);
 
  private:

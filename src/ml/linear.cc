@@ -121,8 +121,9 @@ std::string RidgeRegressor::ToText() const {
   return out;
 }
 
-Result<RidgeRegressor> RidgeRegressor::FromText(const std::string& text) {
-  std::vector<std::string> lines = Split(text, '\n');
+Status RidgeRegressor::FromText(std::string_view text, RidgeRegressor* out) {
+  PHOEBE_CHECK(out != nullptr);
+  std::vector<std::string> lines = Split(std::string(text), '\n');
   size_t i = 0;
   while (i < lines.size() && lines[i].empty()) ++i;
   if (i >= lines.size()) return Status::InvalidArgument("empty ridge model");
@@ -144,6 +145,13 @@ Result<RidgeRegressor> RidgeRegressor::FromText(const std::string& text) {
     model.weights_.push_back(std::atof(tok[1].c_str()));
   }
   model.fitted_ = true;
+  *out = std::move(model);
+  return Status::OK();
+}
+
+Result<RidgeRegressor> RidgeRegressor::FromText(const std::string& text) {
+  RidgeRegressor model;
+  PHOEBE_RETURN_NOT_OK(FromText(std::string_view(text), &model));
   return model;
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ml/model.h"
@@ -30,6 +31,10 @@ class RidgeRegressor : public Regressor {
 
   /// Serialize to a line-oriented text format; FromText round-trips it.
   std::string ToText() const;
+  /// Primary Status-first parse entry point: on error `*out` is untouched
+  /// and the Status names what was malformed (never a crash).
+  static Status FromText(std::string_view text, RidgeRegressor* out);
+  /// Deprecated shim; delegates to the two-argument overload.
   static Result<RidgeRegressor> FromText(const std::string& text);
 
  private:

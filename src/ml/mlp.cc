@@ -263,8 +263,9 @@ std::string MlpRegressor::ToText() const {
   return out;
 }
 
-Result<MlpRegressor> MlpRegressor::FromText(const std::string& text) {
-  std::vector<std::string> lines = Split(text, '\n');
+Status MlpRegressor::FromText(std::string_view text, MlpRegressor* out) {
+  PHOEBE_CHECK(out != nullptr);
+  std::vector<std::string> lines = Split(std::string(text), '\n');
   size_t i = 0;
   auto next = [&]() -> const std::string* {
     while (i < lines.size() && lines[i].empty()) ++i;
@@ -318,6 +319,13 @@ Result<MlpRegressor> MlpRegressor::FromText(const std::string& text) {
     model.layers_.push_back(std::move(layer));
   }
   model.fitted_ = true;
+  *out = std::move(model);
+  return Status::OK();
+}
+
+Result<MlpRegressor> MlpRegressor::FromText(const std::string& text) {
+  MlpRegressor model;
+  PHOEBE_RETURN_NOT_OK(FromText(std::string_view(text), &model));
   return model;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -49,6 +50,10 @@ class MlpRegressor : public Regressor {
 
   /// Serialize weights and normalization to text; FromText round-trips it.
   std::string ToText() const;
+  /// Primary Status-first parse entry point: on error `*out` is untouched
+  /// and the Status names what was malformed (never a crash).
+  static Status FromText(std::string_view text, MlpRegressor* out);
+  /// Deprecated shim; delegates to the two-argument overload.
   static Result<MlpRegressor> FromText(const std::string& text);
 
  private:

@@ -91,9 +91,10 @@ std::string HistoricStats::ToText() const {
   return out;
 }
 
-Result<HistoricStats> HistoricStats::FromText(const std::string& text) {
+Status HistoricStats::FromText(std::string_view text, HistoricStats* out) {
+  PHOEBE_CHECK(out != nullptr);
   HistoricStats stats;
-  std::vector<std::string> lines = Split(text, '\n');
+  std::vector<std::string> lines = Split(std::string(text), '\n');
   size_t i = 0;
   auto next = [&]() -> const std::string* {
     while (i < lines.size() && lines[i].empty()) ++i;
@@ -145,6 +146,13 @@ Result<HistoricStats> HistoricStats::FromText(const std::string& text) {
     }
     stats.by_type_[std::atoi(tok[1].c_str())] = acc;
   }
+  *out = std::move(stats);
+  return Status::OK();
+}
+
+Result<HistoricStats> HistoricStats::FromText(const std::string& text) {
+  HistoricStats stats;
+  PHOEBE_RETURN_NOT_OK(FromText(std::string_view(text), &stats));
   return stats;
 }
 

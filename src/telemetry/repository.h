@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -69,6 +70,10 @@ class HistoricStats {
 
   /// Serialize to a line-oriented text format; FromText round-trips it.
   std::string ToText() const;
+  /// Primary Status-first parse entry point: on error `*out` is untouched
+  /// and the Status names what was malformed (never a crash).
+  static Status FromText(std::string_view text, HistoricStats* out);
+  /// Deprecated shim; delegates to the two-argument overload.
   static Result<HistoricStats> FromText(const std::string& text);
 
  private:

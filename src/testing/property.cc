@@ -93,7 +93,7 @@ int CaseCountMultiplier() {
     const char* env = std::getenv("PHOEBE_NUM_CASES");
     if (env == nullptr) return 1;
     int32_t value = 0;
-    if (!ParseInt32(env, &value) || value < 1) return 1;
+    if (!ParseInt32(env, &value).ok() || value < 1) return 1;
     return static_cast<int>(value);
   }();
   return kMultiplier;

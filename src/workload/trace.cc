@@ -31,8 +31,9 @@ std::string SerializeTrace(const std::vector<JobInstance>& jobs) {
   return out;
 }
 
-Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
-  std::vector<std::string> lines = Split(text, '\n');
+Status ParseTrace(std::string_view text, std::vector<JobInstance>* out) {
+  PHOEBE_CHECK(out != nullptr);
+  std::vector<std::string> lines = Split(std::string(text), '\n');
   size_t i = 0;
   auto next = [&]() -> const std::string* {
     while (i < lines.size() && lines[i].empty()) ++i;
@@ -46,7 +47,7 @@ Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
     return Status::InvalidArgument("bad trace header (expected 'trace v1 <n>')");
   }
   int64_t n_jobs_decl = 0;
-  if (!ParseInt64(hdr[2], &n_jobs_decl) || n_jobs_decl < 0) {
+  if (!ParseInt64(hdr[2], &n_jobs_decl).ok() || n_jobs_decl < 0) {
     return Status::InvalidArgument("bad trace header: job count not a number");
   }
   // Every job occupies at least three lines; a declared count beyond that is
@@ -69,8 +70,8 @@ Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
           StrFormat("job %zu: bad beginjob line '%s'", j, line->c_str()));
     }
     JobInstance job;
-    if (!ParseInt64(jh[1], &job.job_id) || !ParseInt32(jh[2], &job.template_id) ||
-        !ParseInt32(jh[3], &job.day) || !ParseFiniteDouble(jh[4], &job.submit_time)) {
+    if (!ParseInt64(jh[1], &job.job_id).ok() || !ParseInt32(jh[2], &job.template_id).ok() ||
+        !ParseInt32(jh[3], &job.day).ok() || !ParseFiniteDouble(jh[4], &job.submit_time).ok()) {
       return Status::InvalidArgument(
           StrFormat("job %zu: bad beginjob fields '%s'", j, line->c_str()));
     }
@@ -99,14 +100,14 @@ Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
             StrFormat("job %zu stage %zu: bad truth line", j, s));
       }
       StageTruth t;
-      bool ok = ParseFiniteDouble(tok[1], &t.input_bytes) &&
-                ParseFiniteDouble(tok[2], &t.output_bytes) &&
-                ParseFiniteDouble(tok[3], &t.exec_seconds) &&
-                ParseFiniteDouble(tok[4], &t.wall_seconds) &&
-                ParseInt32(tok[5], &t.num_tasks) &&
-                ParseFiniteDouble(tok[6], &t.start_time) &&
-                ParseFiniteDouble(tok[7], &t.end_time) &&
-                ParseFiniteDouble(tok[8], &t.ttl) && ParseFiniteDouble(tok[9], &t.tfs);
+      bool ok = ParseFiniteDouble(tok[1], &t.input_bytes).ok() &&
+                ParseFiniteDouble(tok[2], &t.output_bytes).ok() &&
+                ParseFiniteDouble(tok[3], &t.exec_seconds).ok() &&
+                ParseFiniteDouble(tok[4], &t.wall_seconds).ok() &&
+                ParseInt32(tok[5], &t.num_tasks).ok() &&
+                ParseFiniteDouble(tok[6], &t.start_time).ok() &&
+                ParseFiniteDouble(tok[7], &t.end_time).ok() &&
+                ParseFiniteDouble(tok[8], &t.ttl).ok() && ParseFiniteDouble(tok[9], &t.tfs).ok();
       if (!ok) {
         return Status::InvalidArgument(
             StrFormat("job %zu stage %zu: bad truth fields", j, s));
@@ -127,11 +128,11 @@ Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
             StrFormat("job %zu stage %zu: bad est line", j, s));
       }
       StageEstimates e;
-      bool ok = ParseFiniteDouble(tok[1], &e.est_cost) &&
-                ParseFiniteDouble(tok[2], &e.est_exclusive_cost) &&
-                ParseFiniteDouble(tok[3], &e.est_input_cardinality) &&
-                ParseFiniteDouble(tok[4], &e.est_cardinality) &&
-                ParseFiniteDouble(tok[5], &e.est_output_bytes);
+      bool ok = ParseFiniteDouble(tok[1], &e.est_cost).ok() &&
+                ParseFiniteDouble(tok[2], &e.est_exclusive_cost).ok() &&
+                ParseFiniteDouble(tok[3], &e.est_input_cardinality).ok() &&
+                ParseFiniteDouble(tok[4], &e.est_cardinality).ok() &&
+                ParseFiniteDouble(tok[5], &e.est_output_bytes).ok();
       if (!ok) {
         return Status::InvalidArgument(
             StrFormat("job %zu stage %zu: bad est fields", j, s));
@@ -144,6 +145,13 @@ Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
     }
     jobs.push_back(std::move(job));
   }
+  *out = std::move(jobs);
+  return Status::OK();
+}
+
+Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
+  std::vector<JobInstance> jobs;
+  PHOEBE_RETURN_NOT_OK(ParseTrace(std::string_view(text), &jobs));
   return jobs;
 }
 

@@ -30,12 +30,21 @@ namespace {
 #error "PHOEBE_FUZZ_CORPUS_DIR must point at tests/fuzz_corpus"
 #endif
 
+// Drive the Status-first primary entry points; the Result shims share the
+// same body, so one harness covers both. The out-param must stay untouched
+// on error — callers rely on that to keep a previous good value.
 Status ParseGraph(const std::string& text) {
-  return dag::JobGraph::FromText(text).status();
+  dag::JobGraph g;
+  Status st = dag::JobGraph::FromText(std::string_view(text), &g);
+  if (!st.ok()) EXPECT_EQ(g.num_stages(), 0u) << "out-param mutated on error";
+  return st;
 }
 
 Status ParseTraceText(const std::string& text) {
-  return workload::ParseTrace(text).status();
+  std::vector<workload::JobInstance> jobs;
+  Status st = workload::ParseTrace(std::string_view(text), &jobs);
+  if (!st.ok()) EXPECT_TRUE(jobs.empty()) << "out-param mutated on error";
+  return st;
 }
 
 std::string ReadFileOrDie(const std::filesystem::path& path) {

@@ -44,11 +44,34 @@ expect_stdout_nonempty() {
   fi
 }
 
+expect_stderr_contains() {
+  local label="$1" needle="$2"
+  if ! grep -q "$needle" "$WORKDIR/stderr"; then
+    fail "$label: stderr does not contain '$needle'"
+    head -5 "$WORKDIR/stderr" | sed 's/^/    /' >&2
+  fi
+}
+
 SMALL=(--templates 12 --seed 3)
 
 # Usage errors exit 2.
 expect_exit 2 "no arguments" -- "$CLI"
 expect_exit 2 "unknown subcommand" -- "$CLI" frobnicate
+
+# Flag-parsing error paths: a typo must fail loudly (with a suggestion),
+# never fall back to a default; bad typed values and bad enum values are
+# usage errors too; --help succeeds and lists the registered flags.
+expect_exit 2 "unknown flag" -- "$CLI" fleet "${SMALL[@]}" --tread 2
+expect_stderr_contains "unknown flag" "did you mean '--threads'"
+expect_exit 2 "bad int value" -- "$CLI" fleet "${SMALL[@]}" --threads abc
+expect_stderr_contains "bad int value" "threads"
+expect_exit 2 "missing value" -- "$CLI" fleet "${SMALL[@]}" --threads
+expect_exit 2 "bad objective" -- "$CLI" fleet "${SMALL[@]}" --objective bogus
+expect_stderr_contains "bad objective" "temp|recovery"
+expect_exit 2 "positional argument" -- "$CLI" fleet "${SMALL[@]}" stray
+expect_exit 0 "fleet --help" -- "$CLI" fleet --help
+expect_stdout_contains "fleet --help" "flags:"
+expect_stdout_contains "fleet --help" "metrics"
 
 # generate: writes a non-empty CSV with the expected header.
 expect_exit 0 "generate to file" -- \
@@ -148,6 +171,26 @@ expect_exit 0 "fleet merge" -- \
   --report "$WORKDIR/report_merged.jsonl"
 if ! diff -q "$WORKDIR/report_unsharded.jsonl" "$WORKDIR/report_merged.jsonl" >/dev/null; then
   fail "fleet: merged shard report differs from unsharded report"
+fi
+
+# telemetry export: --metrics writes per-day lines plus a cumulative 'run'
+# line, and must be byte-neutral — the JSON report with telemetry on is
+# identical to the report without it.
+expect_exit 0 "fleet with metrics" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --days 2 --threads 2 \
+  --bundle "$WORKDIR/model.phoebe" --report "$WORKDIR/report_metrics.jsonl" \
+  --metrics "$WORKDIR/telemetry.jsonl"
+if ! diff -q "$WORKDIR/report_unsharded.jsonl" "$WORKDIR/report_metrics.jsonl" >/dev/null; then
+  fail "fleet: report with --metrics differs from report without"
+fi
+if [ "$(wc -l < "$WORKDIR/telemetry.jsonl")" -ne 3 ]; then
+  fail "fleet --metrics: expected 2 day lines + 1 run line"
+fi
+if ! grep -q '"scope":"run"' "$WORKDIR/telemetry.jsonl"; then
+  fail "fleet --metrics: missing cumulative run line"
+fi
+if ! grep -q 'fleet.phase.decide.seconds' "$WORKDIR/telemetry.jsonl"; then
+  fail "fleet --metrics: missing decide phase histogram"
 fi
 
 # trace round trip through the CLI surface.

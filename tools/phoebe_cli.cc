@@ -10,20 +10,23 @@
 //   backtest   compare checkpoint-selection approaches on a held-out day
 //   fleet      run the day-level fleet driver (parallel decisions + budget);
 //              --bundle serves a saved artifact, --shard/--merge split the
-//              run across processes with byte-identical merged reports
+//              run across processes with byte-identical merged reports,
+//              --metrics exports per-day telemetry JSON lines
 //
-// Run with no arguments for usage. All commands are deterministic given
-// --seed.
+// Every subcommand supports --help; flags parse through common::ArgParser
+// (typed values, unknown-flag suggestions). All commands are deterministic
+// given --seed.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "cluster/cluster.h"
-#include "dag/dot_export.h"
+#include "common/argparse.h"
 #include "common/stats.h"
 #include "common/strings.h"
 #include "common/table.h"
@@ -34,7 +37,9 @@
 #include "core/fleet.h"
 #include "core/fleet_shard.h"
 #include "core/pipeline.h"
+#include "dag/dot_export.h"
 #include "dag/graph_metrics.h"
+#include "obs/metrics.h"
 #include "telemetry/repository.h"
 #include "workload/generator.h"
 #include "workload/trace.h"
@@ -43,51 +48,65 @@ using namespace phoebe;
 
 namespace {
 
-struct Args {
-  std::map<std::string, std::string> kv;
-
-  static Args Parse(int argc, char** argv, int first) {
-    Args a;
-    for (int i = first; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
-        std::exit(2);
-      }
-      std::string key = arg.substr(2);
-      std::string value = "1";
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        value = argv[++i];
-      }
-      a.kv[key] = value;
-    }
-    return a;
+/// Parse argv for one subcommand. Returns true to continue; otherwise the
+/// command should return *code (2 on a flag error, 0 after printing --help).
+bool ParseOrReport(ArgParser& parser, int argc, char** argv, int* code) {
+  Status st = parser.Parse(argc, argv, 2);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    *code = 2;
+    return false;
   }
-
-  int Int(const std::string& key, int fallback) const {
-    auto it = kv.find(key);
-    return it == kv.end() ? fallback : std::atoi(it->second.c_str());
+  if (parser.help_requested()) {
+    std::fputs(parser.Help().c_str(), stdout);
+    *code = 0;
+    return false;
   }
-  std::string Str(const std::string& key, const std::string& fallback) const {
-    auto it = kv.find(key);
-    return it == kv.end() ? fallback : it->second;
-  }
-};
+  return true;
+}
 
-workload::WorkloadGenerator MakeGen(const Args& args) {
+void AddWorkloadFlags(ArgParser& p) {
+  p.AddInt("templates", 60, "number of job templates in the generator");
+  p.AddInt("seed", 7, "workload generator seed");
+}
+
+void AddTrainFlags(ArgParser& p) {
+  AddWorkloadFlags(p);
+  p.AddInt("train-days", 5, "days of history to train on");
+  p.AddInt("test-days", 1, "held-out days generated after training");
+  p.AddString("bundle", "", "serve from this saved bundle instead of training");
+}
+
+workload::WorkloadGenerator MakeGen(const ArgParser& p) {
   workload::WorkloadConfig cfg;
-  cfg.num_templates = args.Int("templates", 60);
-  cfg.seed = static_cast<uint64_t>(args.Int("seed", 7));
+  cfg.num_templates = p.GetInt("templates");
+  cfg.seed = static_cast<uint64_t>(p.GetInt("seed"));
   return workload::WorkloadGenerator(cfg);
 }
 
-int CmdGenerate(const Args& args) {
-  auto gen = MakeGen(args);
-  int days = args.Int("days", 3);
+/// Map --objective to the enum; unknown values are a CLI error (status set).
+Result<core::Objective> ParseObjective(const std::string& value) {
+  if (value == "temp") return core::Objective::kTempStorage;
+  if (value == "recovery") return core::Objective::kRecovery;
+  return Status::InvalidArgument(
+      StrFormat("--objective expects temp|recovery, got '%s'", value.c_str()));
+}
+
+int CmdGenerate(int argc, char** argv) {
+  ArgParser p("phoebe_cli generate",
+              "Generate a synthetic workload and export per-stage telemetry CSV.");
+  AddWorkloadFlags(p);
+  p.AddInt("days", 3, "number of days to generate");
+  p.AddString("out", "", "output CSV path (stdout when empty)");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  auto gen = MakeGen(p);
+  int days = p.GetInt("days");
   telemetry::WorkloadRepository repo;
   for (int d = 0; d < days; ++d) repo.AddDay(d, gen.GenerateDay(d)).Check();
 
-  std::string out = args.Str("out", "");
+  std::string out = p.GetString("out");
   std::string csv = repo.ToCsv();
   if (out.empty()) {
     std::fputs(csv.c_str(), stdout);
@@ -104,11 +123,20 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
-int CmdInspect(const Args& args) {
-  auto gen = MakeGen(args);
-  int day = args.Int("day", 0);
+int CmdInspect(int argc, char** argv) {
+  ArgParser p("phoebe_cli inspect",
+              "Print one job's execution graph, metrics, and schedule.");
+  AddWorkloadFlags(p);
+  p.AddInt("day", 0, "workload day to inspect");
+  p.AddInt("job", 0, "job index within the day");
+  p.AddBool("graph", "dump the raw graph text instead of the stage table");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  auto gen = MakeGen(p);
+  int day = p.GetInt("day");
   auto jobs = gen.GenerateDay(day);
-  int index = args.Int("job", 0);
+  int index = p.GetInt("job");
   if (index < 0 || static_cast<size_t>(index) >= jobs.size()) {
     std::fprintf(stderr, "day %d has %zu jobs; --job out of range\n", day,
                  jobs.size());
@@ -127,7 +155,7 @@ int CmdInspect(const Args& args) {
   std::printf("runtime %s  temp data %s\n\n", HumanDuration(job.JobRuntime()).c_str(),
               HumanBytes(job.TotalTempBytes()).c_str());
 
-  if (args.kv.count("graph")) {
+  if (p.GetBool("graph")) {
     std::fputs(job.graph.ToText().c_str(), stdout);
     return 0;
   }
@@ -151,15 +179,15 @@ struct Trained {
   int train_days;
 };
 
-Trained TrainFromArgs(const Args& args) {
-  Trained t{MakeGen(args), {}, core::PhoebePipeline(), args.Int("train-days", 5)};
-  int test_days = std::max({1, args.Int("test-days", 1), args.Int("days", 1)});
+Trained TrainFromArgs(const ArgParser& p, int extra_days = 0) {
+  Trained t{MakeGen(p), {}, core::PhoebePipeline(), p.GetInt("train-days")};
+  int test_days = std::max({1, p.GetInt("test-days"), extra_days});
   int total = t.train_days + test_days;
   for (int d = 0; d < total; ++d) t.repo.AddDay(d, t.gen.GenerateDay(d)).Check();
   // --bundle serves from a pre-trained artifact instead of training here —
   // the serve-side half of the train/serve split. Every process loading the
   // same file decides identically (the bundle checksum names the state).
-  std::string bundle = args.Str("bundle", "");
+  std::string bundle = p.GetString("bundle");
   if (!bundle.empty()) {
     t.phoebe.LoadBundle(bundle).Check();
   } else {
@@ -168,8 +196,15 @@ Trained TrainFromArgs(const Args& args) {
   return t;
 }
 
-int CmdTrain(const Args& args) {
-  Trained t = TrainFromArgs(args);
+int CmdTrain(int argc, char** argv) {
+  ArgParser p("phoebe_cli train",
+              "Train the pipeline and report held-out accuracy.");
+  AddTrainFlags(p);
+  p.AddString("out", "", "save the trained state as a versioned bundle file");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  Trained t = TrainFromArgs(p);
   const auto& jobs = t.repo.Day(t.train_days);
   auto stats = t.repo.StatsBefore(t.train_days);
 
@@ -196,7 +231,7 @@ int CmdTrain(const Args& args) {
   tab.AddRow("TTL (stacked)", {RSquared(tt, tp), PearsonCorrelation(tt, tp)});
   tab.Print();
 
-  std::string out = args.Str("out", "");
+  std::string out = p.GetString("out");
   if (!out.empty()) {
     t.phoebe.SaveBundle(out).Check();
     std::fprintf(stderr, "wrote bundle (checksum %08x) to %s\n",
@@ -205,8 +240,14 @@ int CmdTrain(const Args& args) {
   return 0;
 }
 
-int CmdBundleInfo(const Args& args) {
-  std::string in = args.Str("in", "");
+int CmdBundleInfo(int argc, char** argv) {
+  ArgParser p("phoebe_cli bundle-info",
+              "Inspect a saved bundle (version, checksum, model config).");
+  p.AddString("in", "", "bundle file to inspect (required)");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  std::string in = p.GetString("in");
   if (in.empty()) {
     std::fprintf(stderr, "bundle-info requires --in <file>\n");
     return 2;
@@ -235,19 +276,29 @@ int CmdBundleInfo(const Args& args) {
   return 0;
 }
 
-int CmdDecide(const Args& args) {
-  Trained t = TrainFromArgs(args);
+int CmdDecide(int argc, char** argv) {
+  ArgParser p("phoebe_cli decide",
+              "Make a checkpoint decision for one held-out job and explain it.");
+  AddTrainFlags(p);
+  p.AddInt("job", 0, "job index within the held-out day");
+  p.AddString("objective", "temp", "optimization objective: temp|recovery");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  auto objective = ParseObjective(p.GetString("objective"));
+  if (!objective.ok()) {
+    std::fprintf(stderr, "%s\n", objective.status().ToString().c_str());
+    return 2;
+  }
+  Trained t = TrainFromArgs(p);
   const auto& jobs = t.repo.Day(t.train_days);
-  int index = args.Int("job", 0);
+  int index = p.GetInt("job");
   if (index < 0 || static_cast<size_t>(index) >= jobs.size()) {
     std::fprintf(stderr, "day has %zu jobs; --job out of range\n", jobs.size());
     return 1;
   }
   const auto& job = jobs[static_cast<size_t>(index)];
-  core::Objective objective = args.Str("objective", "temp") == "recovery"
-                                  ? core::Objective::kRecovery
-                                  : core::Objective::kTempStorage;
-  auto decision = t.phoebe.Decide(job, objective);
+  auto decision = t.phoebe.Decide(job, *objective);
   decision.status().Check();
 
   std::printf("job '%s' (%zu stages, runtime %s)\n", job.job_name.c_str(),
@@ -274,10 +325,17 @@ int CmdDecide(const Args& args) {
   return 0;
 }
 
-int CmdExplain(const Args& args) {
-  Trained t = TrainFromArgs(args);
+int CmdExplain(int argc, char** argv) {
+  ArgParser p("phoebe_cli explain", "Explain why one job's cut was chosen.");
+  AddTrainFlags(p);
+  p.AddInt("job", 0, "job index within the held-out day");
+  p.AddBool("json", "emit the machine-readable JSON explanation");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  Trained t = TrainFromArgs(p);
   const auto& jobs = t.repo.Day(t.train_days);
-  int index = args.Int("job", 0);
+  int index = p.GetInt("job");
   if (index < 0 || static_cast<size_t>(index) >= jobs.size()) {
     std::fprintf(stderr, "day has %zu jobs; --job out of range\n", jobs.size());
     return 1;
@@ -287,7 +345,7 @@ int CmdExplain(const Args& args) {
   costs.status().Check();
   auto cut = core::OptimizeTempStorage(job.graph, *costs);
   cut.status().Check();
-  if (args.kv.count("json")) {
+  if (p.GetBool("json")) {
     auto json = core::ExplainDecisionJson(job, *costs, *cut);
     json.status().Check();
     std::printf("%s\n", json->c_str());
@@ -299,10 +357,16 @@ int CmdExplain(const Args& args) {
   return 0;
 }
 
-int CmdDot(const Args& args) {
-  Trained t = TrainFromArgs(args);
+int CmdDot(int argc, char** argv) {
+  ArgParser p("phoebe_cli dot", "Graphviz rendering of one job's graph + cut.");
+  AddTrainFlags(p);
+  p.AddInt("job", 0, "job index within the held-out day");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  Trained t = TrainFromArgs(p);
   const auto& jobs = t.repo.Day(t.train_days);
-  int index = args.Int("job", 0);
+  int index = p.GetInt("job");
   if (index < 0 || static_cast<size_t>(index) >= jobs.size()) {
     std::fprintf(stderr, "day has %zu jobs; --job out of range\n", jobs.size());
     return 1;
@@ -321,15 +385,23 @@ int CmdDot(const Args& args) {
   return 0;
 }
 
-int CmdTraceExport(const Args& args) {
-  auto gen = MakeGen(args);
-  int days = args.Int("days", 1);
+int CmdTraceExport(int argc, char** argv) {
+  ArgParser p("phoebe_cli trace-export",
+              "Serialize generated days into the text trace format.");
+  AddWorkloadFlags(p);
+  p.AddInt("days", 1, "number of days to export");
+  p.AddString("out", "", "output trace path (stdout when empty)");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  auto gen = MakeGen(p);
+  int days = p.GetInt("days");
   std::vector<workload::JobInstance> jobs;
   for (int d = 0; d < days; ++d) {
     auto day_jobs = gen.GenerateDay(d);
     jobs.insert(jobs.end(), day_jobs.begin(), day_jobs.end());
   }
-  std::string out = args.Str("out", "");
+  std::string out = p.GetString("out");
   std::string text = workload::SerializeTrace(jobs);
   if (out.empty()) {
     std::fputs(text.c_str(), stdout);
@@ -345,8 +417,13 @@ int CmdTraceExport(const Args& args) {
   return 0;
 }
 
-int CmdTraceInfo(const Args& args) {
-  std::string in = args.Str("in", "");
+int CmdTraceInfo(int argc, char** argv) {
+  ArgParser p("phoebe_cli trace-info", "Summarize a text trace file.");
+  p.AddString("in", "", "trace file to read (required)");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  std::string in = p.GetString("in");
   if (in.empty()) {
     std::fprintf(stderr, "trace-info requires --in <file>\n");
     return 2;
@@ -358,18 +435,19 @@ int CmdTraceInfo(const Args& args) {
   }
   std::string text((std::istreambuf_iterator<char>(f)),
                    std::istreambuf_iterator<char>());
-  auto jobs = workload::ParseTrace(text);
-  if (!jobs.ok()) {
-    std::fprintf(stderr, "parse error: %s\n", jobs.status().ToString().c_str());
+  std::vector<workload::JobInstance> jobs;
+  Status parsed = workload::ParseTrace(std::string_view(text), &jobs);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.ToString().c_str());
     return 1;
   }
   RunningStats stages, runtime, temp;
-  for (const auto& job : *jobs) {
+  for (const auto& job : jobs) {
     stages.Add(static_cast<double>(job.graph.num_stages()));
     runtime.Add(job.JobRuntime());
     temp.Add(job.TotalTempBytes());
   }
-  std::printf("trace: %zu jobs\n", jobs->size());
+  std::printf("trace: %zu jobs\n", jobs.size());
   std::printf("stages/job: mean %.1f max %.0f\n", stages.mean(), stages.max());
   std::printf("runtime: mean %s max %s\n", HumanDuration(runtime.mean()).c_str(),
               HumanDuration(runtime.max()).c_str());
@@ -377,58 +455,130 @@ int CmdTraceInfo(const Args& args) {
   return 0;
 }
 
-int CmdSaveModels(const Args& args) {
-  Trained t = TrainFromArgs(args);
-  std::string dir = args.Str("dir", "phoebe_models");
+int CmdSaveModels(int argc, char** argv) {
+  ArgParser p("phoebe_cli save-models", "Train, then persist the models to a directory.");
+  AddTrainFlags(p);
+  p.AddString("dir", "phoebe_models", "output directory for the model files");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  Trained t = TrainFromArgs(p);
+  std::string dir = p.GetString("dir");
   t.phoebe.Save(dir).Check();
   std::fprintf(stderr, "saved trained models to %s/\n", dir.c_str());
   return 0;
 }
 
-int CmdFleet(const Args& args) {
-  Trained t = TrainFromArgs(args);
-  const int num_days = std::max(1, args.Int("days", 1));
+int CmdFleet(int argc, char** argv) {
+  ArgParser p("phoebe_cli fleet",
+              "Day-level fleet driver: parallel decisions, budget admission, "
+              "shard/merge, optional telemetry export.");
+  AddTrainFlags(p);
+  p.AddInt("days", 1, "number of fleet days to run");
+  p.AddInt("threads", 1, "decision threads (0 = all cores; reports are "
+           "byte-identical for any value)");
+  p.AddInt("num-cuts", 1, "checkpoint cuts per job");
+  p.AddDouble("budget-gb", 0.0, "global storage budget in GB (0 = unlimited)");
+  p.AddString("objective", "temp", "optimization objective: temp|recovery");
+  p.AddBool("batch", "force batched ML scoring (already the default)");
+  p.AddBool("no-batch", "scalar per-stage ML scoring (bit-identical, slower)");
+  p.AddInt("template-cache", 0, "recurring-template decision cache capacity "
+           "(0 = disabled)");
+  p.AddInt("cache-bps", 0, "cache input-size drift tolerance in basis points "
+           "(0 = exact, byte-neutral)");
+  p.AddString("report", "", "write per-day JSON report lines to this file");
+  p.AddString("metrics", "", "write per-day telemetry JSON lines (and a final "
+              "cumulative 'run' line) to this file");
+  p.AddString("shard", "", "I/N decide-only mode: decide days d with d%N==I "
+              "and write a blob to --out");
+  p.AddString("out", "", "output blob path for --shard");
+  p.AddString("merge", "", "comma-separated shard blobs to replay into "
+              "byte-identical reports");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  auto objective = ParseObjective(p.GetString("objective"));
+  if (!objective.ok()) {
+    std::fprintf(stderr, "%s\n", objective.status().ToString().c_str());
+    return 2;
+  }
+
+  // Telemetry is opt-in and strictly passive: the registry only exists when
+  // --metrics names an output file, and a null registry compiles the whole
+  // instrumented path down to no-ops.
+  obs::MetricsConfig metrics_cfg;
+  metrics_cfg.output_path = p.GetString("metrics");
+  metrics_cfg.enabled = !metrics_cfg.output_path.empty();
+  if (Status st = metrics_cfg.Validate(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::ofstream metrics_file;
+  if (metrics_cfg.enabled) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    metrics_file.open(metrics_cfg.output_path, std::ios::binary);
+    if (!metrics_file) {
+      std::fprintf(stderr, "cannot open '%s'\n", metrics_cfg.output_path.c_str());
+      return 1;
+    }
+  }
+
+  const int num_days = std::max(1, p.GetInt("days"));
+  Trained t = TrainFromArgs(p, num_days);
 
   core::FleetConfig cfg;
-  cfg.objective = args.Str("objective", "temp") == "recovery"
-                      ? core::Objective::kRecovery
-                      : core::Objective::kTempStorage;
-  cfg.num_cuts = std::max(1, args.Int("num-cuts", 1));
-  cfg.num_threads = args.Int("threads", 1);
-  double budget_gb = std::atof(args.Str("budget-gb", "0").c_str());
+  cfg.objective = *objective;
+  cfg.num_cuts = std::max(1, p.GetInt("num-cuts"));
+  cfg.num_threads = p.GetInt("threads");
+  cfg.metrics = registry.get();
+  double budget_gb = p.GetDouble("budget-gb");
   if (budget_gb > 0.0) cfg.storage_budget_bytes = budget_gb * 1e9;
 
   // Batched ML scoring is the default; --no-batch reverts to the scalar
   // per-stage path (bit-identical results, slower).
-  const bool batch = args.Int("no-batch", 0) == 0 && args.Int("batch", 1) != 0;
-  t.phoebe.set_batch_inference(batch);
+  t.phoebe.set_batch_inference(!p.GetBool("no-batch"));
 
   // --template-cache N enables the recurring-template decision cache with
   // capacity N; --cache-bps sets the input-size drift tolerance (0 = exact).
-  int cache_capacity = args.Int("template-cache", 0);
+  int cache_capacity = p.GetInt("template-cache");
   if (cache_capacity > 0) {
     cfg.template_cache.enabled = true;
     cfg.template_cache.capacity = static_cast<size_t>(cache_capacity);
-    cfg.template_cache.quantize_bps = std::max(0, args.Int("cache-bps", 0));
+    cfg.template_cache.quantize_bps = std::max(0, p.GetInt("cache-bps"));
+  }
+  if (Status st = cfg.Validate(); !st.ok()) {
+    std::fprintf(stderr, "invalid fleet configuration: %s\n", st.ToString().c_str());
+    return 2;
   }
 
-  core::FleetDriver driver(&t.phoebe.engine(), cfg);
+  // With --metrics, decide through a metrics-aware engine view over the same
+  // immutable bundle; decisions are identical either way (the engine is a
+  // const reader), so reports stay byte-identical with telemetry on.
+  std::unique_ptr<core::DecisionEngine> metric_engine;
+  const core::DecisionEngine* engine = &t.phoebe.engine();
+  if (registry) {
+    metric_engine =
+        std::make_unique<core::DecisionEngine>(t.phoebe.bundle(), registry.get());
+    engine = metric_engine.get();
+  }
+  core::FleetDriver driver(engine, cfg);
 
   // --shard I/N: decide-only mode. Compute raw decisions for the days this
   // shard owns (day d belongs to shard d % N) and write one blob; a later
   // `fleet --merge` run replays all blobs into the canonical report stream.
   // No calibration, no admission, no cache — those are merge-time concerns.
-  std::string shard = args.Str("shard", "");
+  std::string shard = p.GetString("shard");
   if (!shard.empty()) {
     std::vector<std::string> parts = Split(shard, '/');
     int32_t index = -1, count = 0;
-    if (parts.size() != 2 || !ParseInt32(parts[0], &index) ||
-        !ParseInt32(parts[1], &count) || count < 1 || index < 0 || index >= count) {
+    if (parts.size() != 2 || !ParseInt32(parts[0], &index).ok() ||
+        !ParseInt32(parts[1], &count).ok() || count < 1 || index < 0 || index >= count) {
       std::fprintf(stderr, "--shard expects I/N with 0 <= I < N, got '%s'\n",
                    shard.c_str());
       return 2;
     }
-    std::string out = args.Str("out", "");
+    std::string out = p.GetString("out");
     if (out.empty()) {
       std::fprintf(stderr, "fleet --shard requires --out <file>\n");
       return 2;
@@ -453,6 +603,9 @@ int CmdFleet(const Args& args) {
     f << *blob;
     std::fprintf(stderr, "shard %d/%d: wrote %zu of %d day(s) to %s\n", index,
                  count, days.size(), num_days, out.c_str());
+    if (registry) {
+      metrics_file << obs::TelemetryLineJson(registry->Snapshot(), "run", -1) << "\n";
+    }
     return 0;
   }
 
@@ -462,8 +615,11 @@ int CmdFleet(const Args& args) {
   // run with this same configuration.
   std::map<int, core::FleetDayDecisions> merged;
   bool replay = false;
-  std::string merge = args.Str("merge", "");
+  std::string merge = p.GetString("merge");
   if (!merge.empty()) {
+    obs::Histogram* merge_hist =
+        registry ? registry->histogram("fleet.shard.merge.seconds") : nullptr;
+    obs::ScopedTimer merge_timer(merge_hist);
     std::vector<core::FleetShardBlob> blobs;
     for (const std::string& path : Split(merge, ',')) {
       std::ifstream f(path, std::ios::binary);
@@ -498,7 +654,7 @@ int CmdFleet(const Args& args) {
         .Check();
   }
 
-  std::string report_path = args.Str("report", "");
+  std::string report_path = p.GetString("report");
   std::ofstream report_file;
   if (!report_path.empty()) {
     report_file.open(report_path, std::ios::binary);
@@ -509,6 +665,8 @@ int CmdFleet(const Args& args) {
   }
 
   for (int d = 0; d < num_days; ++d) {
+    obs::MetricsSnapshot day_before;
+    if (registry) day_before = registry->Snapshot();
     const auto& jobs = t.repo.Day(t.train_days + d);
     auto stats = t.repo.StatsBefore(t.train_days + d);
     auto report = replay ? driver.ReplayDay(jobs, stats, merged.at(d))
@@ -542,21 +700,46 @@ int CmdFleet(const Args& args) {
     if (report_file.is_open()) {
       report_file << core::FleetDayReportJson(*report, d) << "\n";
     }
+    if (registry) {
+      metrics_file << obs::TelemetryLineJson(
+                          obs::SnapshotDelta(day_before, registry->Snapshot()),
+                          "day", d)
+                   << "\n";
+    }
   }
   if (report_file.is_open()) {
     report_file.close();
     std::fprintf(stderr, "wrote %d day report(s) to %s\n", num_days,
                  report_path.c_str());
   }
+  if (registry) {
+    // Cumulative line last: whole-run totals including merge/calibration work
+    // that falls outside any single day window.
+    metrics_file << obs::TelemetryLineJson(registry->Snapshot(), "run", -1) << "\n";
+    metrics_file.close();
+    std::fprintf(stderr, "wrote telemetry to %s\n", metrics_cfg.output_path.c_str());
+  }
   return 0;
 }
 
-int CmdBacktest(const Args& args) {
-  Trained t = TrainFromArgs(args);
+int CmdBacktest(int argc, char** argv) {
+  ArgParser p("phoebe_cli backtest",
+              "Compare checkpoint-selection approaches on a held-out day.");
+  AddTrainFlags(p);
+  p.AddString("objective", "temp", "optimization objective: temp|recovery");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  auto objective = ParseObjective(p.GetString("objective"));
+  if (!objective.ok()) {
+    std::fprintf(stderr, "%s\n", objective.status().ToString().c_str());
+    return 2;
+  }
+  Trained t = TrainFromArgs(p);
   core::BackTester tester(&t.phoebe.engine(), /*mtbf_seconds=*/12 * 3600.0);
   const auto& jobs = t.repo.Day(t.train_days);
   auto stats = t.repo.StatsBefore(t.train_days);
-  bool recovery = args.Str("objective", "temp") == "recovery";
+  bool recovery = *objective == core::Objective::kRecovery;
 
   auto result = recovery ? tester.EvaluateRecovery(jobs, stats)
                          : tester.EvaluateTempStorage(jobs, stats);
@@ -577,30 +760,19 @@ void Usage() {
   std::fputs(
       "phoebe_cli <command> [--flag value ...]\n"
       "\n"
-      "commands:\n"
-      "  generate  --templates N --days D --seed S [--out file.csv]\n"
-      "  inspect   --seed S --day D --job K [--graph]\n"
-      "  train     --templates N --train-days D --seed S [--out bundle.phoebe]\n"
-      "            (--out saves the trained state as a versioned single-file\n"
-      "             bundle; serve it later with --bundle on any command)\n"
-      "  bundle-info --in bundle.phoebe      (inspect a saved bundle)\n"
-      "  decide    --seed S --job K [--objective temp|recovery]\n"
-      "  backtest  --seed S [--objective temp|recovery]\n"
-      "  fleet     --seed S [--days D] [--threads T] [--num-cuts K] [--budget-gb G]\n"
-      "            [--batch|--no-batch] [--template-cache N] [--cache-bps B]\n"
-      "            [--bundle file] [--report file.jsonl]\n"
-      "            [--shard I/N --out blob] [--merge blob0,blob1,...]\n"
-      "            (day-level driver; T=0 uses all cores, results are\n"
-      "             byte-identical for any T; --template-cache N caches\n"
-      "             decisions for recurring templates, B=0 is exact mode;\n"
-      "             --shard decides only days d with d%N==I and writes a\n"
-      "             blob, --merge replays N blobs into reports that are\n"
-      "             byte-identical to the unsharded run)\n"
-      "  dot       --seed S --job K          (Graphviz of the job + cut)\n"
-      "  explain   --seed S --job K [--json]  (why this cut was chosen)\n"
-      "  trace-export --seed S --days D [--out file.trace]\n"
-      "  trace-info   --in file.trace\n"
-      "  save-models  --seed S --dir DIR     (train, then persist models)\n",
+      "commands (each supports --help for its full flag list):\n"
+      "  generate     synthetic workload -> per-stage telemetry CSV\n"
+      "  inspect      one job's graph, metrics, and schedule\n"
+      "  train        train the pipeline; --out saves a versioned bundle\n"
+      "  bundle-info  inspect a saved bundle (version, checksum, config)\n"
+      "  decide       checkpoint decision for one job, explained\n"
+      "  backtest     compare checkpoint approaches on a held-out day\n"
+      "  fleet        day-level driver: threads, budget, template cache,\n"
+      "               --shard/--merge process split, --metrics telemetry\n"
+      "  dot          Graphviz of the job + cut\n"
+      "  explain      why this cut was chosen (--json for machine output)\n"
+      "  trace-export / trace-info   text trace round trip\n"
+      "  save-models  train, then persist models to a directory\n",
       stderr);
 }
 
@@ -612,19 +784,23 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string cmd = argv[1];
-  Args args = Args::Parse(argc, argv, 2);
-  if (cmd == "generate") return CmdGenerate(args);
-  if (cmd == "inspect") return CmdInspect(args);
-  if (cmd == "train") return CmdTrain(args);
-  if (cmd == "bundle-info") return CmdBundleInfo(args);
-  if (cmd == "decide") return CmdDecide(args);
-  if (cmd == "backtest") return CmdBacktest(args);
-  if (cmd == "fleet") return CmdFleet(args);
-  if (cmd == "dot") return CmdDot(args);
-  if (cmd == "explain") return CmdExplain(args);
-  if (cmd == "trace-export") return CmdTraceExport(args);
-  if (cmd == "trace-info") return CmdTraceInfo(args);
-  if (cmd == "save-models") return CmdSaveModels(args);
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "inspect") return CmdInspect(argc, argv);
+  if (cmd == "train") return CmdTrain(argc, argv);
+  if (cmd == "bundle-info") return CmdBundleInfo(argc, argv);
+  if (cmd == "decide") return CmdDecide(argc, argv);
+  if (cmd == "backtest") return CmdBacktest(argc, argv);
+  if (cmd == "fleet") return CmdFleet(argc, argv);
+  if (cmd == "dot") return CmdDot(argc, argv);
+  if (cmd == "explain") return CmdExplain(argc, argv);
+  if (cmd == "trace-export") return CmdTraceExport(argc, argv);
+  if (cmd == "trace-info") return CmdTraceInfo(argc, argv);
+  if (cmd == "save-models") return CmdSaveModels(argc, argv);
+  if (cmd == "--help" || cmd == "help") {
+    Usage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   Usage();
   return 2;
 }

@@ -30,12 +30,14 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 run_config build-asan "asan+ubsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=ON
 
-# TSan over the concurrent paths: the thread-pool tests and the parallel
+# TSan over the concurrent paths: the thread-pool tests, the parallel
 # fleet driver (which exercises the const-after-Train pipeline invariant
-# across worker threads). The full suite under TSan is too slow for a local
-# gate, and the serial-only tests cannot race by construction.
+# across worker threads), the metrics registry (concurrent lock-free
+# updates), and the metrics-on fleet byte-neutrality suite. The full suite
+# under TSan is too slow for a local gate, and the serial-only tests cannot
+# race by construction.
 export TSAN_OPTIONS="halt_on_error=1"
-EXTRA_CTEST_ARGS=(-R "ThreadPool|FleetParallel|FleetFixture" "$@")
+EXTRA_CTEST_ARGS=(-R "ThreadPool|FleetParallel|FleetFixture|ObsRegistry|FleetMetrics" "$@")
 run_config build-tsan "tsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=thread
 
 echo "All checks passed (release + asan/ubsan + tsan fleet tests)."
