@@ -20,6 +20,18 @@ const char* CostSourceToken(CostSource source) {
   return "unknown";
 }
 
+Status CostSourceFromToken(const std::string& token, CostSource* out) {
+  for (CostSource s : {CostSource::kTruth, CostSource::kOptimizerEstimates,
+                       CostSource::kConstant, CostSource::kMlSimulator,
+                       CostSource::kMlStacked}) {
+    if (token == CostSourceToken(s)) {
+      *out = s;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown cost source token '" + token + "'");
+}
+
 DecisionEngine::DecisionEngine(std::shared_ptr<const PipelineBundle> bundle,
                                obs::MetricsRegistry* metrics)
     : bundle_(std::move(bundle)) {

@@ -115,4 +115,9 @@ class DecisionEngine {
 /// ("truth", "opt_est", "constant", "ml_sim", "ml_stacked").
 const char* CostSourceToken(CostSource source);
 
+/// Inverse of CostSourceToken, for the serve wire protocol and CLI flags.
+/// Unknown tokens are an InvalidArgument naming the token; `*out` untouched
+/// on error.
+Status CostSourceFromToken(const std::string& token, CostSource* out);
+
 }  // namespace phoebe::core

@@ -56,7 +56,70 @@ class LineReader {
   size_t pos_ = 0;
 };
 
+/// Parse the `cut` lines of one job record whose job line tokens are `jt`,
+/// consuming from `r`. Shared body of ParseFleetShard and
+/// ParseJobDecisionRecord; `*out` untouched on error.
+Status ParseJobDecisionFromTokens(const std::vector<std::string>& jt,
+                                  size_t expected_index, LineReader& r,
+                                  std::optional<FleetDecision>* out) {
+  int32_t index = -1;
+  if (jt.size() < 2 || jt[0] != "job" || !ParseInt32(jt[1], &index).ok() ||
+      index < 0 || static_cast<size_t>(index) != expected_index) {
+    return Status::InvalidArgument("malformed job line: " + Join(jt, " "));
+  }
+  if (jt.size() == 3 && jt[2] == "-") {  // ineligible slot
+    out->reset();
+    return Status::OK();
+  }
+  int32_t num_cuts = -1;
+  FleetDecision d;
+  if (jt.size() != 5 || !ParseFiniteDouble(jt[2], &d.combined.objective).ok() ||
+      !ParseFiniteDouble(jt[3], &d.combined.global_bytes).ok() ||
+      !ParseInt32(jt[4], &num_cuts).ok() || num_cuts < 0) {
+    return Status::InvalidArgument("malformed job line: " + Join(jt, " "));
+  }
+  for (int c = 0; c < num_cuts; ++c) {
+    PHOEBE_ASSIGN_OR_RETURN(std::string cut_line, r.Next());
+    std::vector<std::string> ct = Split(cut_line, ' ');
+    if (ct.size() != 2 || ct[0] != "cut") {
+      return Status::InvalidArgument("malformed cut line: " + cut_line);
+    }
+    PHOEBE_ASSIGN_OR_RETURN(cluster::CutSet cut, ParseCutBits(ct[1]));
+    d.cuts.push_back(std::move(cut));
+  }
+  if (!d.cuts.empty()) d.combined.cut = d.cuts.back();  // outermost
+  out->emplace(std::move(d));
+  return Status::OK();
+}
+
 }  // namespace
+
+std::string SerializeJobDecisionRecord(size_t index,
+                                       const std::optional<FleetDecision>& decision) {
+  if (!decision.has_value()) return StrFormat("job %zu -\n", index);
+  const FleetDecision& d = *decision;
+  std::string out = StrFormat("job %zu %.17g %.17g %zu\n", index,
+                              d.combined.objective, d.combined.global_bytes,
+                              d.cuts.size());
+  for (const cluster::CutSet& cut : d.cuts) {
+    out += "cut " + CutBits(cut) + "\n";
+  }
+  return out;
+}
+
+Status ParseJobDecisionRecord(const std::string& text, size_t expected_index,
+                              std::optional<FleetDecision>* out) {
+  LineReader r(text);
+  PHOEBE_ASSIGN_OR_RETURN(std::string job_line, r.Next());
+  std::optional<FleetDecision> parsed;
+  PHOEBE_RETURN_NOT_OK(
+      ParseJobDecisionFromTokens(Split(job_line, ' '), expected_index, r, &parsed));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after job decision record");
+  }
+  *out = std::move(parsed);
+  return Status::OK();
+}
 
 Result<std::string> SerializeFleetShard(const FleetShardHeader& header,
                                         const std::map<int, FleetDayDecisions>& days) {
@@ -84,17 +147,7 @@ Result<std::string> SerializeFleetShard(const FleetShardHeader& header,
   for (const auto& [day, decisions] : days) {
     out += StrFormat("day %d jobs %zu\n", day, decisions.decisions.size());
     for (size_t i = 0; i < decisions.decisions.size(); ++i) {
-      const auto& slot = decisions.decisions[i];
-      if (!slot.has_value()) {
-        out += StrFormat("job %zu -\n", i);
-        continue;
-      }
-      const FleetDecision& d = *slot;
-      out += StrFormat("job %zu %.17g %.17g %zu\n", i, d.combined.objective,
-                       d.combined.global_bytes, d.cuts.size());
-      for (const cluster::CutSet& cut : d.cuts) {
-        out += "cut " + CutBits(cut) + "\n";
-      }
+      out += SerializeJobDecisionRecord(i, decisions.decisions[i]);
     }
     out += "end_day\n";
   }
@@ -166,31 +219,9 @@ Result<FleetShardBlob> ParseFleetShard(const std::string& text) {
     decisions.decisions.resize(static_cast<size_t>(num_jobs));
     for (int i = 0; i < num_jobs; ++i) {
       PHOEBE_ASSIGN_OR_RETURN(std::string job_line, r.Next());
-      std::vector<std::string> jt = Split(job_line, ' ');
-      int32_t index = -1;
-      if (jt.size() < 2 || jt[0] != "job" || !ParseInt32(jt[1], &index).ok() ||
-          index != i) {
-        return Status::InvalidArgument("malformed job line: " + job_line);
-      }
-      if (jt.size() == 3 && jt[2] == "-") continue;  // ineligible slot
-      int32_t num_cuts = -1;
-      FleetDecision d;
-      if (jt.size() != 5 || !ParseFiniteDouble(jt[2], &d.combined.objective).ok() ||
-          !ParseFiniteDouble(jt[3], &d.combined.global_bytes).ok() ||
-          !ParseInt32(jt[4], &num_cuts).ok() || num_cuts < 0) {
-        return Status::InvalidArgument("malformed job line: " + job_line);
-      }
-      for (int c = 0; c < num_cuts; ++c) {
-        PHOEBE_ASSIGN_OR_RETURN(std::string cut_line, r.Next());
-        std::vector<std::string> ct = Split(cut_line, ' ');
-        if (ct.size() != 2 || ct[0] != "cut") {
-          return Status::InvalidArgument("malformed cut line: " + cut_line);
-        }
-        PHOEBE_ASSIGN_OR_RETURN(cluster::CutSet cut, ParseCutBits(ct[1]));
-        d.cuts.push_back(std::move(cut));
-      }
-      if (!d.cuts.empty()) d.combined.cut = d.cuts.back();  // outermost
-      decisions.decisions[static_cast<size_t>(i)].emplace(std::move(d));
+      PHOEBE_RETURN_NOT_OK(
+          ParseJobDecisionFromTokens(Split(job_line, ' '), static_cast<size_t>(i), r,
+                                     &decisions.decisions[static_cast<size_t>(i)]));
     }
     PHOEBE_ASSIGN_OR_RETURN(std::string end_line, r.Next());
     if (end_line != "end_day") {

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,20 @@ struct FleetShardBlob {
 inline bool ShardOwnsDay(int day, int shard_index, int shard_count) {
   return day % shard_count == shard_index;
 }
+
+/// One job's decision record in the blob line format: the `job <i> ...`
+/// line plus its `cut <bits>` lines (all newline-terminated), or `job <i> -`
+/// for an ineligible slot. Shared with the serve protocol, whose decision
+/// responses carry exactly this record — the two cross-process decision
+/// formats cannot drift apart because they are the same bytes.
+std::string SerializeJobDecisionRecord(size_t index,
+                                       const std::optional<FleetDecision>& decision);
+
+/// Strict parse of one job decision record occupying the whole string. The
+/// record's job index must equal `expected_index`. `*out` untouched on
+/// error.
+Status ParseJobDecisionRecord(const std::string& text, size_t expected_index,
+                              std::optional<FleetDecision>* out);
 
 /// Serialize one shard's decisions. `days` must hold exactly the days the
 /// header's shard owns in [0, num_days).

@@ -1,0 +1,168 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace phoebe::serve {
+
+Status ServeClient::Connect(int port, const std::string& host) {
+  if (fd_ >= 0) return Status::FailedPrecondition("client already connected");
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument(StrFormat("port must be in [1, 65535], got %d", port));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(StrFormat("socket(): %s", std::strerror(errno)));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IoError(
+        StrFormat("connect(%s:%d): %s", host.c_str(), port, std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  pending_.clear();
+  out_of_order_.clear();
+  return Status::OK();
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ServeClient::SendFrame(const Frame& frame) {
+  return SendRaw(EncodeFrame(frame));
+}
+
+Status ServeClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return Status::IoError(StrFormat("send(): %s", std::strerror(errno)));
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> ServeClient::ReadFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  char buf[4096];
+  while (true) {
+    Frame frame;
+    size_t consumed = 0;
+    Status error;
+    FrameDecode d = DecodeFrame(pending_, &frame, &consumed, &error);
+    if (d == FrameDecode::kError) return error;
+    if (d == FrameDecode::kFrame) {
+      pending_.erase(0, consumed);
+      return frame;
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return Status::IoError(StrFormat("recv(): %s", std::strerror(errno)));
+    if (n == 0) return Status::IoError("connection closed by server");
+    pending_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<Frame> ServeClient::ReadFrameForId(uint64_t id) {
+  for (size_t i = 0; i < out_of_order_.size(); ++i) {
+    if (out_of_order_[i].id == id) {
+      Frame frame = std::move(out_of_order_[i]);
+      out_of_order_.erase(out_of_order_.begin() + static_cast<long>(i));
+      return frame;
+    }
+  }
+  while (true) {
+    PHOEBE_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (frame.id == id) return frame;
+    out_of_order_.push_back(std::move(frame));
+  }
+}
+
+Result<DecideResponse> ServeClient::Decide(const workload::JobInstance& job,
+                                           const core::DecideOptions& options,
+                                           std::string* raw_payload) {
+  const uint64_t id = next_id_++;
+  PHOEBE_RETURN_NOT_OK(SendFrame(
+      Frame{FrameType::kDecide, id, SerializeDecideRequest(job, options)}));
+  PHOEBE_ASSIGN_OR_RETURN(Frame reply, ReadFrameForId(id));
+  if (reply.type == FrameType::kError) {
+    return Status::Internal("server error: " + reply.payload);
+  }
+  if (reply.type != FrameType::kDecision) {
+    return Status::Internal(StrFormat("expected a decision frame, got '%s'",
+                                      FrameTypeToken(reply.type)));
+  }
+  DecideResponse response;
+  PHOEBE_RETURN_NOT_OK(ParseDecideResponse(reply.payload, &response));
+  if (raw_payload != nullptr) *raw_payload = std::move(reply.payload);
+  return response;
+}
+
+Status ServeClient::Ping() {
+  const uint64_t id = next_id_++;
+  PHOEBE_RETURN_NOT_OK(SendFrame(Frame{FrameType::kPing, id, ""}));
+  PHOEBE_ASSIGN_OR_RETURN(Frame reply, ReadFrameForId(id));
+  if (reply.type == FrameType::kError) {
+    return Status::Internal("server error: " + reply.payload);
+  }
+  if (reply.type != FrameType::kOk || reply.payload != "pong") {
+    return Status::Internal("unexpected ping reply '" + reply.payload + "'");
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> ServeClient::Reload(const std::string& path) {
+  const uint64_t id = next_id_++;
+  const std::string payload = path.empty() ? std::string() : "bundle " + path;
+  PHOEBE_RETURN_NOT_OK(SendFrame(Frame{FrameType::kReload, id, payload}));
+  PHOEBE_ASSIGN_OR_RETURN(Frame reply, ReadFrameForId(id));
+  if (reply.type == FrameType::kError) {
+    return Status::Internal("server error: " + reply.payload);
+  }
+  const std::vector<std::string> tokens = Split(reply.payload, ' ');
+  uint32_t checksum = 0;
+  if (reply.type != FrameType::kOk || tokens.size() != 2 || tokens[0] != "reloaded" ||
+      !ParseHexU32(tokens[1], &checksum).ok()) {
+    return Status::Internal("unexpected reload reply '" + reply.payload + "'");
+  }
+  return checksum;
+}
+
+Status ServeClient::RequestShutdown() {
+  const uint64_t id = next_id_++;
+  PHOEBE_RETURN_NOT_OK(SendFrame(Frame{FrameType::kShutdown, id, ""}));
+  PHOEBE_ASSIGN_OR_RETURN(Frame reply, ReadFrameForId(id));
+  if (reply.type == FrameType::kError) {
+    return Status::Internal("server error: " + reply.payload);
+  }
+  if (reply.type != FrameType::kOk || reply.payload != "bye") {
+    return Status::Internal("unexpected shutdown reply '" + reply.payload + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace phoebe::serve

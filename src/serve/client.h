@@ -1,0 +1,78 @@
+// ServeClient: a small blocking client for the `phoebe serve` daemon.
+//
+// One client = one TCP connection + a monotonically increasing request id.
+// The high-level calls (Decide / Ping / Reload / RequestShutdown) each send
+// one frame and block for the frame that echoes their id; the low-level
+// SendFrame / ReadFrame / SendRaw surface is public because the protocol and
+// concurrency tests drive the wire directly (pipelined frames, corrupted
+// bytes, out-of-order responses).
+//
+// Thread-safety: none — a client is a single-threaded handle. Concurrent
+// load uses one client per thread (bench_serve_latency, the concurrency
+// test), which is also the honest model of independent cluster compilers
+// calling the optimizer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace phoebe::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient() { Close(); }
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connect to a serve daemon (loopback only, like the server).
+  Status Connect(int port, const std::string& host = "127.0.0.1");
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Decide one job. Blocks for the response with this request's id (other
+  /// ids arriving meanwhile are buffered for their callers). A kError frame
+  /// becomes this call's error Status. When `raw_payload` is non-null it
+  /// receives the exact response payload bytes (the determinism tests
+  /// compare these against locally serialized decisions).
+  Result<DecideResponse> Decide(const workload::JobInstance& job,
+                                const core::DecideOptions& options,
+                                std::string* raw_payload = nullptr);
+
+  /// Liveness probe; OK iff the server answered "pong".
+  Status Ping();
+
+  /// Ask the server to hot-swap its bundle ("" = the server's own
+  /// --bundle-path). Returns the new bundle checksum.
+  Result<uint32_t> Reload(const std::string& path = "");
+
+  /// Ask the daemon to exit its WaitForShutdown loop.
+  Status RequestShutdown();
+
+  // --- low-level wire access (tests / bench) ---
+
+  /// Send one encoded frame.
+  Status SendFrame(const Frame& frame);
+  /// Send arbitrary bytes verbatim (for feeding the server corrupt frames).
+  Status SendRaw(const std::string& bytes);
+  /// Block for the next frame on the wire, whatever its id.
+  Result<Frame> ReadFrame();
+  /// The id the next high-level request will use.
+  uint64_t next_id() const { return next_id_; }
+
+ private:
+  /// Block until the frame echoing `id` arrives; frames for other ids are
+  /// queued so interleaved callers on one connection still match up.
+  Result<Frame> ReadFrameForId(uint64_t id);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::string pending_;               ///< undecoded bytes from the socket
+  std::vector<Frame> out_of_order_;   ///< frames read past, awaiting their id
+};
+
+}  // namespace phoebe::serve

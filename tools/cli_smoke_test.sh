@@ -200,6 +200,66 @@ expect_exit 0 "trace-info" -- "$CLI" trace-info --in "$WORKDIR/trace.txt"
 expect_stdout_contains "trace-info" "jobs"
 expect_exit 2 "trace-info without --in" -- "$CLI" trace-info
 
+# serve error paths first: they must fail fast, before any socket exists.
+expect_exit 2 "serve without --bundle" -- "$CLI" serve
+expect_stderr_contains "serve without --bundle" "requires --bundle"
+expect_exit 2 "serve bad port" -- \
+  "$CLI" serve --bundle "$WORKDIR/model.phoebe" --port notaport
+expect_exit 1 "serve corrupt bundle" -- "$CLI" serve --bundle "$WORKDIR/trace.csv"
+expect_stderr_contains "serve corrupt bundle" "cannot serve '$WORKDIR/trace.csv'"
+expect_exit 2 "serve-client without --port" -- "$CLI" serve-client --op ping
+
+# serve round trip: start the daemon on an ephemeral port (found via
+# --port-file), then ping / decide / reload / decide / shutdown. A reload of
+# the same artifact must not change a byte of the decide output, and the
+# daemon must exit 0 with a telemetry line counting the requests.
+"$CLI" serve --bundle "$WORKDIR/model.phoebe" --port-file "$WORKDIR/port.txt" \
+  --max-seconds 120 --metrics "$WORKDIR/serve_telemetry.jsonl" \
+  2>"$WORKDIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$WORKDIR/port.txt" ] && break
+  sleep 0.1
+done
+if [ ! -s "$WORKDIR/port.txt" ]; then
+  fail "serve: daemon never wrote its port file"
+  sed 's/^/    /' "$WORKDIR/serve.log" >&2
+  kill "$SERVE_PID" 2>/dev/null
+else
+  PORT="$(cat "$WORKDIR/port.txt")"
+  expect_exit 0 "serve-client ping" -- "$CLI" serve-client --port "$PORT" --op ping
+  expect_stdout_contains "serve-client ping" "pong"
+  expect_exit 0 "serve-client decide" -- \
+    "$CLI" serve-client --port "$PORT" --op decide "${SMALL[@]}" --day 2 --job 0
+  expect_stdout_contains "serve-client decide" "decision"
+  expect_stdout_contains "serve-client decide" "job 0"
+  cp "$WORKDIR/stdout" "$WORKDIR/decide_before.out"
+  expect_exit 0 "serve-client reload" -- \
+    "$CLI" serve-client --port "$PORT" --op reload
+  expect_stdout_contains "serve-client reload" "reloaded"
+  expect_exit 0 "serve-client decide after reload" -- \
+    "$CLI" serve-client --port "$PORT" --op decide "${SMALL[@]}" --day 2 --job 0
+  if ! diff -q "$WORKDIR/decide_before.out" "$WORKDIR/stdout" >/dev/null; then
+    fail "serve: decide bytes changed across a reload of the same bundle"
+  fi
+  expect_exit 0 "serve-client shutdown" -- \
+    "$CLI" serve-client --port "$PORT" --op shutdown
+  expect_stdout_contains "serve-client shutdown" "bye"
+  if ! wait "$SERVE_PID"; then
+    fail "serve: daemon exited non-zero after shutdown"
+    sed 's/^/    /' "$WORKDIR/serve.log" >&2
+  fi
+  if ! grep -q "listening on 127.0.0.1" "$WORKDIR/serve.log"; then
+    fail "serve: daemon log is missing the listen banner"
+  fi
+  if ! grep -q "stopped after 1 reload" "$WORKDIR/serve.log"; then
+    fail "serve: daemon log did not count exactly one reload"
+  fi
+  if ! grep -q "serve.requests" "$WORKDIR/serve_telemetry.jsonl"; then
+    fail "serve --metrics: telemetry line is missing serve.requests"
+  fi
+fi
+
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES smoke-test assertion(s) failed" >&2
   exit 1

@@ -12,11 +12,17 @@
 //              --bundle serves a saved artifact, --shard/--merge split the
 //              run across processes with byte-identical merged reports,
 //              --metrics exports per-day telemetry JSON lines
+//   serve      long-running decision daemon over the framed socket protocol;
+//              hot bundle reload on SIGHUP or a client reload frame
+//   serve-client  one-shot client for a running daemon (ping, decide,
+//              reload, shutdown)
 //
 // Every subcommand supports --help; flags parse through common::ArgParser
 // (typed values, unknown-flag suggestions). All commands are deterministic
 // given --seed.
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +46,8 @@
 #include "dag/dot_export.h"
 #include "dag/graph_metrics.h"
 #include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "telemetry/repository.h"
 #include "workload/generator.h"
 #include "workload/trace.h"
@@ -722,6 +730,222 @@ int CmdFleet(int argc, char** argv) {
   return 0;
 }
 
+// SIGHUP = "reload your bundle", the classic daemon convention. The handler
+// only flips a flag; the serve loop below does the actual (non-signal-safe)
+// reload between WaitForShutdown polls.
+volatile std::sig_atomic_t g_sighup_reload = 0;
+
+void OnSighup(int) { g_sighup_reload = 1; }
+
+int CmdServe(int argc, char** argv) {
+  ArgParser p("phoebe_cli serve",
+              "Long-running decision daemon over the framed socket protocol "
+              "(see DESIGN.md 'Serving'). Reloads its bundle on SIGHUP or a "
+              "client reload frame; in-flight requests keep the bundle they "
+              "started with.");
+  p.AddString("bundle", "", "trained bundle file to serve (required)");
+  p.AddInt("port", 0, "TCP port on 127.0.0.1 (0 = pick an ephemeral port)");
+  p.AddString("port-file", "", "write the bound port number to this file "
+              "(how scripts find an ephemeral port)");
+  p.AddInt("workers", 2, "decide worker threads");
+  p.AddInt("max-batch", 16, "max requests coalesced into one decide batch");
+  p.AddInt("queue-capacity", 256, "bounded request queue capacity (producers "
+           "block when full; requests are never dropped)");
+  p.AddBool("no-coalesce", "decide one request per worker wakeup "
+            "(byte-identical responses, more wakeups)");
+  p.AddString("metrics", "", "write a cumulative telemetry JSON line to this "
+              "file on exit");
+  p.AddDouble("max-seconds", 0.0, "exit after this long even without a "
+              "shutdown request (0 = run until shutdown; a safety net for "
+              "scripted runs)");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  const std::string bundle_path = p.GetString("bundle");
+  if (bundle_path.empty()) {
+    std::fprintf(stderr, "serve requires --bundle <file>\n");
+    return 2;
+  }
+
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  const std::string metrics_path = p.GetString("metrics");
+  if (!metrics_path.empty()) registry = std::make_unique<obs::MetricsRegistry>();
+
+  auto bundle = core::PipelineBundle::LoadFromFile(bundle_path, registry.get());
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "cannot serve '%s': %s\n", bundle_path.c_str(),
+                 bundle.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServeConfig cfg;
+  cfg.port = p.GetInt("port");
+  cfg.num_workers = p.GetInt("workers");
+  cfg.max_batch = p.GetInt("max-batch");
+  cfg.queue_capacity = p.GetInt("queue-capacity");
+  cfg.coalesce = !p.GetBool("no-coalesce");
+  cfg.bundle_path = bundle_path;
+  cfg.metrics = registry.get();
+  if (Status st = cfg.Validate(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+
+  serve::ServeServer server(*bundle, cfg);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "cannot start serve daemon: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "phoebe serve: listening on 127.0.0.1:%d (bundle %s, checksum "
+               "%08x, %d worker(s))\n",
+               server.port(), bundle_path.c_str(), server.bundle_checksum(),
+               cfg.num_workers);
+
+  const std::string port_file = p.GetString("port-file");
+  if (!port_file.empty()) {
+    std::ofstream f(port_file, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", port_file.c_str());
+      server.Stop();
+      return 1;
+    }
+    f << server.port() << "\n";
+  }
+
+  std::signal(SIGHUP, OnSighup);
+  const double max_seconds = p.GetDouble("max-seconds");
+  const auto started = std::chrono::steady_clock::now();
+  while (true) {
+    if (server.WaitForShutdown(0.25)) break;
+    if (g_sighup_reload != 0) {
+      g_sighup_reload = 0;
+      auto checksum = server.Reload(bundle_path);
+      if (!checksum.ok()) {
+        // Keep serving the old bundle: a bad artifact on disk must never
+        // take the daemon down.
+        std::fprintf(stderr, "phoebe serve: SIGHUP reload of '%s' failed: %s\n",
+                     bundle_path.c_str(), checksum.status().ToString().c_str());
+      }
+    }
+    if (max_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                .count() >= max_seconds) {
+      std::fprintf(stderr, "phoebe serve: --max-seconds %.1f reached, exiting\n",
+                   max_seconds);
+      break;
+    }
+  }
+  server.Stop();
+  std::fprintf(stderr, "phoebe serve: stopped after %lld reload(s)\n",
+               static_cast<long long>(server.reload_count()));
+
+  if (registry) {
+    std::ofstream f(metrics_path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", metrics_path.c_str());
+      return 1;
+    }
+    f << obs::TelemetryLineJson(registry->Snapshot(), "run", -1) << "\n";
+    std::fprintf(stderr, "wrote telemetry to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+int CmdServeClient(int argc, char** argv) {
+  ArgParser p("phoebe_cli serve-client",
+              "One-shot client for a running serve daemon.");
+  p.AddInt("port", 0, "daemon port on 127.0.0.1 (required)");
+  p.AddString("op", "ping", "operation: ping|decide|reload|shutdown");
+  AddWorkloadFlags(p);
+  p.AddInt("day", 0, "workload day of the job to decide");
+  p.AddInt("job", 0, "job index within the day");
+  p.AddString("objective", "temp", "optimization objective: temp|recovery");
+  p.AddString("source", "ml_stacked",
+              "cost source: truth|opt_est|constant|ml_sim|ml_stacked");
+  p.AddInt("num-cuts", 1, "checkpoint cuts per job");
+  p.AddString("reload-bundle", "", "bundle path for --op reload (empty = the "
+              "path the daemon was started with)");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  const int port = p.GetInt("port");
+  if (port <= 0) {
+    std::fprintf(stderr, "serve-client requires --port <daemon port>\n");
+    return 2;
+  }
+  serve::ServeClient client;
+  if (Status st = client.Connect(port); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const std::string op = p.GetString("op");
+  if (op == "ping") {
+    if (Status st = client.Ping(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (op == "reload") {
+    auto checksum = client.Reload(p.GetString("reload-bundle"));
+    if (!checksum.ok()) {
+      std::fprintf(stderr, "%s\n", checksum.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("reloaded %08x\n", *checksum);
+    return 0;
+  }
+  if (op == "shutdown") {
+    if (Status st = client.RequestShutdown(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("bye\n");
+    return 0;
+  }
+  if (op == "decide") {
+    auto objective = ParseObjective(p.GetString("objective"));
+    if (!objective.ok()) {
+      std::fprintf(stderr, "%s\n", objective.status().ToString().c_str());
+      return 2;
+    }
+    core::DecideOptions options;
+    options.objective = *objective;
+    options.num_cuts = std::max(1, p.GetInt("num-cuts"));
+    if (Status st = core::CostSourceFromToken(p.GetString("source"), &options.source);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+    auto gen = MakeGen(p);
+    auto jobs = gen.GenerateDay(p.GetInt("day"));
+    int index = p.GetInt("job");
+    if (index < 0 || static_cast<size_t>(index) >= jobs.size()) {
+      std::fprintf(stderr, "day %d has %zu jobs; --job out of range\n",
+                   p.GetInt("day"), jobs.size());
+      return 1;
+    }
+    std::string raw_payload;
+    auto response =
+        client.Decide(jobs[static_cast<size_t>(index)], options, &raw_payload);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      return 1;
+    }
+    // The raw payload IS the decision, in the shard-blob job record format
+    // prefixed by the answering bundle's checksum — printable and diffable
+    // against fleet shard artifacts from the same bundle.
+    std::fputs(raw_payload.c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "--op expects ping|decide|reload|shutdown, got '%s'\n",
+               op.c_str());
+  return 2;
+}
+
 int CmdBacktest(int argc, char** argv) {
   ArgParser p("phoebe_cli backtest",
               "Compare checkpoint-selection approaches on a held-out day.");
@@ -769,6 +993,9 @@ void Usage() {
       "  backtest     compare checkpoint approaches on a held-out day\n"
       "  fleet        day-level driver: threads, budget, template cache,\n"
       "               --shard/--merge process split, --metrics telemetry\n"
+      "  serve        long-running decision daemon (framed socket protocol,\n"
+      "               hot bundle reload on SIGHUP / reload frame)\n"
+      "  serve-client one-shot client: ping, decide, reload, shutdown\n"
       "  dot          Graphviz of the job + cut\n"
       "  explain      why this cut was chosen (--json for machine output)\n"
       "  trace-export / trace-info   text trace round trip\n"
@@ -791,6 +1018,8 @@ int main(int argc, char** argv) {
   if (cmd == "decide") return CmdDecide(argc, argv);
   if (cmd == "backtest") return CmdBacktest(argc, argv);
   if (cmd == "fleet") return CmdFleet(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "serve-client") return CmdServeClient(argc, argv);
   if (cmd == "dot") return CmdDot(argc, argv);
   if (cmd == "explain") return CmdExplain(argc, argv);
   if (cmd == "trace-export") return CmdTraceExport(argc, argv);
