@@ -1,5 +1,6 @@
 #include "core/bundle.h"
 
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
@@ -306,11 +307,24 @@ void AppendSection(std::string* out, const std::string& name,
   *out += '\n';
 }
 
+// Atomic publish: write to a sibling temp file, then rename over the target.
+// Concurrent readers (a serve daemon reloading on SIGHUP, a lifecycle run
+// promoting into the same path the daemon watches) see either the old bundle
+// or the new one, never a half-written file.
 Status WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return Status::IoError("cannot open for write: " + path);
-  f << content;
-  if (!f.good()) return Status::IoError("write failed: " + path);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary);
+    if (!f) return Status::IoError("cannot open for write: " + tmp);
+    f << content;
+    if (!f.good()) return Status::IoError("write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
   return Status::OK();
 }
 

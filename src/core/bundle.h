@@ -115,7 +115,10 @@ class PipelineBundle {
   /// yields an error Status (never a crash; see fuzz_bundle_test).
   static Result<std::shared_ptr<const PipelineBundle>> FromText(const std::string& text);
 
-  /// Save/load the serialized form. `metrics` (optional, borrowed) records
+  /// Save/load the serialized form. The save is atomic (temp file + rename),
+  /// so a reader racing the write — a serve daemon reloading the path a
+  /// lifecycle promotion just replaced — sees the old bytes or the new
+  /// bytes, never a truncated file. `metrics` (optional, borrowed) records
   /// bundle.save/load.seconds and bundle.file.bytes; null = metrics off.
   Status SaveToFile(const std::string& path,
                     obs::MetricsRegistry* metrics = nullptr) const;

@@ -141,4 +141,21 @@ Result<std::map<Approach, RunningStats>> BackTester::EvaluateRecovery(
   return out;
 }
 
+Result<RunningStats> BackTester::EvaluateApproach(
+    const std::vector<workload::JobInstance>& jobs,
+    const telemetry::HistoricStats& stats, Approach approach, Objective objective) {
+  RunningStats out;
+  for (const workload::JobInstance& job : jobs) {
+    if (job.graph.num_stages() < 2) continue;
+    PHOEBE_ASSIGN_OR_RETURN(CutResult cut, ChooseCut(job, approach, objective, stats));
+    if (objective == Objective::kTempStorage) {
+      out.Add(RealizedTempSaving(job, cut.cut));
+    } else {
+      cluster::FailureModel failure(job, mtbf_seconds_);
+      out.Add(failure.RestartSavingFraction(cut.cut));
+    }
+  }
+  return out;
+}
+
 }  // namespace phoebe::core

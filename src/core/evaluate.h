@@ -68,6 +68,16 @@ class BackTester {
       const telemetry::HistoricStats& stats,
       const std::vector<Approach>& approaches = AllApproaches());
 
+  /// Realized saving of ONE approach under either objective — the unit the
+  /// lifecycle loop's canary comparison aggregates over a trailing window
+  /// (one BackTester per bundle, same jobs, same stats view). Temp-storage
+  /// savings come from RealizedTempSaving, recovery savings from the failure
+  /// model's RestartSavingFraction, exactly as the per-approach sweeps above.
+  Result<RunningStats> EvaluateApproach(
+      const std::vector<workload::JobInstance>& jobs,
+      const telemetry::HistoricStats& stats, Approach approach,
+      Objective objective);
+
  private:
   CostSource SourceFor(Approach approach) const;
 

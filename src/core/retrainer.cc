@@ -7,6 +7,20 @@
 
 namespace phoebe::core {
 
+double EvaluateExecR2(const StageCostPredictor& exec,
+                      const telemetry::WorkloadRepository& repo, int day) {
+  auto stats = repo.StatsBefore(day);
+  std::vector<double> y_true, y_pred;
+  for (const workload::JobInstance& job : repo.Day(day)) {
+    auto pred = exec.PredictJob(job, stats);
+    for (size_t i = 0; i < job.graph.num_stages(); ++i) {
+      y_true.push_back(job.truth[i].exec_seconds);
+      y_pred.push_back(pred[i]);
+    }
+  }
+  return RSquared(y_true, y_pred);
+}
+
 Status RetrainPolicy::Validate() const {
   if (min_exec_r2 < -1.0 || min_exec_r2 > 1.0) {
     return Status::InvalidArgument("min_exec_r2 must be in [-1, 1]");
@@ -64,16 +78,7 @@ Result<RetrainReport> RetrainingDriver::OnDayCompleted(
   }
 
   // Evaluate the deployed model on the freshly completed day.
-  auto stats = repo.StatsBefore(day);
-  std::vector<double> y_true, y_pred;
-  for (const workload::JobInstance& job : repo.Day(day)) {
-    auto pred = pipeline_->exec_predictor().PredictJob(job, stats);
-    for (size_t i = 0; i < job.graph.num_stages(); ++i) {
-      y_true.push_back(job.truth[i].exec_seconds);
-      y_pred.push_back(pred[i]);
-    }
-  }
-  report.exec_r2 = RSquared(y_true, y_pred);
+  report.exec_r2 = EvaluateExecR2(pipeline_->exec_predictor(), repo, day);
 
   if (report.exec_r2 < policy_.min_exec_r2) {
     PHOEBE_RETURN_NOT_OK(Retrain(repo, day));

@@ -24,6 +24,13 @@ struct RetrainPolicy {
   Status Validate() const;
 };
 
+/// Held-out R^2 of `exec` on `day`'s stage runtimes, featurized against the
+/// historic stats available strictly before `day` — the accuracy-decay
+/// signal of Figure 8. Shared by RetrainingDriver and the lifecycle loop so
+/// both trigger retraining off the same measurement.
+double EvaluateExecR2(const StageCostPredictor& exec,
+                      const telemetry::WorkloadRepository& repo, int day);
+
 /// \brief Per-day outcome of the driver.
 struct RetrainReport {
   int day = 0;

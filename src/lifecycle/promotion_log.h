@@ -1,0 +1,76 @@
+// Promotion log: the append-only, CRC-checked record of every canary
+// decision the lifecycle loop makes.
+//
+// Phoebe in production (paper §6.4) replaces a deployed model only when a
+// freshly retrained candidate is demonstrably better on recent history. The
+// promotion log is the audit trail of that gate: one record per retrain,
+// naming the day, the trailing backtest window, both bundle checksums, both
+// realized trailing-window costs, why the retrain triggered, and the
+// verdict. Rejections are recorded with the same fidelity as promotions —
+// "the incumbent kept serving" is as much an operational fact as a rollover.
+//
+// File format (text, line-oriented, '\n' line ends):
+//
+//   phoebe_promotion_log 1
+//   record day <d> window <w0> <w1> incumbent <crc8> candidate <crc8>
+//     incumbent_cost <g17> candidate_cost <g17> reason <tok> verdict <tok>
+//     crc <crc8>
+//
+// (each record is ONE line; wrapped above for readability). The trailing
+// `crc` field is the CRC-32 of every record byte before " crc ", so a
+// bit-flip anywhere in a record — day, checksum, cost digits — fails that
+// record's parse. There is deliberately no trailer: the log is append-only,
+// and a writer crash mid-record leaves a file whose intact prefix still
+// parses record by record. Costs are the fraction of the objective NOT
+// captured over the window (lower is better); -1 marks "not measured"
+// (the bootstrap promotion has no incumbent to backtest). All numeric
+// tokens go through the strict parsers in common/strings.h and any
+// malformed input surfaces as a clean Status (fuzz_lifecycle_test pins
+// this under ASan/UBSan).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace phoebe::lifecycle {
+
+/// \brief One canary decision: a candidate bundle was trained and judged.
+struct PromotionRecord {
+  int day = 0;               ///< day whose completion triggered the retrain
+  int window_first = 0;      ///< trailing backtest window, inclusive
+  int window_last = 0;
+  uint32_t incumbent_checksum = 0;  ///< 0 = no incumbent yet (bootstrap)
+  uint32_t candidate_checksum = 0;
+  /// Trailing-window cost: 1 - mean realized saving fraction, in [0, 1];
+  /// -1 when not measured (the bootstrap record's incumbent side).
+  double incumbent_cost = -1.0;
+  double candidate_cost = -1.0;
+  std::string reason;   ///< why the retrain triggered: bootstrap|accuracy|age
+  std::string verdict;  ///< promoted|rejected
+};
+
+/// The fixed first line of every log, without the newline.
+constexpr const char* kPromotionLogMagic = "phoebe_promotion_log";
+constexpr int kPromotionLogVersion = 1;
+
+/// One newline-terminated record line, CRC included.
+std::string SerializePromotionRecord(const PromotionRecord& record);
+
+/// Strict parse of one record line (no trailing newline). Verifies the CRC
+/// before any field is interpreted. `*out` untouched on error.
+Status ParsePromotionRecord(std::string_view line, PromotionRecord* out);
+
+/// Header plus every record — the full file content.
+std::string SerializePromotionLog(const std::vector<PromotionRecord>& records);
+
+/// Strict parse of a whole log: header line first, then records. Any
+/// malformed line (bad magic, wrong version, CRC mismatch, unknown reason
+/// or verdict token, non-finite cost) is an error Status naming the line;
+/// `*out` is untouched on error.
+Status ParsePromotionLog(std::string_view text, std::vector<PromotionRecord>* out);
+
+}  // namespace phoebe::lifecycle

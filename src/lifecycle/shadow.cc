@@ -1,0 +1,64 @@
+#include "lifecycle/shadow.h"
+
+#include "common/strings.h"
+#include "core/fleet_shard.h"
+
+namespace phoebe::lifecycle {
+
+namespace {
+
+/// Prefix every line of a (newline-terminated) record with `prefix`.
+void AppendPrefixed(std::string* out, const std::string& record,
+                    const char* prefix) {
+  for (const std::string& line : Split(record, '\n')) {
+    if (line.empty()) continue;  // the record's trailing newline
+    *out += prefix;
+    *out += line;
+    *out += '\n';
+  }
+}
+
+}  // namespace
+
+Result<ShadowDayDiff> DiffShadowDecisions(int day, uint32_t incumbent_checksum,
+                                          uint32_t candidate_checksum,
+                                          const core::FleetDayDecisions& incumbent,
+                                          const core::FleetDayDecisions& candidate) {
+  if (incumbent.decisions.size() != candidate.decisions.size()) {
+    return Status::InvalidArgument(
+        StrFormat("shadow diff: slot count mismatch (%zu incumbent vs %zu "
+                  "candidate)",
+                  incumbent.decisions.size(), candidate.decisions.size()));
+  }
+  ShadowDayDiff diff;
+  diff.day = day;
+  diff.incumbent_checksum = incumbent_checksum;
+  diff.candidate_checksum = candidate_checksum;
+  diff.jobs = static_cast<int>(incumbent.decisions.size());
+
+  std::string jobs_text;
+  for (size_t i = 0; i < incumbent.decisions.size(); ++i) {
+    const std::string inc = core::SerializeJobDecisionRecord(i, incumbent.decisions[i]);
+    const std::string cand =
+        core::SerializeJobDecisionRecord(i, candidate.decisions[i]);
+    if (inc == cand) {
+      jobs_text += StrFormat("job %zu same\n", i);
+      continue;
+    }
+    ++diff.differing;
+    diff.differing_jobs.push_back(i);
+    jobs_text += StrFormat("job %zu differs\n", i);
+    AppendPrefixed(&jobs_text, inc, "- ");
+    AppendPrefixed(&jobs_text, cand, "+ ");
+  }
+
+  diff.text = "phoebe_shadow_diff 1\n";
+  diff.text += StrFormat("day %d jobs %d incumbent %08x candidate %08x differing %d\n",
+                         diff.day, diff.jobs, diff.incumbent_checksum,
+                         diff.candidate_checksum, diff.differing);
+  diff.text += jobs_text;
+  diff.text += "end_shadow_diff\n";
+  return diff;
+}
+
+}  // namespace phoebe::lifecycle

@@ -164,6 +164,15 @@ Status WorkloadRepository::AddDay(int day, std::vector<workload::JobInstance> in
   return Status::OK();
 }
 
+size_t WorkloadRepository::EvictDaysBefore(int day) {
+  size_t evicted = 0;
+  for (auto it = days_.begin(); it != days_.end() && it->first < day;) {
+    it = days_.erase(it);
+    ++evicted;
+  }
+  return evicted;
+}
+
 const std::vector<workload::JobInstance>& WorkloadRepository::Day(int day) const {
   auto it = days_.find(day);
   PHOEBE_CHECK_MSG(it != days_.end(), "day not in repository");

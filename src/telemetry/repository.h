@@ -106,6 +106,14 @@ class WorkloadRepository {
   /// Historic statistics over all stored days strictly before `day`.
   HistoricStats StatsBefore(int day) const;
 
+  /// Drop every stored day strictly before `day`, returning how many days
+  /// were evicted. Bounded retention for the continuous-operation loop: a
+  /// repository that accumulates forever eventually swamps memory, so the
+  /// lifecycle evicts days older than its deepest lookback window.
+  /// StatsBefore and Train only see surviving days afterwards — callers must
+  /// not evict days a later window still needs.
+  size_t EvictDaysBefore(int day);
+
   /// Export all stored records as CSV (one row per stage).
   std::string ToCsv() const;
 

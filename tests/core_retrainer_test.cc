@@ -28,6 +28,62 @@ TEST(RetrainPolicyTest, Validation) {
   EXPECT_FALSE(p.Validate().ok());
 }
 
+TEST(RetrainPolicyTest, ValidationRejectsBadWindows) {
+  RetrainPolicy p;
+  p.train_window_days = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = RetrainPolicy{};
+  p.min_history_days = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = RetrainPolicy{};
+  p.min_exec_r2 = -2.0;  // below the R^2 floor of -1
+  EXPECT_FALSE(p.Validate().ok());
+  // The boundary values are all legal.
+  p = RetrainPolicy{};
+  p.min_exec_r2 = -1.0;
+  p.max_age_days = 1;
+  p.train_window_days = 1;
+  p.min_history_days = 1;
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(RetrainerTest, StaysUndeployedBelowMinHistory) {
+  auto gen = MakeGen(16);
+  telemetry::WorkloadRepository repo;
+  RetrainPolicy policy;
+  policy.min_history_days = 4;
+  RetrainingDriver driver(policy);
+  for (int d = 0; d < 3; ++d) {  // one day short of the bootstrap threshold
+    repo.AddDay(d, gen.GenerateDay(d)).Check();
+    auto r = driver.OnDayCompleted(repo, d);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->retrained);
+    EXPECT_STREQ(r->reason, "");
+    EXPECT_EQ(r->model_age_days, -1);
+  }
+  EXPECT_FALSE(driver.deployed());
+  EXPECT_EQ(driver.trained_on_day(), -1);
+}
+
+TEST(RetrainerTest, ReportedR2MatchesTheSharedSignal) {
+  // The lifecycle loop triggers off EvaluateExecR2 directly; the driver's
+  // report must carry the identical measurement.
+  auto gen = MakeGen(22);
+  telemetry::WorkloadRepository repo;
+  RetrainPolicy policy;
+  policy.min_history_days = 1;
+  policy.max_age_days = 100;
+  policy.min_exec_r2 = -1.0;  // never retrain after bootstrap
+  RetrainingDriver driver(policy);
+  repo.AddDay(0, gen.GenerateDay(0)).Check();
+  driver.OnDayCompleted(repo, 0).status().Check();
+  repo.AddDay(1, gen.GenerateDay(1)).Check();
+  auto r = driver.OnDayCompleted(repo, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->exec_r2,
+            EvaluateExecR2(driver.pipeline().exec_predictor(), repo, 1));
+}
+
 TEST(RetrainerTest, BootstrapsAfterMinHistory) {
   auto gen = MakeGen();
   telemetry::WorkloadRepository repo;

@@ -1,0 +1,124 @@
+// Corruption fuzzing of the promotion-log parser. The promotion log is the
+// lifecycle loop's audit trail — append-only, re-read by operators, the
+// soak bench, and the determinism gate — so ParsePromotionLog must return a
+// clean error Status for ANY byte sequence: truncations, bit flips, field
+// swaps, numeric overflow, CRC damage. The checked-in corpus pins one valid
+// log from a real lifecycle run (so format drift that breaks old logs is
+// caught) plus one single-bit-flip regression seed that the per-record CRC
+// must reject.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lifecycle/promotion_log.h"
+#include "testing/fuzz.h"
+#include "testing/property.h"
+
+namespace phoebe::testing {
+namespace {
+
+#ifndef PHOEBE_FUZZ_CORPUS_DIR
+#error "PHOEBE_FUZZ_CORPUS_DIR must point at tests/fuzz_corpus"
+#endif
+
+Status ParseLog(const std::string& text) {
+  std::vector<lifecycle::PromotionRecord> records;
+  return lifecycle::ParsePromotionLog(text, &records);
+}
+
+std::string ReadFileOrDie(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(PHOEBE_FUZZ_CORPUS_DIR)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.path().extension() == ".log" &&
+        name.rfind("promotion_log_", 0) == 0) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// A freshly serialized log, so mutations always start from a structurally
+/// current document even if the corpus ages.
+std::string FreshLogText() {
+  lifecycle::PromotionRecord bootstrap;
+  bootstrap.day = 1;
+  bootstrap.window_first = 0;
+  bootstrap.window_last = 1;
+  bootstrap.candidate_checksum = 0xc0ffee01u;
+  bootstrap.candidate_cost = 0.375;
+  bootstrap.reason = "bootstrap";
+  bootstrap.verdict = "promoted";
+  lifecycle::PromotionRecord rejected;
+  rejected.day = 4;
+  rejected.window_first = 3;
+  rejected.window_last = 4;
+  rejected.incumbent_checksum = 0xc0ffee01u;
+  rejected.candidate_checksum = 0xc0ffee02u;
+  rejected.incumbent_cost = 0.5;
+  rejected.candidate_cost = 0.625;
+  rejected.reason = "accuracy";
+  rejected.verdict = "rejected";
+  return lifecycle::SerializePromotionLog({bootstrap, rejected});
+}
+
+TEST(FuzzPromotionLogCorpusTest, FilesNeverCrashAndValidSeedsParse) {
+  auto files = CorpusFiles();
+  ASSERT_GE(files.size(), 2u) << "promotion_log seeds missing from "
+                              << PHOEBE_FUZZ_CORPUS_DIR;
+  for (const auto& p : files) {
+    const std::string text = ReadFileOrDie(p);
+    Status st = ParseLog(text);  // must return, never crash
+    if (p.filename().string().find("_valid") != std::string::npos) {
+      EXPECT_TRUE(st.ok()) << p << ": " << st.ToString();
+    } else {
+      // The bit-flip seed: the record CRC catches the damage.
+      EXPECT_FALSE(st.ok()) << p << " unexpectedly parsed";
+    }
+  }
+}
+
+TEST(FuzzPromotionLogCorpusTest, ValidSeedRoundTrips) {
+  for (const auto& p : CorpusFiles()) {
+    if (p.filename().string().find("_valid") == std::string::npos) continue;
+    const std::string text = ReadFileOrDie(p);
+    std::vector<lifecycle::PromotionRecord> records;
+    ASSERT_TRUE(lifecycle::ParsePromotionLog(text, &records).ok()) << p;
+    EXPECT_EQ(lifecycle::SerializePromotionLog(records), text)
+        << p << " does not round-trip";
+  }
+}
+
+TEST(FuzzPromotionLogTest, ParserSurvivesCorruption) {
+  std::vector<std::string> seeds;
+  for (const auto& p : CorpusFiles()) seeds.push_back(ReadFileOrDie(p));
+  seeds.push_back(FreshLogText());
+
+  FuzzOptions opt;
+  opt.num_inputs = 600;
+  opt.seed = 0x10c5;
+  FuzzReport report = FuzzParser(opt, seeds, ParseLog);
+  EXPECT_TRUE(report.ok) << report.Describe();
+  EXPECT_EQ(report.inputs_run, ScaledCaseCount(600));
+  // The per-record CRC makes nearly every mutation a rejection; the contract
+  // under test is purely "reject cleanly, never crash".
+  EXPECT_GT(report.rejected, 0) << report.Describe();
+}
+
+}  // namespace
+}  // namespace phoebe::testing

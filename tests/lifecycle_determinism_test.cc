@@ -1,0 +1,100 @@
+// Pins the lifecycle determinism contract: a full continuous-operation run —
+// promotion log, shadow diffs, and per-day report JSON — is byte-identical
+// for any decision thread count and with the exact-mode template cache on or
+// off. Promotion decisions flow only from training and trailing-window
+// backtests, which touch neither the thread pool nor the cache, and the
+// serving day's parallel phase already guarantees byte-identical reports;
+// this test closes the loop over the whole artifact stream. Runs under TSan
+// in run_checks.sh (the 4-thread legs exercise the pool).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lifecycle/lifecycle.h"
+#include "workload/generator.h"
+
+namespace phoebe::lifecycle {
+namespace {
+
+struct RunArtifacts {
+  std::string promotion_log;
+  std::string day_reports;
+  std::string shadow;
+};
+
+/// One full simulated-production run, all artifacts rendered to strings —
+/// the exact bytes the driver writes under an --out-dir.
+RunArtifacts RunLoop(int num_threads, bool cache) {
+  core::PipelineConfig pipeline = core::PhoebePipeline::DefaultConfig();
+  pipeline.exec_predictor.gbdt.num_trees = 8;
+  pipeline.size_predictor.gbdt.num_trees = 8;
+  pipeline.ttl.gbdt.num_trees = 8;
+
+  LifecycleConfig cfg;
+  cfg.pipeline = pipeline;
+  cfg.policy.min_history_days = 2;
+  cfg.policy.train_window_days = 3;
+  cfg.policy.max_age_days = 2;
+  cfg.policy.min_exec_r2 = -1.0;
+  cfg.backtest_window_days = 2;
+  cfg.shadow = true;
+  cfg.fleet.num_threads = num_threads;
+  if (cache) {
+    cfg.fleet.template_cache.enabled = true;
+    cfg.fleet.template_cache.capacity = 64;
+    cfg.fleet.template_cache.quantize_bps = 0;  // exact mode is byte-neutral
+  }
+
+  workload::WorkloadConfig wcfg;
+  wcfg.num_templates = 10;
+  wcfg.seed = 41;
+  workload::WorkloadGenerator gen(wcfg);
+  telemetry::WorkloadRepository repo;
+  LifecycleDriver driver(cfg);
+
+  RunArtifacts out;
+  for (int d = 0; d < 6; ++d) {
+    repo.AddDay(d, gen.GenerateDay(d)).Check();
+    auto report = driver.OnDayCompleted(&repo, d);
+    report.status().Check();
+    out.day_reports += LifecycleDayReportJson(*report) + "\n";
+  }
+  out.promotion_log = SerializePromotionLog(driver.promotion_records());
+  for (const ShadowDayDiff& diff : driver.shadow_diffs()) out.shadow += diff.text;
+  return out;
+}
+
+TEST(LifecycleDeterminismTest, ArtifactsByteIdenticalAcrossThreadsAndCache) {
+  const RunArtifacts baseline = RunLoop(/*num_threads=*/1, /*cache=*/false);
+  ASSERT_FALSE(baseline.promotion_log.empty());
+  ASSERT_FALSE(baseline.shadow.empty()) << "no retrain produced a shadow diff";
+
+  struct Leg {
+    int threads;
+    bool cache;
+  };
+  for (const Leg& leg : {Leg{4, false}, Leg{1, true}, Leg{4, true}}) {
+    const RunArtifacts run = RunLoop(leg.threads, leg.cache);
+    EXPECT_EQ(run.promotion_log, baseline.promotion_log)
+        << "promotion log diverged at threads=" << leg.threads
+        << " cache=" << leg.cache;
+    EXPECT_EQ(run.day_reports, baseline.day_reports)
+        << "day reports diverged at threads=" << leg.threads
+        << " cache=" << leg.cache;
+    EXPECT_EQ(run.shadow, baseline.shadow)
+        << "shadow diffs diverged at threads=" << leg.threads
+        << " cache=" << leg.cache;
+  }
+}
+
+TEST(LifecycleDeterminismTest, RepeatRunsAreByteIdentical) {
+  const RunArtifacts a = RunLoop(2, true);
+  const RunArtifacts b = RunLoop(2, true);
+  EXPECT_EQ(a.promotion_log, b.promotion_log);
+  EXPECT_EQ(a.day_reports, b.day_reports);
+  EXPECT_EQ(a.shadow, b.shadow);
+}
+
+}  // namespace
+}  // namespace phoebe::lifecycle

@@ -72,6 +72,29 @@ TEST(RepositoryTest, StatsBeforeExcludesFutureDays) {
             static_cast<int64_t>(repo.TotalStageRecords()));
 }
 
+TEST(RepositoryTest, EvictDaysBeforeDropsOnlyOlderDays) {
+  auto gen = MakeGen();
+  WorkloadRepository repo;
+  for (int d = 0; d < 5; ++d) repo.AddDay(d, gen.GenerateDay(d)).Check();
+
+  EXPECT_EQ(repo.EvictDaysBefore(0), 0u);  // nothing strictly before day 0
+  EXPECT_EQ(repo.Days(), (std::vector<int>{0, 1, 2, 3, 4}));
+
+  EXPECT_EQ(repo.EvictDaysBefore(2), 2u);
+  EXPECT_EQ(repo.Days(), (std::vector<int>{2, 3, 4}));
+  EXPECT_FALSE(repo.HasDay(1));
+  EXPECT_TRUE(repo.HasDay(2));
+
+  // StatsBefore only sees survivors afterwards.
+  HistoricStats before5 = repo.StatsBefore(5);
+  EXPECT_EQ(before5.total_observations(),
+            static_cast<int64_t>(repo.TotalStageRecords()));
+
+  EXPECT_EQ(repo.EvictDaysBefore(100), 3u);
+  EXPECT_TRUE(repo.Days().empty());
+  EXPECT_EQ(repo.EvictDaysBefore(100), 0u);  // idempotent on an empty store
+}
+
 TEST(HistoricStatsTest, ExactAveragesMatchManualComputation) {
   auto gen = MakeGen();
   auto jobs = gen.GenerateDay(0);

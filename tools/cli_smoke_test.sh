@@ -260,6 +260,114 @@ else
   fi
 fi
 
+# lifecycle error paths: missing --out-dir and invalid policy knobs are
+# usage errors (exit 2) that fail fast before any work runs.
+expect_exit 2 "lifecycle without --out-dir" -- "$CLI" lifecycle "${SMALL[@]}" --days 2
+expect_stderr_contains "lifecycle without --out-dir" "requires --out-dir"
+expect_exit 2 "lifecycle bad policy flag" -- \
+  "$CLI" lifecycle "${SMALL[@]}" --out-dir "$WORKDIR/lc_bad" --policy-train-window 0
+expect_stderr_contains "lifecycle bad policy flag" "train_window_days"
+expect_exit 2 "lifecycle shallow retention" -- \
+  "$CLI" lifecycle "${SMALL[@]}" --out-dir "$WORKDIR/lc_bad" --retention-days 1
+expect_stderr_contains "lifecycle shallow retention" "retention_days"
+expect_exit 2 "lifecycle bad objective" -- \
+  "$CLI" lifecycle "${SMALL[@]}" --out-dir "$WORKDIR/lc_bad" --objective bogus
+expect_exit 0 "lifecycle --help" -- "$CLI" lifecycle --help
+expect_stdout_contains "lifecycle --help" "policy-min-r2"
+expect_stdout_contains "lifecycle --help" "shadow"
+
+# lifecycle happy path: the continuous-operation loop bootstraps, retrains on
+# age, and leaves the full artifact set; the promotion log records the
+# bootstrap promotion; telemetry exports lifecycle.* series.
+LC_RUN=(lifecycle "${SMALL[@]}" --days 4 --policy-max-age 2 --policy-min-history 2 \
+  --policy-train-window 3 --backtest-window 2 --shadow)
+expect_exit 0 "lifecycle run" -- \
+  "$CLI" "${LC_RUN[@]}" --out-dir "$WORKDIR/lc1" --metrics "$WORKDIR/lc_telemetry.jsonl"
+expect_stdout_contains "lifecycle run" "retrain (bootstrap)"
+expect_stdout_contains "lifecycle run" "promoted"
+for f in promotion.log day_reports.jsonl current.phoebe; do
+  if [ ! -s "$WORKDIR/lc1/$f" ]; then
+    fail "lifecycle: $WORKDIR/lc1/$f is empty or missing"
+  fi
+done
+if ! head -1 "$WORKDIR/lc1/promotion.log" | grep -q "phoebe_promotion_log 1"; then
+  fail "lifecycle: promotion.log is missing its header"
+fi
+if ! grep -q "reason bootstrap verdict promoted" "$WORKDIR/lc1/promotion.log"; then
+  fail "lifecycle: promotion.log is missing the bootstrap record"
+fi
+if [ "$(wc -l < "$WORKDIR/lc1/day_reports.jsonl")" -ne 4 ]; then
+  fail "lifecycle: expected one day-report line per day"
+fi
+if ! grep -q "lifecycle.days" "$WORKDIR/lc_telemetry.jsonl"; then
+  fail "lifecycle --metrics: telemetry is missing lifecycle.days"
+fi
+if ! grep -q '"scope":"run"' "$WORKDIR/lc_telemetry.jsonl"; then
+  fail "lifecycle --metrics: missing cumulative run line"
+fi
+
+# Determinism end to end: a threaded, exact-cached, metrics-off re-run must
+# reproduce every artifact byte (bundles included — same checksums, same
+# filenames, same serialized form).
+expect_exit 0 "lifecycle rerun threaded+cached" -- \
+  "$CLI" "${LC_RUN[@]}" --threads 2 --template-cache 64 --out-dir "$WORKDIR/lc2"
+if ! diff -rq "$WORKDIR/lc1" "$WORKDIR/lc2" >/dev/null; then
+  fail "lifecycle: threaded+cached artifacts differ from serial run"
+  diff -rq "$WORKDIR/lc1" "$WORKDIR/lc2" | head -5 | sed 's/^/    /' >&2
+fi
+
+# serve picks up a lifecycle promotion: serve current.phoebe, overwrite it by
+# running the loop on drifted data into the same out-dir, SIGHUP the daemon,
+# and the next decide must answer from the new bundle (the raw payload embeds
+# the answering bundle's checksum, so the bytes must change).
+"$CLI" serve --bundle "$WORKDIR/lc1/current.phoebe" \
+  --port-file "$WORKDIR/lc_port.txt" --max-seconds 120 \
+  2>"$WORKDIR/lc_serve.log" &
+LC_SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$WORKDIR/lc_port.txt" ] && break
+  sleep 0.1
+done
+if [ ! -s "$WORKDIR/lc_port.txt" ]; then
+  fail "lifecycle serve: daemon never wrote its port file"
+  sed 's/^/    /' "$WORKDIR/lc_serve.log" >&2
+  kill "$LC_SERVE_PID" 2>/dev/null
+else
+  LC_PORT="$(cat "$WORKDIR/lc_port.txt")"
+  expect_exit 0 "lifecycle serve decide (old bundle)" -- \
+    "$CLI" serve-client --port "$LC_PORT" --op decide "${SMALL[@]}" --day 0 --job 0
+  cp "$WORKDIR/stdout" "$WORKDIR/lc_decide_old.out"
+  # A different workload seed trains a different model, so the promoted
+  # current.phoebe is guaranteed to carry a new checksum.
+  expect_exit 0 "lifecycle promote onto served path" -- \
+    "$CLI" lifecycle --templates 12 --seed 5 --days 4 --policy-max-age 2 \
+    --policy-min-history 2 --policy-train-window 3 --backtest-window 2 \
+    --out-dir "$WORKDIR/lc1"
+  kill -HUP "$LC_SERVE_PID"
+  RELOADED=0
+  for _ in $(seq 1 100); do
+    "$CLI" serve-client --port "$LC_PORT" --op decide "${SMALL[@]}" --day 0 --job 0 \
+      >"$WORKDIR/lc_decide_new.out" 2>/dev/null
+    if ! diff -q "$WORKDIR/lc_decide_old.out" "$WORKDIR/lc_decide_new.out" >/dev/null; then
+      RELOADED=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$RELOADED" -ne 1 ]; then
+    fail "lifecycle serve: decide bytes never changed after SIGHUP on a promoted bundle"
+  fi
+  expect_exit 0 "lifecycle serve shutdown" -- \
+    "$CLI" serve-client --port "$LC_PORT" --op shutdown
+  if ! wait "$LC_SERVE_PID"; then
+    fail "lifecycle serve: daemon exited non-zero after shutdown"
+    sed 's/^/    /' "$WORKDIR/lc_serve.log" >&2
+  fi
+  if ! grep -q "stopped after 1 reload" "$WORKDIR/lc_serve.log"; then
+    fail "lifecycle serve: daemon did not count exactly one reload"
+  fi
+fi
+
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES smoke-test assertion(s) failed" >&2
   exit 1

@@ -12,8 +12,14 @@
 //              --bundle serves a saved artifact, --shard/--merge split the
 //              run across processes with byte-identical merged reports,
 //              --metrics exports per-day telemetry JSON lines
+//   lifecycle  simulated-production continuous-operation loop: daily
+//              telemetry, drift-aware retraining, canary backtest promotion,
+//              optional shadow diffing; artifacts (promotion.log, bundles,
+//              current.phoebe) land in --out-dir
 //   serve      long-running decision daemon over the framed socket protocol;
-//              hot bundle reload on SIGHUP or a client reload frame
+//              hot bundle reload on SIGHUP or a client reload frame — point
+//              --bundle at a lifecycle run's current.phoebe and promotions
+//              roll onto the daemon with a SIGHUP
 //   serve-client  one-shot client for a running daemon (ping, decide,
 //              reload, shutdown)
 //
@@ -45,6 +51,7 @@
 #include "core/pipeline.h"
 #include "dag/dot_export.h"
 #include "dag/graph_metrics.h"
+#include "lifecycle/lifecycle.h"
 #include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -730,6 +737,151 @@ int CmdFleet(int argc, char** argv) {
   return 0;
 }
 
+int CmdLifecycle(int argc, char** argv) {
+  ArgParser p("phoebe_cli lifecycle",
+              "Simulated-production continuous-operation loop: each day "
+              "appends telemetry, the retrain policy triggers candidate "
+              "training on drift or age, and a candidate replaces the "
+              "incumbent only when it wins the trailing-window canary "
+              "backtest. Artifacts: promotion.log (CRC-checked, append-only), "
+              "day_reports.jsonl, shadow_day_*.diff, versioned bundles, and "
+              "current.phoebe (atomic — a serve daemon can reload it on "
+              "SIGHUP mid-run).");
+  AddWorkloadFlags(p);
+  p.AddInt("days", 10, "simulated production days");
+  p.AddDouble("policy-min-r2", 0.70, "retrain when the incumbent's held-out "
+              "exec R^2 on the day drops below this");
+  p.AddInt("policy-max-age", 7, "retrain when the incumbent is at least this "
+           "many days old");
+  p.AddInt("policy-train-window", 5, "days of history per training run");
+  p.AddInt("policy-min-history", 2, "completed days required before the "
+           "bootstrap training");
+  p.AddInt("backtest-window", 3, "trailing days of the canary backtest");
+  p.AddString("objective", "temp", "optimization objective: temp|recovery");
+  p.AddInt("threads", 1, "decision threads (0 = all cores; artifacts are "
+           "byte-identical for any value)");
+  p.AddInt("num-cuts", 1, "checkpoint cuts per job");
+  p.AddInt("template-cache", 0, "recurring-template decision cache capacity "
+           "(0 = disabled; exact mode is byte-neutral)");
+  p.AddInt("cache-bps", 0, "cache input-size drift tolerance in basis points "
+           "(0 = exact)");
+  p.AddInt("retention-days", 0, "evict repository days older than this "
+           "(0 = keep everything; must cover the deepest window)");
+  p.AddBool("shadow", "record the candidate's would-be decisions as shard-blob "
+            "job records and byte-diff them against the incumbent's");
+  p.AddString("out-dir", "", "artifact directory (required)");
+  p.AddString("metrics", "", "write per-day lifecycle.* telemetry JSON lines "
+              "(and a final cumulative 'run' line) to this file");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  const std::string out_dir = p.GetString("out-dir");
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "lifecycle requires --out-dir <directory>\n");
+    return 2;
+  }
+  auto objective = ParseObjective(p.GetString("objective"));
+  if (!objective.ok()) {
+    std::fprintf(stderr, "%s\n", objective.status().ToString().c_str());
+    return 2;
+  }
+
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::ofstream metrics_file;
+  const std::string metrics_path = p.GetString("metrics");
+  if (!metrics_path.empty()) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    metrics_file.open(metrics_path, std::ios::binary);
+    if (!metrics_file) {
+      std::fprintf(stderr, "cannot open '%s'\n", metrics_path.c_str());
+      return 1;
+    }
+  }
+
+  lifecycle::LifecycleConfig cfg;
+  cfg.policy.min_exec_r2 = p.GetDouble("policy-min-r2");
+  cfg.policy.max_age_days = p.GetInt("policy-max-age");
+  cfg.policy.train_window_days = p.GetInt("policy-train-window");
+  cfg.policy.min_history_days = p.GetInt("policy-min-history");
+  cfg.backtest_window_days = p.GetInt("backtest-window");
+  cfg.fleet.objective = *objective;
+  cfg.fleet.num_threads = p.GetInt("threads");
+  cfg.fleet.num_cuts = std::max(1, p.GetInt("num-cuts"));
+  int cache_capacity = p.GetInt("template-cache");
+  if (cache_capacity > 0) {
+    cfg.fleet.template_cache.enabled = true;
+    cfg.fleet.template_cache.capacity = static_cast<size_t>(cache_capacity);
+    cfg.fleet.template_cache.quantize_bps = std::max(0, p.GetInt("cache-bps"));
+  }
+  cfg.shadow = p.GetBool("shadow");
+  cfg.retention_days = p.GetInt("retention-days");
+  cfg.out_dir = out_dir;
+  cfg.metrics = registry.get();
+  if (Status st = cfg.Validate(); !st.ok()) {
+    std::fprintf(stderr, "invalid lifecycle configuration: %s\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+
+  lifecycle::LifecycleDriver driver(cfg);
+  auto gen = MakeGen(p);
+  telemetry::WorkloadRepository repo;
+  const int num_days = std::max(1, p.GetInt("days"));
+  int promotions = 0, rejections = 0;
+  for (int d = 0; d < num_days; ++d) {
+    obs::MetricsSnapshot day_before;
+    if (registry) day_before = registry->Snapshot();
+    repo.AddDay(d, gen.GenerateDay(d)).Check();
+    auto report = driver.OnDayCompleted(&repo, d);
+    if (!report.ok()) {
+      std::fprintf(stderr, "lifecycle day %d: %s\n", d,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    if (report->served) {
+      std::printf("lifecycle day %d: %d jobs, saving %.1f%%, exec R^2 %.3f, "
+                  "model age %d\n",
+                  d, report->jobs, 100.0 * report->saving_fraction,
+                  report->exec_r2, report->model_age_days);
+    } else {
+      std::printf("lifecycle day %d: %d jobs, not served (no deployed model)\n",
+                  d, report->jobs);
+    }
+    if (report->retrained) {
+      std::printf("  retrain (%s): candidate %08x cost %.4f vs incumbent %08x "
+                  "cost %.4f -> %s\n",
+                  report->reason.c_str(), report->candidate_checksum,
+                  report->candidate_cost, report->incumbent_checksum,
+                  report->incumbent_cost, report->verdict.c_str());
+      if (report->verdict == "promoted") ++promotions;
+      else ++rejections;
+    }
+    if (cfg.shadow && report->shadow_jobs > 0) {
+      std::printf("  shadow: %d of %d job records differ\n",
+                  report->shadow_differing, report->shadow_jobs);
+    }
+    if (registry) {
+      metrics_file << obs::TelemetryLineJson(
+                          obs::SnapshotDelta(day_before, registry->Snapshot()),
+                          "day", d)
+                   << "\n";
+    }
+  }
+  std::printf("lifecycle: %d day(s), %zu retrain(s), %d promoted, %d rejected; "
+              "serving %08x\n",
+              num_days, driver.promotion_records().size(), promotions,
+              rejections, driver.incumbent_checksum());
+  std::fprintf(stderr, "artifacts in %s/ (promotion.log, day_reports.jsonl, "
+               "current.phoebe)\n", out_dir.c_str());
+  if (registry) {
+    metrics_file << obs::TelemetryLineJson(registry->Snapshot(), "run", -1)
+                 << "\n";
+    metrics_file.close();
+    std::fprintf(stderr, "wrote telemetry to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
 // SIGHUP = "reload your bundle", the classic daemon convention. The handler
 // only flips a flag; the serve loop below does the actual (non-signal-safe)
 // reload between WaitForShutdown polls.
@@ -993,6 +1145,8 @@ void Usage() {
       "  backtest     compare checkpoint approaches on a held-out day\n"
       "  fleet        day-level driver: threads, budget, template cache,\n"
       "               --shard/--merge process split, --metrics telemetry\n"
+      "  lifecycle    continuous-operation loop: drift-aware retraining,\n"
+      "               canary backtest promotion, shadow diffing (--out-dir)\n"
       "  serve        long-running decision daemon (framed socket protocol,\n"
       "               hot bundle reload on SIGHUP / reload frame)\n"
       "  serve-client one-shot client: ping, decide, reload, shutdown\n"
@@ -1018,6 +1172,7 @@ int main(int argc, char** argv) {
   if (cmd == "decide") return CmdDecide(argc, argv);
   if (cmd == "backtest") return CmdBacktest(argc, argv);
   if (cmd == "fleet") return CmdFleet(argc, argv);
+  if (cmd == "lifecycle") return CmdLifecycle(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "serve-client") return CmdServeClient(argc, argv);
   if (cmd == "dot") return CmdDot(argc, argv);
