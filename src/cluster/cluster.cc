@@ -32,15 +32,17 @@ std::vector<dag::StageId> CheckpointStages(const dag::JobGraph& graph,
   if (cut.empty()) return out;
   PHOEBE_CHECK(cut.before_cut.size() == graph.num_stages());
   for (dag::StageId u = 0; u < static_cast<dag::StageId>(graph.num_stages()); ++u) {
-    if (!cut.before_cut[static_cast<size_t>(u)]) continue;
-    for (dag::StageId v : graph.downstream(u)) {
-      if (!cut.before_cut[static_cast<size_t>(v)]) {
-        out.push_back(u);
-        break;
-      }
-    }
+    if (IsCheckpointStage(graph, cut, u)) out.push_back(u);
   }
   return out;
+}
+
+bool IsCheckpointStage(const dag::JobGraph& graph, const CutSet& cut, dag::StageId u) {
+  if (!cut.before_cut[static_cast<size_t>(u)]) return false;
+  for (dag::StageId v : graph.downstream(u)) {
+    if (!cut.before_cut[static_cast<size_t>(v)]) return true;
+  }
+  return false;
 }
 
 double GlobalStorageBytes(const workload::JobInstance& job, const CutSet& cut) {

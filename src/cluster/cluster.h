@@ -72,6 +72,11 @@ struct CutSet {
 std::vector<dag::StageId> CheckpointStages(const dag::JobGraph& graph,
                                            const CutSet& cut);
 
+/// True iff `u` is a checkpoint stage of `cut` (allocation-free membership
+/// test for hot paths; CheckpointStages is exactly the stages this accepts,
+/// in ascending id order). `cut` must be non-empty and sized to the graph.
+bool IsCheckpointStage(const dag::JobGraph& graph, const CutSet& cut, dag::StageId u);
+
 /// Global storage bytes a cut requires: sum of checkpoint stages' outputs.
 double GlobalStorageBytes(const workload::JobInstance& job, const CutSet& cut);
 

@@ -24,13 +24,31 @@ std::vector<dag::StageId> EndTimeOrder(const StageCosts& costs) {
   return order;
 }
 
+/// In-place EndTimeOrder for the scratch-based optimizers: same order, but
+/// the caller's buffer is recycled.
+void EndTimeOrderInto(const StageCosts& costs, std::vector<dag::StageId>* order) {
+  order->resize(costs.size());
+  std::iota(order->begin(), order->end(), 0);
+  std::sort(order->begin(), order->end(), [&](dag::StageId a, dag::StageId b) {
+    double ea = costs.end_time[static_cast<size_t>(a)];
+    double eb = costs.end_time[static_cast<size_t>(b)];
+    if (ea != eb) return ea < eb;
+    return a < b;
+  });
+}
+
+void PrefixCutInto(const std::vector<dag::StageId>& order, size_t prefix_len, size_t n,
+                   cluster::CutSet* cut) {
+  cut->before_cut.assign(n, false);
+  for (size_t i = 0; i < prefix_len; ++i) {
+    cut->before_cut[static_cast<size_t>(order[i])] = true;
+  }
+}
+
 cluster::CutSet PrefixCut(const std::vector<dag::StageId>& order, size_t prefix_len,
                           size_t n) {
   cluster::CutSet cut;
-  cut.before_cut.assign(n, false);
-  for (size_t i = 0; i < prefix_len; ++i) {
-    cut.before_cut[static_cast<size_t>(order[i])] = true;
-  }
+  PrefixCutInto(order, prefix_len, n, &cut);
   return cut;
 }
 
@@ -54,9 +72,12 @@ Status StageCosts::Validate(const dag::JobGraph& graph) const {
 
 double EstimateGlobalBytes(const dag::JobGraph& graph, const StageCosts& costs,
                            const cluster::CutSet& cut) {
+  if (cut.empty()) return 0.0;
   double total = 0.0;
-  for (dag::StageId u : cluster::CheckpointStages(graph, cut)) {
-    total += costs.output_bytes[static_cast<size_t>(u)];
+  for (dag::StageId u = 0; u < static_cast<dag::StageId>(graph.num_stages()); ++u) {
+    if (cluster::IsCheckpointStage(graph, cut, u)) {
+      total += costs.output_bytes[static_cast<size_t>(u)];
+    }
   }
   return total;
 }
@@ -104,45 +125,78 @@ Result<std::vector<SweepPoint>> TempStorageSweep(const dag::JobGraph& graph,
 
 Result<CutResult> OptimizeTempStorage(const dag::JobGraph& graph,
                                       const StageCosts& costs) {
+  CheckpointScratch scratch;
+  CutResult result;
+  PHOEBE_RETURN_NOT_OK(OptimizeTempStorageInto(graph, costs, &scratch, &result));
+  return result;
+}
+
+Status OptimizeTempStorageInto(const dag::JobGraph& graph, const StageCosts& costs,
+                               CheckpointScratch* scratch, CutResult* out) {
   const size_t n = costs.size();
   if (n == 0) return Status::InvalidArgument("empty graph");
-  PHOEBE_ASSIGN_OR_RETURN(std::vector<SweepPoint> sweep,
-                          TempStorageSweep(graph, costs));
+  PHOEBE_RETURN_NOT_OK(costs.Validate(graph));
+  EndTimeOrderInto(costs, &scratch->order);
 
-  // Best prefix, excluding the full set (not a checkpoint).
+  // The Proposition-5.1 sweep, folded into one pass: track the running
+  // prefix bytes / min effective TTL and the best prefix, excluding the full
+  // set (not a checkpoint). Arithmetic matches TempStorageSweep exactly.
+  const double slack = FinalClearSlack(costs);
+  double sum_bytes = 0.0;
+  double min_ttl = 0.0;
   double best_obj = 0.0;
   size_t best_k = 0;  // 0 = no cut
   for (size_t k = 0; k + 1 < n; ++k) {
-    if (sweep[k].objective > best_obj) {
-      best_obj = sweep[k].objective;
+    size_t u = static_cast<size_t>(scratch->order[k]);
+    sum_bytes += costs.output_bytes[u];
+    double ttl_eff = std::max(0.0, costs.ttl[u] - slack);
+    min_ttl = (k == 0) ? ttl_eff : std::min(min_ttl, ttl_eff);
+    if (sum_bytes * min_ttl > best_obj) {
+      best_obj = sum_bytes * min_ttl;
       best_k = k + 1;
     }
   }
 
-  CutResult result;
-  result.objective = best_obj;
+  out->objective = best_obj;
+  out->global_bytes = 0.0;
   if (best_k > 0) {
-    std::vector<dag::StageId> order = EndTimeOrder(costs);
-    result.cut = PrefixCut(order, best_k, n);
-    result.global_bytes = EstimateGlobalBytes(graph, costs, result.cut);
+    PrefixCutInto(scratch->order, best_k, n, &out->cut);
+    out->global_bytes = EstimateGlobalBytes(graph, costs, out->cut);
+  } else {
+    out->cut.before_cut.clear();
   }
-  return result;
+  return Status::OK();
 }
 
 Result<std::vector<CutResult>> OptimizeTempStorageMultiCut(const dag::JobGraph& graph,
                                                            const StageCosts& costs,
                                                            int num_cuts) {
+  CheckpointScratch scratch;
+  std::vector<CutResult> cuts;
+  PHOEBE_RETURN_NOT_OK(
+      OptimizeTempStorageMultiCutInto(graph, costs, num_cuts, &scratch, &cuts));
+  return cuts;
+}
+
+Status OptimizeTempStorageMultiCutInto(const dag::JobGraph& graph,
+                                       const StageCosts& costs, int num_cuts,
+                                       CheckpointScratch* scratch,
+                                       std::vector<CutResult>* out) {
   PHOEBE_RETURN_NOT_OK(costs.Validate(graph));
   if (num_cuts < 1) return Status::InvalidArgument("num_cuts must be >= 1");
   const size_t n = costs.size();
   if (n == 0) return Status::InvalidArgument("empty graph");
 
-  std::vector<dag::StageId> order = EndTimeOrder(costs);
+  std::vector<dag::StageId>& order = scratch->order;
+  EndTimeOrderInto(costs, &order);
 
   // Prefix sums of output bytes and running prefix-min TTL in end-time order.
   // TTLs are net of the finalization slack, mirroring TempStorageSweep.
   const double slack = FinalClearSlack(costs);
-  std::vector<double> pre_bytes(n + 1, 0.0), pre_min_ttl(n + 1, 0.0);
+  std::vector<double>& pre_bytes = scratch->pre_bytes;
+  std::vector<double>& pre_min_ttl = scratch->pre_min_ttl;
+  pre_bytes.assign(n + 1, 0.0);
+  pre_min_ttl.assign(n + 1, 0.0);
   for (size_t k = 0; k < n; ++k) {
     size_t u = static_cast<size_t>(order[k]);
     pre_bytes[k + 1] = pre_bytes[k] + costs.output_bytes[u];
@@ -154,24 +208,26 @@ Result<std::vector<CutResult>> OptimizeTempStorageMultiCut(const dag::JobGraph& 
   //   (pre_bytes[k] - pre_bytes[prev]) * pre_min_ttl[k]
   // for the stages between cuts (constraints (21)-(26)). Positions are
   // strictly increasing and stay < n (a cut covering everything is not a
-  // checkpoint).
+  // checkpoint). Tables are flattened (c * (n + 1) + k) onto scratch rows.
   const int kc = num_cuts;
   const double kNeg = -1.0;
-  // dp[c][k]: best total saving using c cuts with the last cut at prefix k.
-  std::vector<std::vector<double>> dp(
-      static_cast<size_t>(kc) + 1, std::vector<double>(n + 1, kNeg));
-  std::vector<std::vector<size_t>> parent(
-      static_cast<size_t>(kc) + 1, std::vector<size_t>(n + 1, 0));
-  dp[0][0] = 0.0;
+  const size_t stride = n + 1;
+  std::vector<double>& dp = scratch->dp;
+  std::vector<size_t>& parent = scratch->parent;
+  dp.assign((static_cast<size_t>(kc) + 1) * stride, kNeg);
+  parent.assign((static_cast<size_t>(kc) + 1) * stride, 0);
+  dp[0] = 0.0;  // dp[c=0][k=0]
   for (int c = 1; c <= kc; ++c) {
+    const size_t row = static_cast<size_t>(c) * stride;
+    const size_t prev_row = row - stride;
     for (size_t k = static_cast<size_t>(c); k < n; ++k) {
       for (size_t prev = static_cast<size_t>(c) - 1; prev < k; ++prev) {
-        if (dp[static_cast<size_t>(c) - 1][prev] < 0.0) continue;
+        if (dp[prev_row + prev] < 0.0) continue;
         double gain = (pre_bytes[k] - pre_bytes[prev]) * pre_min_ttl[k];
-        double total = dp[static_cast<size_t>(c) - 1][prev] + gain;
-        if (total > dp[static_cast<size_t>(c)][k]) {
-          dp[static_cast<size_t>(c)][k] = total;
-          parent[static_cast<size_t>(c)][k] = prev;
+        double total = dp[prev_row + prev] + gain;
+        if (total > dp[row + k]) {
+          dp[row + k] = total;
+          parent[row + k] = prev;
         }
       }
     }
@@ -183,26 +239,27 @@ Result<std::vector<CutResult>> OptimizeTempStorageMultiCut(const dag::JobGraph& 
   double best_obj = 0.0;
   for (int c = 1; c <= kc; ++c) {
     for (size_t k = 1; k < n; ++k) {
-      if (dp[static_cast<size_t>(c)][k] > best_obj) {
-        best_obj = dp[static_cast<size_t>(c)][k];
+      if (dp[static_cast<size_t>(c) * stride + k] > best_obj) {
+        best_obj = dp[static_cast<size_t>(c) * stride + k];
         best_c = c;
         best_k = k;
       }
     }
   }
 
-  std::vector<CutResult> cuts;
-  if (best_c == 0) return cuts;  // nothing worth checkpointing
+  out->clear();
+  if (best_c == 0) return Status::OK();  // nothing worth checkpointing
 
   // Recover positions outermost-last, then emit innermost-first with nested
   // before-cut sets (cut c contains cut c-1).
-  std::vector<size_t> positions;
+  std::vector<size_t>& positions = scratch->positions;
+  positions.clear();
   {
     int c = best_c;
     size_t k = best_k;
     while (c > 0) {
       positions.push_back(k);
-      k = parent[static_cast<size_t>(c)][k];
+      k = parent[static_cast<size_t>(c) * stride + k];
       --c;
     }
     std::reverse(positions.begin(), positions.end());
@@ -211,15 +268,23 @@ Result<std::vector<CutResult>> OptimizeTempStorageMultiCut(const dag::JobGraph& 
     CutResult r;
     r.cut = PrefixCut(order, pos, n);
     r.global_bytes = EstimateGlobalBytes(graph, costs, r.cut);
-    cuts.push_back(std::move(r));
+    out->push_back(std::move(r));
   }
   // Assign the total objective to the front (innermost) entry for reporting.
-  cuts.front().objective = best_obj;
-  return cuts;
+  out->front().objective = best_obj;
+  return Status::OK();
 }
 
 Result<CutResult> OptimizeRecovery(const dag::JobGraph& graph, const StageCosts& costs,
                                    double delta) {
+  CheckpointScratch scratch;
+  CutResult result;
+  PHOEBE_RETURN_NOT_OK(OptimizeRecoveryInto(graph, costs, delta, &scratch, &result));
+  return result;
+}
+
+Status OptimizeRecoveryInto(const dag::JobGraph& graph, const StageCosts& costs,
+                            double delta, CheckpointScratch* scratch, CutResult* out) {
   PHOEBE_RETURN_NOT_OK(costs.Validate(graph));
   if (delta < 0.0 || delta >= 1.0) {
     return Status::InvalidArgument("delta must be in [0, 1)");
@@ -232,7 +297,8 @@ Result<CutResult> OptimizeRecovery(const dag::JobGraph& graph, const StageCosts&
   // with TFS below the cut line must be before it (else T-bar collapses to
   // that stage's TFS), and adding a stage above the line only lowers P_F.
   // Sweep TFS-ordered prefixes.
-  std::vector<dag::StageId> order(n);
+  std::vector<dag::StageId>& order = scratch->order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](dag::StageId a, dag::StageId b) {
     double ta = costs.tfs[static_cast<size_t>(a)];
@@ -242,18 +308,21 @@ Result<CutResult> OptimizeRecovery(const dag::JobGraph& graph, const StageCosts&
   });
 
   // Per-stage failure probability p_u = min(delta * v_u, cap) — eq. (32).
-  std::vector<double> p(n);
+  std::vector<double>& p = scratch->p;
+  p.resize(n);
   for (size_t i = 0; i < n; ++i) {
     p[i] = std::min(0.999, delta * static_cast<double>(costs.num_tasks[i]));
   }
 
   // Prefix products of (1 - p) in TFS order, and suffix min TFS.
-  std::vector<double> pre_nofail(n + 1, 1.0);
+  std::vector<double>& pre_nofail = scratch->pre_nofail;
+  pre_nofail.assign(n + 1, 1.0);
   for (size_t k = 0; k < n; ++k) {
     pre_nofail[k + 1] =
         pre_nofail[k] * (1.0 - p[static_cast<size_t>(order[k])]);
   }
-  std::vector<double> suf_min_tfs(n + 1, 0.0);
+  std::vector<double>& suf_min_tfs = scratch->suf_min_tfs;
+  suf_min_tfs.assign(n + 1, 0.0);
   suf_min_tfs[n] = 0.0;
   for (size_t k = n; k-- > 0;) {
     double tfs = costs.tfs[static_cast<size_t>(order[k])];
@@ -275,13 +344,15 @@ Result<CutResult> OptimizeRecovery(const dag::JobGraph& graph, const StageCosts&
     }
   }
 
-  CutResult result;
-  result.objective = best_obj;
+  out->objective = best_obj;
+  out->global_bytes = 0.0;
   if (best_k > 0) {
-    result.cut = PrefixCut(order, best_k, n);
-    result.global_bytes = EstimateGlobalBytes(graph, costs, result.cut);
+    PrefixCutInto(order, best_k, n, &out->cut);
+    out->global_bytes = EstimateGlobalBytes(graph, costs, out->cut);
+  } else {
+    out->cut.before_cut.clear();
   }
-  return result;
+  return Status::OK();
 }
 
 Result<CutResult> OptimizeWeighted(const dag::JobGraph& graph, const StageCosts& costs,

@@ -49,9 +49,47 @@ struct CutResult {
 };
 
 /// Estimated global storage for a cut: sum of `costs.output_bytes` over the
-/// cut's checkpoint stages.
+/// cut's checkpoint stages. Allocation-free.
 double EstimateGlobalBytes(const dag::JobGraph& graph, const StageCosts& costs,
                            const cluster::CutSet& cut);
+
+/// \brief Reusable working storage for the scratch-based optimizer entry
+/// points below (part of core/engine.h's DecideScratch). Holds the end-time
+/// order, the sweep prefix tables, the flattened multi-cut DP, and the
+/// recovery prefix/suffix tables; once warm (sized for the largest job seen)
+/// every *Into optimizer runs with zero heap allocations.
+struct CheckpointScratch {
+  std::vector<dag::StageId> order;     ///< end-time (or TFS) stage order
+  std::vector<double> pre_bytes;       ///< multi-cut: prefix output bytes
+  std::vector<double> pre_min_ttl;     ///< multi-cut: prefix min effective TTL
+  std::vector<double> dp;              ///< multi-cut: (c, k) table, flattened
+  std::vector<size_t> parent;          ///< multi-cut: DP backtrack, flattened
+  std::vector<size_t> positions;       ///< multi-cut: recovered cut prefixes
+  std::vector<double> p;               ///< recovery: per-stage failure prob
+  std::vector<double> pre_nofail;      ///< recovery: prefix no-failure product
+  std::vector<double> suf_min_tfs;     ///< recovery: suffix min TFS
+};
+
+/// OptimizeTempStorage into caller-owned storage: `*out` is fully
+/// overwritten (an empty-cut result leaves out->cut empty). Bit-identical to
+/// OptimizeTempStorage; with warm scratch the call performs no heap
+/// allocation beyond out->cut growth.
+Status OptimizeTempStorageInto(const dag::JobGraph& graph, const StageCosts& costs,
+                               CheckpointScratch* scratch, CutResult* out);
+
+/// OptimizeTempStorageMultiCut on scratch DP tables. The *result* vector
+/// still owns its cut sets (they are handed to the caller), so this variant
+/// removes the table allocations only; use num_cuts == 1 paths for strict
+/// zero-allocation serving. Bit-identical to OptimizeTempStorageMultiCut.
+Status OptimizeTempStorageMultiCutInto(const dag::JobGraph& graph,
+                                       const StageCosts& costs, int num_cuts,
+                                       CheckpointScratch* scratch,
+                                       std::vector<CutResult>* out);
+
+/// OptimizeRecovery into caller-owned storage; same contract as
+/// OptimizeTempStorageInto.
+Status OptimizeRecoveryInto(const dag::JobGraph& graph, const StageCosts& costs,
+                            double delta, CheckpointScratch* scratch, CutResult* out);
 
 /// Finalization slack: max(0, job_end - max end_time), i.e. how long the
 /// last-ending stage's temp data lives before the job-end clear releases it.

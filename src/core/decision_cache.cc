@@ -49,10 +49,12 @@ int64_t SizeBucket(double v, int bps) {
 /// the text-feature strings. Per-instance fields (task counts, estimates,
 /// truth) are deliberately excluded — they live in the signature.
 uint64_t GraphDigest(const workload::JobInstance& job) {
-  std::string buf;
-  auto put_i = [&](int64_t v) {
-    buf.append(reinterpret_cast<const char*>(&v), sizeof v);
-  };
+  // Streamed FNV-1a over the same byte sequence the buffered version hashed
+  // (every field folded in as a little-endian int64, names as raw bytes) —
+  // digests are unchanged, but the per-job std::string build is gone from
+  // the cache-key hot path.
+  uint64_t h = ml::kFnv1a64Basis;
+  auto put_i = [&](int64_t v) { h = ml::Fnv1a64(&v, sizeof v, h); };
   const dag::JobGraph& g = job.graph;
   put_i(static_cast<int64_t>(g.num_stages()));
   for (const dag::Stage& s : g.stages()) {
@@ -65,10 +67,10 @@ uint64_t GraphDigest(const workload::JobInstance& job) {
     put_i(e.to);
   }
   put_i(static_cast<int64_t>(job.job_name.size()));
-  buf += job.job_name;
+  h = ml::Fnv1a64(job.job_name.data(), job.job_name.size(), h);
   put_i(static_cast<int64_t>(job.norm_input_name.size()));
-  buf += job.norm_input_name;
-  return ml::Fnv1a64(buf.data(), buf.size());
+  h = ml::Fnv1a64(job.norm_input_name.data(), job.norm_input_name.size(), h);
+  return h;
 }
 
 }  // namespace
@@ -88,12 +90,12 @@ TemplateCacheKey BuildTemplateCacheKey(const workload::JobInstance& job,
   if (quantize_bps > 0) {
     // Approximate mode: only the compile-time-known root input sizes, log
     // bucketed. Two instances of a template whose inputs drifted less than
-    // the tolerance produce the same key and share the cached cut.
-    std::vector<dag::StageId> roots = job.graph.Roots();
-    key.signature.reserve(roots.size());
-    for (dag::StageId r : roots) {
-      key.signature.push_back(
-          SizeBucket(job.truth[static_cast<size_t>(r)].input_bytes, quantize_bps));
+    // the tolerance produce the same key and share the cached cut. Roots are
+    // scanned in place (same stage order as JobGraph::Roots) to keep this
+    // prepass free of temporary vectors.
+    for (size_t i = 0; i < ns; ++i) {
+      if (!job.graph.upstream(static_cast<dag::StageId>(i)).empty()) continue;
+      key.signature.push_back(SizeBucket(job.truth[i].input_bytes, quantize_bps));
     }
     return key;
   }

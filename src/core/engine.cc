@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <set>
 
 #include "cluster/cluster.h"
 #include "core/simulator.h"
@@ -59,56 +58,75 @@ Result<StageCosts> DecisionEngine::BuildCosts(const workload::JobInstance& job,
 Result<StageCosts> DecisionEngine::BuildCosts(
     const workload::JobInstance& job, CostSource source,
     const telemetry::HistoricStats& stats) const {
-  const size_t n = job.graph.num_stages();
+  DecideScratch scratch;
   StageCosts costs;
-  costs.num_tasks.reserve(n);
+  PHOEBE_RETURN_NOT_OK(BuildCostsInto(job, source, stats, &scratch, &costs));
+  return costs;
+}
+
+Status DecisionEngine::BuildCostsInto(const workload::JobInstance& job,
+                                      CostSource source,
+                                      const telemetry::HistoricStats& stats,
+                                      DecideScratch* scratch, StageCosts* out) const {
+  const size_t n = job.graph.num_stages();
+  out->num_tasks.clear();
+  out->num_tasks.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    costs.num_tasks.push_back(job.truth[i].num_tasks);
+    out->num_tasks.push_back(job.truth[i].num_tasks);
   }
+  out->job_end = 0.0;
 
   if (source == CostSource::kTruth) {
-    costs.output_bytes.reserve(n);
-    costs.ttl.reserve(n);
-    costs.end_time.reserve(n);
-    costs.tfs.reserve(n);
+    out->output_bytes.clear();
+    out->ttl.clear();
+    out->end_time.clear();
+    out->tfs.clear();
+    out->output_bytes.reserve(n);
+    out->ttl.reserve(n);
+    out->end_time.reserve(n);
+    out->tfs.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       const workload::StageTruth& t = job.truth[i];
-      costs.output_bytes.push_back(t.output_bytes);
-      costs.ttl.push_back(t.ttl);
-      costs.end_time.push_back(t.end_time);
-      costs.tfs.push_back(t.tfs);
+      out->output_bytes.push_back(t.output_bytes);
+      out->ttl.push_back(t.ttl);
+      out->end_time.push_back(t.end_time);
+      out->tfs.push_back(t.tfs);
       // True job end: every stage's temp data clears there, so end + ttl is
       // the same value for all stages up to the generator's finalization
       // slack; the max is the true clear time the optimizers price.
-      costs.job_end = std::max(costs.job_end, t.end_time + t.ttl);
+      out->job_end = std::max(out->job_end, t.end_time + t.ttl);
     }
-    return costs;
+    return Status::OK();
   }
 
-  // Per-stage execution time and output size from the chosen source.
-  std::vector<double> exec(n), output(n);
+  // Per-stage execution time and output size from the chosen source, written
+  // straight into the arena (exec) and the result (output bytes) — no
+  // zero-init-then-overwrite temporaries.
+  std::vector<double>& exec = scratch->exec;
   switch (source) {
     case CostSource::kOptimizerEstimates:
+      exec.resize(n);
+      out->output_bytes.resize(n);
       for (size_t i = 0; i < n; ++i) {
         exec[i] = std::max(0.0, job.est[i].est_exclusive_cost);
-        output[i] = std::max(0.0, job.est[i].est_output_bytes);
+        out->output_bytes[i] = std::max(0.0, job.est[i].est_output_bytes);
       }
       break;
     case CostSource::kConstant:
-      for (size_t i = 0; i < n; ++i) {
-        exec[i] = 1.0;
-        output[i] = 1.0;
-      }
+      exec.assign(n, 1.0);
+      out->output_bytes.assign(n, 1.0);
       break;
     case CostSource::kMlSimulator:
     case CostSource::kMlStacked: {
       if (!bundle_->trained()) return Status::FailedPrecondition("pipeline not trained");
       const SourceMetrics& m = metrics_for(source);
       obs::ScopedTimer infer_timer(m.infer_seconds);
-      exec = bundle_->exec_predictor().PredictJob(job, stats);
-      output = bundle_->size_predictor().PredictJob(job, stats);
+      bundle_->exec_predictor().PredictJobInto(job, stats, &scratch->exec_features,
+                                               &exec);
+      bundle_->size_predictor().PredictJobInto(job, stats, &scratch->size_features,
+                                               &out->output_bytes);
       infer_timer.Stop();
-      // Each PredictJob scores the job's stages as one batch.
+      // Each PredictJobInto scores the job's stages as one batch.
       obs::Observe(m.batch_stages, static_cast<double>(n));
       obs::Observe(m.batch_stages, static_cast<double>(n));
       obs::Add(m.batches, 2);
@@ -118,35 +136,45 @@ Result<StageCosts> DecisionEngine::BuildCosts(
       PHOEBE_CHECK(false);
   }
 
-  PHOEBE_ASSIGN_OR_RETURN(SimulatedSchedule sim, SimulateSchedule(job.graph, exec));
+  PHOEBE_RETURN_NOT_OK(
+      SimulateScheduleInto(job.graph, exec, &scratch->sim_scratch, &scratch->sim));
+  const SimulatedSchedule& sim = scratch->sim;
 
-  costs.output_bytes = std::move(output);
-  costs.end_time = sim.end;
-  costs.tfs = sim.start;
+  out->end_time.assign(sim.end.begin(), sim.end.end());
+  out->tfs.assign(sim.start.begin(), sim.start.end());
   // The simulator has no finalization slack (job_end == max end), so for the
   // estimate-based sources this leaves the final-clear adjustment at zero.
-  costs.job_end = sim.job_end;
+  out->job_end = sim.job_end;
   if (source == CostSource::kMlStacked && bundle_->trained()) {
     const SourceMetrics& m = metrics_for(source);
     obs::ScopedTimer ttl_timer(m.infer_seconds);
-    costs.ttl = bundle_->ttl_estimator().Predict(job, sim);
+    bundle_->ttl_estimator().PredictInto(job, sim, &scratch->ttl_features, &out->ttl);
     ttl_timer.Stop();
     obs::Observe(m.batch_stages, static_cast<double>(n));
     obs::Increment(m.batches);
   } else {
-    costs.ttl.resize(n);
+    out->ttl.resize(n);
     for (size_t i = 0; i < n; ++i) {
-      costs.ttl[i] = sim.Ttl(static_cast<dag::StageId>(i));
+      out->ttl[i] = sim.Ttl(static_cast<dag::StageId>(i));
     }
   }
-  return costs;
+  return Status::OK();
 }
 
 Result<PipelineDecision> DecisionEngine::Decide(const workload::JobInstance& job,
                                                 Objective objective,
                                                 CostSource source) const {
-  using Clock = std::chrono::steady_clock;
+  DecideScratch scratch;
   PipelineDecision decision;
+  PHOEBE_RETURN_NOT_OK(DecideInto(job, objective, source, &scratch, &decision));
+  return decision;
+}
+
+Status DecisionEngine::DecideInto(const workload::JobInstance& job,
+                                  Objective objective, CostSource source,
+                                  DecideScratch* scratch,
+                                  PipelineDecision* out) const {
+  using Clock = std::chrono::steady_clock;
 
   auto t0 = Clock::now();
   // Metadata/model lookup: resolve stats entries for every stage type in the
@@ -157,17 +185,20 @@ Result<PipelineDecision> DecisionEngine::Decide(const workload::JobInstance& job
   }
   auto t1 = Clock::now();
 
-  PHOEBE_ASSIGN_OR_RETURN(StageCosts costs, BuildCosts(job, source));
+  PHOEBE_RETURN_NOT_OK(
+      BuildCostsInto(job, source, bundle_->stats(), scratch, &scratch->costs));
   auto t2 = Clock::now();
 
   switch (objective) {
     case Objective::kTempStorage: {
-      PHOEBE_ASSIGN_OR_RETURN(decision.cut, OptimizeTempStorage(job.graph, costs));
+      PHOEBE_RETURN_NOT_OK(OptimizeTempStorageInto(job.graph, scratch->costs,
+                                                   &scratch->checkpoint, &out->cut));
       break;
     }
     case Objective::kRecovery: {
-      PHOEBE_ASSIGN_OR_RETURN(decision.cut,
-                              OptimizeRecovery(job.graph, costs, bundle_->delta()));
+      PHOEBE_RETURN_NOT_OK(OptimizeRecoveryInto(job.graph, scratch->costs,
+                                                bundle_->delta(), &scratch->checkpoint,
+                                                &out->cut));
       break;
     }
   }
@@ -176,51 +207,87 @@ Result<PipelineDecision> DecisionEngine::Decide(const workload::JobInstance& job
   auto secs = [](auto a, auto b) {
     return std::chrono::duration<double>(b - a).count();
   };
-  decision.lookup_seconds = secs(t0, t1);
-  decision.scoring_seconds = secs(t1, t2);
-  decision.optimize_seconds = secs(t2, t3);
-  return decision;
+  out->lookup_seconds = secs(t0, t1);
+  out->scoring_seconds = secs(t1, t2);
+  out->optimize_seconds = secs(t2, t3);
+  return Status::OK();
 }
 
 Result<FleetDecision> DecisionEngine::DecideJob(const workload::JobInstance& job,
                                                 const telemetry::HistoricStats& stats,
                                                 const DecideOptions& options) const {
-  obs::ScopedTimer decide_timer(metrics_for(options.source).decide_seconds);
-  PHOEBE_ASSIGN_OR_RETURN(StageCosts costs, BuildCosts(job, options.source, stats));
+  DecideScratch scratch;
   FleetDecision d;
+  PHOEBE_RETURN_NOT_OK(DecideJobInto(job, stats, options, &scratch, &d));
+  return d;
+}
+
+Status DecisionEngine::DecideJobInto(const workload::JobInstance& job,
+                                     const telemetry::HistoricStats& stats,
+                                     const DecideOptions& options,
+                                     DecideScratch* scratch, FleetDecision* out) const {
+  obs::ScopedTimer decide_timer(metrics_for(options.source).decide_seconds);
+  PHOEBE_RETURN_NOT_OK(
+      BuildCostsInto(job, options.source, stats, scratch, &scratch->costs));
+  const StageCosts& costs = scratch->costs;
+
+  // Single-cut objectives: the optimizer writes the combined result in
+  // place; the nested-cut list mirrors it, recycling its bitset.
+  auto mirror_single_cut = [out] {
+    if (out->combined.cut.empty()) {
+      out->cuts.clear();
+    } else {
+      out->cuts.resize(1);
+      out->cuts[0].before_cut = out->combined.cut.before_cut;
+    }
+  };
   if (options.objective == Objective::kRecovery) {
-    PHOEBE_ASSIGN_OR_RETURN(d.combined,
-                            OptimizeRecovery(job.graph, costs, bundle_->delta()));
-    if (!d.combined.cut.empty()) d.cuts.push_back(d.combined.cut);
-    return d;
+    PHOEBE_RETURN_NOT_OK(OptimizeRecoveryInto(job.graph, costs, bundle_->delta(),
+                                              &scratch->checkpoint, &out->combined));
+    mirror_single_cut();
+    return Status::OK();
   }
   if (options.num_cuts <= 1) {
-    PHOEBE_ASSIGN_OR_RETURN(d.combined, OptimizeTempStorage(job.graph, costs));
-    if (!d.combined.cut.empty()) d.cuts.push_back(d.combined.cut);
-    return d;
+    PHOEBE_RETURN_NOT_OK(OptimizeTempStorageInto(job.graph, costs,
+                                                 &scratch->checkpoint, &out->combined));
+    mirror_single_cut();
+    return Status::OK();
   }
 
   // Multi-cut plan, reported under the physical semantics the cluster
   // realizes: the DP-total objective (each stage credited at its earliest
   // cut), and global bytes as the union of checkpoint stages across cuts —
   // a stage persists its output once even if edges cross several cuts.
-  PHOEBE_ASSIGN_OR_RETURN(
-      std::vector<CutResult> cuts,
-      OptimizeTempStorageMultiCut(job.graph, costs, options.num_cuts));
-  if (cuts.empty()) return d;
-  d.combined.cut = cuts.back().cut;           // outermost (largest) set
-  d.combined.objective = cuts.front().objective;  // DP total
-  std::set<dag::StageId> persisted;
-  for (const CutResult& c : cuts) {
-    d.cuts.push_back(c.cut);
-    for (dag::StageId u : cluster::CheckpointStages(job.graph, c.cut)) {
-      persisted.insert(u);
+  PHOEBE_RETURN_NOT_OK(OptimizeTempStorageMultiCutInto(
+      job.graph, costs, options.num_cuts, &scratch->checkpoint, &scratch->multicut));
+  const std::vector<CutResult>& cuts = scratch->multicut;
+  if (cuts.empty()) {
+    out->combined.cut.before_cut.clear();
+    out->combined.objective = 0.0;
+    out->combined.global_bytes = 0.0;
+    out->cuts.clear();
+    return Status::OK();
+  }
+  out->combined.cut.before_cut = cuts.back().cut.before_cut;  // outermost set
+  out->combined.objective = cuts.front().objective;           // DP total
+  out->combined.global_bytes = 0.0;
+  const size_t n = job.graph.num_stages();
+  std::vector<char>& persisted = scratch->persisted;
+  persisted.assign(n, 0);
+  out->cuts.resize(cuts.size());
+  for (size_t c = 0; c < cuts.size(); ++c) {
+    out->cuts[c].before_cut = cuts[c].cut.before_cut;
+    for (dag::StageId u = 0; u < static_cast<dag::StageId>(n); ++u) {
+      if (cluster::IsCheckpointStage(job.graph, cuts[c].cut, u)) {
+        persisted[static_cast<size_t>(u)] = 1;
+      }
     }
   }
-  for (dag::StageId u : persisted) {
-    d.combined.global_bytes += costs.output_bytes[static_cast<size_t>(u)];
+  // Ascending-id union sum — the same order the old std::set walk produced.
+  for (size_t u = 0; u < n; ++u) {
+    if (persisted[u]) out->combined.global_bytes += costs.output_bytes[u];
   }
-  return d;
+  return Status::OK();
 }
 
 }  // namespace phoebe::core

@@ -16,6 +16,8 @@
 
 #include "core/bundle.h"
 #include "core/checkpoint.h"
+#include "core/predictors.h"
+#include "core/simulator.h"
 #include "obs/metrics.h"
 
 namespace phoebe::core {
@@ -42,6 +44,27 @@ struct DecideOptions {
   CostSource source = CostSource::kMlStacked;
   /// Cuts per job for the temp-storage objective (1 = single-cut sweep).
   int num_cuts = 1;
+};
+
+/// \brief Per-worker scratch arena for the decide path. One instance per
+/// serving thread (see fleet.cc's per-worker arenas) owns every intermediate
+/// buffer a decision needs — stage costs, exec estimates, the simulated
+/// schedule, three featurize→predict streams (exec, size, TTL), and the
+/// optimizer tables — so once warm (sized by the widest job seen), a
+/// steady-state DecideJobInto/DecideInto performs zero heap allocations.
+/// Never share one arena between concurrent calls; results are bit-identical
+/// regardless of which arena (or how warm an arena) served a job.
+struct DecideScratch {
+  StageCosts costs;             ///< BuildCostsInto staging for DecideJobInto
+  std::vector<double> exec;     ///< per-stage exec-seconds estimates
+  SimulatedSchedule sim;        ///< Algorithm-1 schedule (non-truth sources)
+  SimulatorScratch sim_scratch;
+  PredictScratch exec_features; ///< exec-predictor stream
+  PredictScratch size_features; ///< size-predictor stream (separate schema)
+  PredictScratch ttl_features;  ///< TTL stacking stream (4-feature schema)
+  CheckpointScratch checkpoint; ///< sweep / DP / recovery tables
+  std::vector<CutResult> multicut;  ///< num_cuts > 1 staging
+  std::vector<char> persisted;      ///< multi-cut checkpoint-stage union
 };
 
 /// \brief Stateless decide-time facade over one immutable bundle.
@@ -79,9 +102,22 @@ class DecisionEngine {
   Result<StageCosts> BuildCosts(const workload::JobInstance& job, CostSource source,
                                 const telemetry::HistoricStats& stats) const;
 
+  /// BuildCosts onto a scratch arena: `*out` is fully overwritten (it may be
+  /// `&scratch->costs`). Bit-identical to BuildCosts; with a warm arena the
+  /// non-truth paths allocate nothing (FeatureConfig::text excepted).
+  Status BuildCostsInto(const workload::JobInstance& job, CostSource source,
+                        const telemetry::HistoricStats& stats, DecideScratch* scratch,
+                        StageCosts* out) const;
+
   /// Full compile-time decision for one job, with timing breakdown.
   Result<PipelineDecision> Decide(const workload::JobInstance& job, Objective objective,
                                   CostSource source = CostSource::kMlStacked) const;
+
+  /// Decide onto a scratch arena; `*out` is fully overwritten. Bit-identical
+  /// to Decide (timing fields aside, which measure wall time either way).
+  Status DecideInto(const workload::JobInstance& job, Objective objective,
+                    CostSource source, DecideScratch* scratch,
+                    PipelineDecision* out) const;
 
   /// Per-job fleet decision under an explicit context: BuildCosts + the
   /// objective's optimizer, including the multi-cut physical semantics (the
@@ -92,6 +128,16 @@ class DecisionEngine {
   Result<FleetDecision> DecideJob(const workload::JobInstance& job,
                                   const telemetry::HistoricStats& stats,
                                   const DecideOptions& options) const;
+
+  /// DecideJob onto a scratch arena; `*out` is fully overwritten and its cut
+  /// bitsets are recycled in place (vector<bool> assignment reuses capacity).
+  /// Bit-identical to DecideJob. With a warm arena a steady-state single-cut
+  /// decision performs zero heap allocations; the multi-cut path still
+  /// allocates only inside the returned nested cut sets on first growth.
+  Status DecideJobInto(const workload::JobInstance& job,
+                       const telemetry::HistoricStats& stats,
+                       const DecideOptions& options, DecideScratch* scratch,
+                       FleetDecision* out) const;
 
  private:
   /// Metric pointers for one cost source, resolved once at construction so

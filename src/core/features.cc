@@ -7,9 +7,9 @@
 namespace phoebe::core {
 
 StageFeaturizer::StageFeaturizer(FeatureConfig config)
-    : config_(config), hasher_(config.text_dims, 3, 4) {}
+    : config_(config), hasher_(config.text_dims, 3, 4), names_(BuildFeatureNames()) {}
 
-std::vector<std::string> StageFeaturizer::FeatureNames() const {
+std::vector<std::string> StageFeaturizer::BuildFeatureNames() const {
   std::vector<std::string> names;
   if (config_.query_optimizer) {
     names.insert(names.end(),
@@ -36,44 +36,63 @@ double StageFeaturizer::ExpandTarget(double y_log) { return std::expm1(y_log); }
 std::vector<double> StageFeaturizer::Features(const workload::JobInstance& job,
                                               int stage_id,
                                               const telemetry::HistoricStats& stats) const {
+  std::vector<double> row;
+  FeaturesInto(job, stage_id, stats, &row);
+  return row;
+}
+
+void StageFeaturizer::FeaturesInto(const workload::JobInstance& job, int stage_id,
+                                   const telemetry::HistoricStats& stats,
+                                   std::vector<double>* row) const {
   const size_t si = static_cast<size_t>(stage_id);
   PHOEBE_CHECK(si < job.graph.num_stages());
   const workload::StageEstimates& e = job.est[si];
   const dag::Stage& s = job.graph.stage(stage_id);
 
-  std::vector<double> row;
+  row->clear();
   auto lg = [](double v) { return std::log1p(std::max(0.0, v)); };
 
   if (config_.query_optimizer) {
-    row.push_back(lg(e.est_cost));
-    row.push_back(lg(e.est_input_cardinality));
-    row.push_back(lg(e.est_exclusive_cost));
-    row.push_back(lg(e.est_cardinality));
-    row.push_back(lg(e.est_output_bytes));
-    row.push_back(lg(static_cast<double>(s.num_tasks)));
+    row->push_back(lg(e.est_cost));
+    row->push_back(lg(e.est_input_cardinality));
+    row->push_back(lg(e.est_exclusive_cost));
+    row->push_back(lg(e.est_cardinality));
+    row->push_back(lg(e.est_output_bytes));
+    row->push_back(lg(static_cast<double>(s.num_tasks)));
   }
   if (config_.historic) {
     telemetry::HistoricStats::Entry h = stats.Get(job.template_id, s.stage_type);
-    row.push_back(lg(h.avg_exclusive_time));
-    row.push_back(lg(h.avg_output_bytes));
-    row.push_back(lg(static_cast<double>(h.support)));
-    row.push_back(stats.HasExact(job.template_id, s.stage_type) ? 1.0 : 0.0);
+    row->push_back(lg(h.avg_exclusive_time));
+    row->push_back(lg(h.avg_output_bytes));
+    row->push_back(lg(static_cast<double>(h.support)));
+    row->push_back(stats.HasExact(job.template_id, s.stage_type) ? 1.0 : 0.0);
   }
-  if (config_.stage_type_id) row.push_back(static_cast<double>(s.stage_type));
+  if (config_.stage_type_id) row->push_back(static_cast<double>(s.stage_type));
   if (config_.text) {
-    hasher_.EmbedInto(job.job_name, &row);
-    hasher_.EmbedInto(job.norm_input_name, &row);
+    hasher_.EmbedInto(job.job_name, row);
+    hasher_.EmbedInto(job.norm_input_name, row);
   }
-  return row;
 }
 
 ml::FeatureMatrix StageFeaturizer::JobMatrix(const workload::JobInstance& job,
                                              const telemetry::HistoricStats& stats) const {
-  ml::FeatureMatrix m(FeatureNames());
-  for (size_t si = 0; si < job.graph.num_stages(); ++si) {
-    m.AddRow(Features(job, static_cast<int>(si), stats));
-  }
+  ml::FeatureMatrix m;
+  std::vector<double> row;
+  JobMatrixInto(job, stats, &row, &m);
   return m;
+}
+
+void StageFeaturizer::JobMatrixInto(const workload::JobInstance& job,
+                                    const telemetry::HistoricStats& stats,
+                                    std::vector<double>* row,
+                                    ml::FeatureMatrix* m) const {
+  // Install the schema once; afterwards only the row storage is recycled.
+  if (m->num_features() != names_.size()) *m = ml::FeatureMatrix(names_);
+  m->ClearRows();
+  for (size_t si = 0; si < job.graph.num_stages(); ++si) {
+    FeaturesInto(job, static_cast<int>(si), stats, row);
+    m->AddRow(*row);
+  }
 }
 
 double StageFeaturizer::TargetValue(const workload::JobInstance& job, int stage_id,

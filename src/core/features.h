@@ -42,19 +42,37 @@ class StageFeaturizer {
   explicit StageFeaturizer(FeatureConfig config = {});
 
   const FeatureConfig& config() const { return config_; }
-  /// Names of the emitted features, in row order.
-  std::vector<std::string> FeatureNames() const;
+  /// Names of the emitted features, in row order (computed once at
+  /// construction; this returns a copy).
+  std::vector<std::string> FeatureNames() const { return names_; }
+  /// Emitted row width (== FeatureNames().size()), without the copy.
+  size_t num_features() const { return names_.size(); }
 
   /// Feature row for stage `stage_id` of `job`, using `stats` for the
   /// historic group. Row length always equals FeatureNames().size().
   std::vector<double> Features(const workload::JobInstance& job, int stage_id,
                                const telemetry::HistoricStats& stats) const;
 
+  /// Same row written into caller-owned storage (cleared first; capacity is
+  /// reused, so a warm caller allocates nothing — except under
+  /// FeatureConfig::text, whose n-gram hashing builds a lowercase copy).
+  void FeaturesInto(const workload::JobInstance& job, int stage_id,
+                    const telemetry::HistoricStats& stats,
+                    std::vector<double>* row) const;
+
   /// Feature rows for *all* stages of `job` as one matrix (row i = stage i),
   /// ready for a single Regressor::PredictBatch call. Row i is exactly
   /// Features(job, i, stats).
   ml::FeatureMatrix JobMatrix(const workload::JobInstance& job,
                               const telemetry::HistoricStats& stats) const;
+
+  /// Same matrix filled into caller-owned storage: `m` keeps its schema and
+  /// row capacity across calls (set up on first use), so repeated fills on a
+  /// warm matrix perform no allocation. `row` is the per-stage staging
+  /// buffer. Rows are bit-identical to JobMatrix.
+  void JobMatrixInto(const workload::JobInstance& job,
+                     const telemetry::HistoricStats& stats,
+                     std::vector<double>* row, ml::FeatureMatrix* m) const;
 
   /// Build a training dataset over whole days: one row per stage, with the
   /// target in *log1p space* (models are trained on log1p(y); use
@@ -71,8 +89,11 @@ class StageFeaturizer {
   static double ExpandTarget(double y_log);
 
  private:
+  std::vector<std::string> BuildFeatureNames() const;
+
   FeatureConfig config_;
   ml::TextHasher hasher_;
+  std::vector<std::string> names_;  ///< built once; FeatureNames() copies it
 };
 
 }  // namespace phoebe::core

@@ -1,5 +1,6 @@
 #include "core/fleet.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -72,6 +73,18 @@ namespace {
 /// for distinct jobs are safe by construction (see DESIGN.md "Concurrency").
 /// `jobs_decided`/`worker_jobs` are the driver's (possibly null/empty)
 /// telemetry counters; per-worker attribution never touches the result slots.
+/// One decide-path arena per worker, heap-boxed so workers never share cache
+/// lines. ParallelForWorker hands each body invocation its worker id, which
+/// makes arena reuse race-free by construction; decisions are bit-identical
+/// regardless of which (or how warm an) arena served a job, so the
+/// byte-determinism contract is untouched.
+std::vector<std::unique_ptr<DecideScratch>> MakeWorkerArenas(int threads) {
+  std::vector<std::unique_ptr<DecideScratch>> arenas(
+      static_cast<size_t>(std::max(threads, 1)));
+  for (auto& a : arenas) a = std::make_unique<DecideScratch>();
+  return arenas;
+}
+
 std::vector<std::optional<Result<FleetDecision>>> DecideAll(
     const DecisionEngine& engine, const FleetConfig& config,
     const std::vector<workload::JobInstance>& jobs,
@@ -79,15 +92,23 @@ std::vector<std::optional<Result<FleetDecision>>> DecideAll(
     const std::vector<obs::Counter*>& worker_jobs) {
   std::vector<std::optional<Result<FleetDecision>>> slots(jobs.size());
   const DecideOptions options = config.decide_options();
+  const int threads = ThreadPool::Resolve(config.num_threads);
+  std::vector<std::unique_ptr<DecideScratch>> arenas = MakeWorkerArenas(threads);
   auto decide = [&](int worker, size_t i) {
     if (jobs[i].graph.num_stages() < 2) return;
-    slots[i].emplace(engine.DecideJob(jobs[i], stats, options));
+    FleetDecision d;
+    Status st = engine.DecideJobInto(jobs[i], stats, options,
+                                     arenas[static_cast<size_t>(worker)].get(), &d);
+    if (st.ok()) {
+      slots[i].emplace(std::move(d));
+    } else {
+      slots[i].emplace(std::move(st));
+    }
     obs::Increment(jobs_decided);
     if (static_cast<size_t>(worker) < worker_jobs.size()) {
       obs::Increment(worker_jobs[static_cast<size_t>(worker)]);
     }
   };
-  const int threads = ThreadPool::Resolve(config.num_threads);
   if (threads <= 1) {
     for (size_t i = 0; i < jobs.size(); ++i) decide(0, i);
   } else {
@@ -265,15 +286,23 @@ Result<FleetDayReport> FleetDriver::RunDayImpl(
       }
     } else {
       const DecideOptions options = config_.decide_options();
+      const int threads = ThreadPool::Resolve(config_.num_threads);
+      std::vector<std::unique_ptr<DecideScratch>> arenas = MakeWorkerArenas(threads);
       auto decide = [&](int worker, size_t i) {
         if (!is_leader[i]) return;
-        decisions[i].emplace(engine_->DecideJob(jobs[i], stats, options));
+        FleetDecision d;
+        Status st = engine_->DecideJobInto(
+            jobs[i], stats, options, arenas[static_cast<size_t>(worker)].get(), &d);
+        if (st.ok()) {
+          decisions[i].emplace(std::move(d));
+        } else {
+          decisions[i].emplace(std::move(st));
+        }
         obs::Increment(metrics_.jobs_decided);
         if (static_cast<size_t>(worker) < metrics_.worker_jobs.size()) {
           obs::Increment(metrics_.worker_jobs[static_cast<size_t>(worker)]);
         }
       };
-      const int threads = ThreadPool::Resolve(config_.num_threads);
       if (threads <= 1) {
         for (size_t i = 0; i < jobs.size(); ++i) decide(0, i);
       } else {

@@ -10,7 +10,10 @@ namespace phoebe::core {
 namespace {
 
 constexpr const char* kMagic = "phoebe_shard";
-constexpr int kFormatVersion = 1;
+/// Written format version. v2 added the optional per-day `report` section;
+/// v1 blobs (decisions only) still parse.
+constexpr int kFormatVersion = 2;
+constexpr int kMinFormatVersion = 1;
 
 std::string CutBits(const cluster::CutSet& cut) {
   std::string bits;
@@ -92,6 +95,78 @@ Status ParseJobDecisionFromTokens(const std::vector<std::string>& jt,
   return Status::OK();
 }
 
+/// Serialize one day's embedded report section: the aggregate `report` line
+/// plus one `outcome` line per job. Doubles print as %.17g so the parse
+/// round-trips bit-exactly; outcome cut bitsets are not repeated (the
+/// decision records carry them).
+std::string SerializeDayReportSection(const FleetDayReport& report) {
+  std::string out = StrFormat(
+      "report %d %d %d %.17g %.17g %.17g %.17g %lld %lld %lld\n",
+      report.jobs_considered, report.jobs_with_cut, report.jobs_admitted,
+      report.storage_used_bytes, report.total_temp_byte_seconds,
+      report.realized_saving_byte_seconds, report.knapsack_threshold,
+      static_cast<long long>(report.cache_hits),
+      static_cast<long long>(report.cache_misses),
+      static_cast<long long>(report.cache_evictions));
+  for (size_t i = 0; i < report.outcomes.size(); ++i) {
+    const FleetJobOutcome& o = report.outcomes[i];
+    out += StrFormat("outcome %zu %lld %d %.17g %.17g %.17g\n", i,
+                     static_cast<long long>(o.job_id), o.admitted ? 1 : 0,
+                     o.global_bytes, o.predicted_value, o.realized_value);
+  }
+  return out;
+}
+
+/// Parse the day report section whose `report` line tokens are `rt`,
+/// consuming the `outcome` lines (one per job slot) from `r`. Cut bitsets
+/// are reconstructed from `decisions` — the exact objects RunDay moves into
+/// the outcomes — so the rebuilt report is byte-identical to the one the
+/// shard serialized.
+Status ParseDayReportSection(const std::vector<std::string>& rt,
+                             const FleetDayDecisions& decisions, LineReader& r,
+                             FleetDayReport* out) {
+  FleetDayReport report;
+  int64_t hits = 0, misses = 0, evictions = 0;
+  if (rt.size() != 11 || rt[0] != "report" ||
+      !ParseInt32(rt[1], &report.jobs_considered).ok() ||
+      !ParseInt32(rt[2], &report.jobs_with_cut).ok() ||
+      !ParseInt32(rt[3], &report.jobs_admitted).ok() ||
+      !ParseFiniteDouble(rt[4], &report.storage_used_bytes).ok() ||
+      !ParseFiniteDouble(rt[5], &report.total_temp_byte_seconds).ok() ||
+      !ParseFiniteDouble(rt[6], &report.realized_saving_byte_seconds).ok() ||
+      !ParseFiniteDouble(rt[7], &report.knapsack_threshold).ok() ||
+      !ParseInt64(rt[8], &hits).ok() || !ParseInt64(rt[9], &misses).ok() ||
+      !ParseInt64(rt[10], &evictions).ok()) {
+    return Status::InvalidArgument("malformed report line: " + Join(rt, " "));
+  }
+  report.cache_hits = hits;
+  report.cache_misses = misses;
+  report.cache_evictions = evictions;
+  report.outcomes.resize(decisions.decisions.size());
+  for (size_t i = 0; i < decisions.decisions.size(); ++i) {
+    PHOEBE_ASSIGN_OR_RETURN(std::string line, r.Next());
+    std::vector<std::string> ot = Split(line, ' ');
+    int32_t index = -1, admitted = -1;
+    FleetJobOutcome& o = report.outcomes[i];
+    if (ot.size() != 7 || ot[0] != "outcome" || !ParseInt32(ot[1], &index).ok() ||
+        static_cast<size_t>(index) != i || !ParseInt64(ot[2], &o.job_id).ok() ||
+        !ParseInt32(ot[3], &admitted).ok() || (admitted != 0 && admitted != 1) ||
+        !ParseFiniteDouble(ot[4], &o.global_bytes).ok() ||
+        !ParseFiniteDouble(ot[5], &o.predicted_value).ok() ||
+        !ParseFiniteDouble(ot[6], &o.realized_value).ok()) {
+      return Status::InvalidArgument("malformed outcome line: " + line);
+    }
+    o.admitted = admitted == 1;
+    const std::optional<FleetDecision>& d = decisions.decisions[i];
+    if (d.has_value() && !d->cuts.empty()) {
+      o.cut = d->combined.cut;
+      o.cuts = d->cuts;
+    }
+  }
+  *out = std::move(report);
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string SerializeJobDecisionRecord(size_t index,
@@ -121,8 +196,9 @@ Status ParseJobDecisionRecord(const std::string& text, size_t expected_index,
   return Status::OK();
 }
 
-Result<std::string> SerializeFleetShard(const FleetShardHeader& header,
-                                        const std::map<int, FleetDayDecisions>& days) {
+Result<std::string> SerializeFleetShard(
+    const FleetShardHeader& header, const std::map<int, FleetDayDecisions>& days,
+    const std::map<int, FleetDayReport>* reports) {
   if (header.shard_count < 1 || header.shard_index < 0 ||
       header.shard_index >= header.shard_count) {
     return Status::InvalidArgument("invalid shard index/count");
@@ -140,6 +216,20 @@ Result<std::string> SerializeFleetShard(const FleetShardHeader& header,
     }
     (void)decisions;
   }
+  if (reports != nullptr) {
+    for (const auto& [day, report] : *reports) {
+      auto it = days.find(day);
+      if (it == days.end()) {
+        return Status::InvalidArgument(
+            StrFormat("report for day %d has no decision record", day));
+      }
+      if (report.outcomes.size() != it->second.decisions.size()) {
+        return Status::InvalidArgument(
+            StrFormat("report for day %d covers %zu jobs, decisions cover %zu", day,
+                      report.outcomes.size(), it->second.decisions.size()));
+      }
+    }
+  }
 
   std::string out = StrFormat("%s %d\n", kMagic, kFormatVersion);
   out += StrFormat("shard %d %d days %d checksum %08x\n", header.shard_index,
@@ -148,6 +238,10 @@ Result<std::string> SerializeFleetShard(const FleetShardHeader& header,
     out += StrFormat("day %d jobs %zu\n", day, decisions.decisions.size());
     for (size_t i = 0; i < decisions.decisions.size(); ++i) {
       out += SerializeJobDecisionRecord(i, decisions.decisions[i]);
+    }
+    if (reports != nullptr) {
+      auto it = reports->find(day);
+      if (it != reports->end()) out += SerializeDayReportSection(it->second);
     }
     out += "end_day\n";
   }
@@ -159,15 +253,16 @@ Result<FleetShardBlob> ParseFleetShard(const std::string& text) {
   LineReader r(text);
 
   PHOEBE_ASSIGN_OR_RETURN(std::string magic_line, r.Next());
+  int32_t version = 0;
   {
     std::vector<std::string> tok = Split(magic_line, ' ');
-    int32_t version = 0;
     if (tok.size() != 2 || tok[0] != kMagic || !ParseInt32(tok[1], &version).ok()) {
       return Status::InvalidArgument("not a phoebe shard blob (bad magic)");
     }
-    if (version != kFormatVersion) {
-      return Status::InvalidArgument(StrFormat(
-          "unsupported shard blob version %d (expected %d)", version, kFormatVersion));
+    if (version < kMinFormatVersion || version > kFormatVersion) {
+      return Status::InvalidArgument(
+          StrFormat("unsupported shard blob version %d (expected %d..%d)", version,
+                    kMinFormatVersion, kFormatVersion));
     }
   }
 
@@ -224,6 +319,17 @@ Result<FleetShardBlob> ParseFleetShard(const std::string& text) {
                                      &decisions.decisions[static_cast<size_t>(i)]));
     }
     PHOEBE_ASSIGN_OR_RETURN(std::string end_line, r.Next());
+    if (end_line.rfind("report ", 0) == 0) {  // v2: optional embedded report
+      if (version < 2) {
+        return Status::InvalidArgument(
+            "report section in a version-1 shard blob");
+      }
+      FleetDayReport report;
+      PHOEBE_RETURN_NOT_OK(
+          ParseDayReportSection(Split(end_line, ' '), decisions, r, &report));
+      blob.reports.emplace(day, std::move(report));
+      PHOEBE_ASSIGN_OR_RETURN(end_line, r.Next());
+    }
     if (end_line != "end_day") {
       return Status::InvalidArgument("expected end_day, got: " + end_line);
     }
@@ -235,7 +341,7 @@ Result<FleetShardBlob> ParseFleetShard(const std::string& text) {
   return blob;
 }
 
-Result<std::map<int, FleetDayDecisions>> CombineFleetShards(
+Result<CombinedFleetShards> CombineFleetShards(
     const std::vector<FleetShardBlob>& blobs, uint32_t expected_bundle_checksum) {
   if (blobs.empty()) return Status::InvalidArgument("no shard blobs to combine");
   const int shard_count = blobs.front().header.shard_count;
@@ -245,7 +351,7 @@ Result<std::map<int, FleetDayDecisions>> CombineFleetShards(
         StrFormat("expected %d shard blobs, got %zu", shard_count, blobs.size()));
   }
   std::vector<bool> seen(static_cast<size_t>(shard_count), false);
-  std::map<int, FleetDayDecisions> merged;
+  CombinedFleetShards merged;
   for (const FleetShardBlob& blob : blobs) {
     const FleetShardHeader& h = blob.header;
     if (h.shard_count != shard_count || h.num_days != num_days) {
@@ -261,7 +367,10 @@ Result<std::map<int, FleetDayDecisions>> CombineFleetShards(
     }
     seen[static_cast<size_t>(h.shard_index)] = true;
     for (const auto& [day, decisions] : blob.days) {
-      merged.emplace(day, decisions);  // ParseFleetShard enforced ownership
+      merged.days.emplace(day, decisions);  // ParseFleetShard enforced ownership
+    }
+    for (const auto& [day, report] : blob.reports) {
+      merged.reports.emplace(day, report);
     }
   }
   for (int s = 0; s < shard_count; ++s) {
@@ -270,7 +379,7 @@ Result<std::map<int, FleetDayDecisions>> CombineFleetShards(
     }
   }
   for (int d = 0; d < num_days; ++d) {
-    if (merged.count(d) == 0) {
+    if (merged.days.count(d) == 0) {
       return Status::InvalidArgument(
           StrFormat("day %d missing from shard %d's blob", d, d % shard_count));
     }

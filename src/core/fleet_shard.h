@@ -17,15 +17,28 @@
 //      are byte-for-byte the unsharded ones.
 //
 // Blob text format (line-oriented, strict parse, '\n' line ends):
-//   phoebe_shard 1
+//   phoebe_shard 2
 //   shard <index> <count> days <num_days> checksum <crc32 hex8>
 //   day <d> jobs <m>
 //     job <i> -                                    # ineligible (< 2 stages)
 //     job <i> <objective> <global_bytes> <k>       # doubles as %.17g
 //       cut <01-bitstring>                         # k lines, innermost-first
+//     report <considered> <with_cut> <admitted> <storage> <total_tbs>
+//            <realized> <threshold> <hits> <misses> <evictions>  # optional, v2
+//       outcome <i> <job_id> <admitted01> <global_bytes> <predicted> <realized>
+//                                                  # m lines when report present
 //   end_day
 //   ...
 //   end_shard
+//
+// Version 2 adds the optional per-day `report` section: a shard that ran the
+// day's full admission locally (only valid when the run is unbudgeted and
+// cache-off — then each day is independent of every other day and of
+// arrival-order cache state) embeds the finished FleetDayReport, and the
+// merge becomes report concatenation instead of a per-day ReplayDay. Outcome
+// cut bitsets are not repeated: the parser reconstructs them from the day's
+// decision records, which RunDay copies them from verbatim. Version-1 blobs
+// (no report sections) still parse.
 #pragma once
 
 #include <map>
@@ -45,10 +58,15 @@ struct FleetShardHeader {
   uint32_t bundle_checksum = 0; ///< PipelineBundle::checksum() of the artifact
 };
 
-/// \brief A parsed shard blob: header + decisions for the days it owns.
+/// \brief A parsed shard blob: header + decisions for the days it owns, plus
+/// (v2, optional per day) the shard-side replayed report.
 struct FleetShardBlob {
   FleetShardHeader header;
   std::map<int, FleetDayDecisions> days;  ///< day index -> decide-phase output
+  /// Days whose report the shard replayed locally (subset of `days`; empty
+  /// for v1 blobs or decide-only shards). Outcome cut/cuts are reconstructed
+  /// from the decision records at parse time.
+  std::map<int, FleetDayReport> reports;
 };
 
 /// True iff shard `shard_index` of `shard_count` owns day `day`.
@@ -71,19 +89,36 @@ Status ParseJobDecisionRecord(const std::string& text, size_t expected_index,
                               std::optional<FleetDecision>* out);
 
 /// Serialize one shard's decisions. `days` must hold exactly the days the
-/// header's shard owns in [0, num_days).
-Result<std::string> SerializeFleetShard(const FleetShardHeader& header,
-                                        const std::map<int, FleetDayDecisions>& days);
+/// header's shard owns in [0, num_days). `reports`, if non-null, embeds the
+/// shard-side replayed report for each day it covers (every report day must
+/// also appear in `days`, with matching outcome count); callers must only
+/// pass reports from unbudgeted, cache-off runs — the only configuration
+/// where a day's report is independent of the other days.
+Result<std::string> SerializeFleetShard(
+    const FleetShardHeader& header, const std::map<int, FleetDayDecisions>& days,
+    const std::map<int, FleetDayReport>* reports = nullptr);
 
-/// Strict parse of a shard blob; any malformed line is an error.
+/// Strict parse of a shard blob (format version 1 or 2); any malformed line
+/// is an error.
 Result<FleetShardBlob> ParseFleetShard(const std::string& text);
+
+/// \brief Output of CombineFleetShards: the merged decision map (always
+/// complete over [0, num_days)) plus whatever shard-side reports the blobs
+/// embedded. When `reports` covers every day — and the merge-time config is
+/// unbudgeted and cache-off — the merge can emit them directly instead of
+/// replaying each day.
+struct CombinedFleetShards {
+  std::map<int, FleetDayDecisions> days;
+  std::map<int, FleetDayReport> reports;
+};
 
 /// Validate that `blobs` are the complete shard set of one run (headers
 /// agree, indices 0..N-1 appear exactly once, every day is present in its
 /// owner's blob and nowhere else) and merge them into one day->decisions map
-/// covering [0, num_days). `expected_bundle_checksum` guards against merging
-/// blobs decided under a different artifact.
-Result<std::map<int, FleetDayDecisions>> CombineFleetShards(
+/// covering [0, num_days), carrying along any embedded shard-side reports.
+/// `expected_bundle_checksum` guards against merging blobs decided under a
+/// different artifact.
+Result<CombinedFleetShards> CombineFleetShards(
     const std::vector<FleetShardBlob>& blobs, uint32_t expected_bundle_checksum);
 
 /// Canonical single-line JSON rendering of a day report — the byte-compared

@@ -106,51 +106,72 @@ double StageCostPredictor::PredictStage(const workload::JobInstance& job, int st
 
 std::vector<double> StageCostPredictor::PredictJob(
     const workload::JobInstance& job, const telemetry::HistoricStats& stats) const {
+  PredictScratch scratch;
+  std::vector<double> out;
+  PredictJobInto(job, stats, &scratch, &out);
+  return out;
+}
+
+void StageCostPredictor::PredictJobInto(const workload::JobInstance& job,
+                                        const telemetry::HistoricStats& stats,
+                                        PredictScratch* scratch,
+                                        std::vector<double>* out) const {
   PHOEBE_CHECK_MSG(trained_, "PredictJob called before Train");
   const size_t ns = job.graph.num_stages();
   if (!config_.batch_inference) {
-    std::vector<double> out;
-    out.reserve(ns);
+    // Scalar reference path: one featurize + Predict per stage, exactly what
+    // PredictStage computes.
+    out->resize(ns);
     for (size_t si = 0; si < ns; ++si) {
-      out.push_back(PredictStage(job, static_cast<int>(si), stats));
+      featurizer_.FeaturesInto(job, static_cast<int>(si), stats, &scratch->row);
+      int type = job.graph.stage(static_cast<int>(si)).stage_type;
+      auto it = per_type_.find(type);
+      double y_log;
+      double calibration;
+      if (it != per_type_.end()) {
+        y_log = it->second.Predict(scratch->row);
+        calibration = calibration_.at(type);
+      } else {
+        y_log = general_->Predict(scratch->row);
+        calibration = general_calibration_;
+      }
+      (*out)[si] = std::max(0.0, StageFeaturizer::ExpandTarget(y_log)) * calibration;
     }
-    return out;
+    return;
   }
 
-  ml::FeatureMatrix m = featurizer_.JobMatrix(job, stats);
-  std::vector<double> out(ns, 0.0);
+  featurizer_.JobMatrixInto(job, stats, &scratch->row, &scratch->matrix);
+  out->assign(ns, 0.0);
 
-  // Partition stages by serving model so each model sees one batch.
-  std::map<int, std::vector<size_t>> by_type;
-  std::vector<size_t> general_rows;
-  for (size_t si = 0; si < ns; ++si) {
-    int type = job.graph.stage(static_cast<int>(si)).stage_type;
-    if (per_type_.count(type) != 0) {
-      by_type[type].push_back(si);
-    } else {
-      general_rows.push_back(si);
-    }
-  }
-
-  auto score = [&](const ml::Regressor& model, double cal,
-                   const std::vector<size_t>& rows) {
-    std::vector<double> y_log;
-    if (rows.size() == ns) {
-      y_log = model.PredictBatch(m);  // whole job served by one model
-    } else {
-      ml::FeatureMatrix sub(m.feature_names());
-      for (size_t r : rows) sub.AddRow(m.Row(r));
-      y_log = model.PredictBatch(sub);
-    }
-    for (size_t k = 0; k < rows.size(); ++k) {
-      out[rows[k]] = std::max(0.0, StageFeaturizer::ExpandTarget(y_log[k])) * cal;
+  // Partition stages by serving model so each model sees one batch. The
+  // per-type models are visited in ascending stage_type (map order), then the
+  // general fallback — the same grouping and scatter order the per-job map
+  // partition produced, but with one reused index buffer instead of a
+  // std::map of vectors per call.
+  scratch->served.assign(ns, 0);
+  auto score = [&](const ml::Regressor& model, double cal) {
+    model.PredictRowsInto(scratch->matrix, scratch->rows, &scratch->y_log);
+    for (size_t k = 0; k < scratch->rows.size(); ++k) {
+      (*out)[scratch->rows[k]] =
+          std::max(0.0, StageFeaturizer::ExpandTarget(scratch->y_log[k])) * cal;
     }
   };
-  for (const auto& [type, rows] : by_type) {
-    score(per_type_.at(type), calibration_.at(type), rows);
+  for (const auto& [type, model] : per_type_) {
+    scratch->rows.clear();
+    for (size_t si = 0; si < ns; ++si) {
+      if (job.graph.stage(static_cast<int>(si)).stage_type == type) {
+        scratch->rows.push_back(si);
+        scratch->served[si] = 1;
+      }
+    }
+    if (scratch->rows.empty()) continue;
+    score(model, calibration_.at(type));
   }
-  if (!general_rows.empty()) score(*general_, general_calibration_, general_rows);
-  return out;
+  scratch->rows.clear();
+  for (size_t si = 0; si < ns; ++si) {
+    if (!scratch->served[si]) scratch->rows.push_back(si);
+  }
+  if (!scratch->rows.empty()) score(*general_, general_calibration_);
 }
 
 namespace {

@@ -45,6 +45,19 @@ struct TrainExample {
   const telemetry::HistoricStats* stats = nullptr;
 };
 
+/// \brief Reusable featurize→predict working storage for one inference
+/// stream (see core/engine.h DecideScratch). A warm scratch — one that has
+/// seen the widest job of the workload — makes PredictJobInto /
+/// TtlEstimator::PredictInto allocation-free: the job matrix, the per-model
+/// row gather, and the log-space output buffer are all recycled in place.
+struct PredictScratch {
+  ml::FeatureMatrix matrix;    ///< whole-job feature rows (schema sticks)
+  std::vector<double> row;     ///< per-stage staging row
+  std::vector<size_t> rows;    ///< row indices served by the current model
+  std::vector<double> y_log;   ///< model outputs for those rows (log space)
+  std::vector<char> served;    ///< per-stage flag: scored by a per-type model
+};
+
 /// \brief Predicts one target (exec time or output size) per stage.
 class StageCostPredictor {
  public:
@@ -74,6 +87,17 @@ class StageCostPredictor {
   /// return bit-identical values.
   std::vector<double> PredictJob(const workload::JobInstance& job,
                                  const telemetry::HistoricStats& stats) const;
+
+  /// PredictJob into caller-owned buffers: featurizes the whole job into
+  /// `scratch->matrix`, scores each serving model's stages via
+  /// Regressor::PredictRowsInto, and writes the per-stage predictions to
+  /// `*out` (resized to the stage count). Values are bit-identical to
+  /// PredictJob on both the batched and the scalar path; with warm buffers
+  /// the call performs no heap allocation (the scalar reference path and
+  /// FeatureConfig::text excepted). `out` must not alias scratch fields.
+  void PredictJobInto(const workload::JobInstance& job,
+                      const telemetry::HistoricStats& stats, PredictScratch* scratch,
+                      std::vector<double>* out) const;
 
   /// Toggle batched scoring after construction (e.g. for benchmarking both
   /// paths on one trained predictor). Not safe to call concurrently with

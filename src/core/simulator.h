@@ -31,4 +31,18 @@ struct SimulatedSchedule {
 Result<SimulatedSchedule> SimulateSchedule(const dag::JobGraph& graph,
                                            const std::vector<double>& exec_seconds);
 
+/// Reusable working storage for SimulateScheduleInto (the topological-order
+/// traversal buffers). Warm scratch = allocation-free simulation.
+struct SimulatorScratch {
+  dag::JobGraph::TopoScratch topo;
+  std::vector<dag::StageId> order;
+};
+
+/// Same simulation, writing into a caller-owned schedule whose vectors are
+/// reused across calls (hot decide path; see core/engine.h DecideScratch).
+/// Bit-identical to SimulateSchedule.
+Status SimulateScheduleInto(const dag::JobGraph& graph,
+                            const std::vector<double>& exec_seconds,
+                            SimulatorScratch* scratch, SimulatedSchedule* out);
+
 }  // namespace phoebe::core

@@ -14,11 +14,21 @@ std::vector<std::string> TtlEstimator::StackingFeatureNames() {
 
 std::vector<double> TtlEstimator::StackingFeatures(const SimulatedSchedule& sim,
                                                    dag::StageId stage) {
+  std::vector<double> row;
+  StackingFeaturesInto(sim, stage, &row);
+  return row;
+}
+
+void TtlEstimator::StackingFeaturesInto(const SimulatedSchedule& sim,
+                                        dag::StageId stage, std::vector<double>* row) {
   double ttl = sim.Ttl(stage);
   double tfs = sim.Tfs(stage);
   double pos = sim.job_end > 0.0 ? tfs / sim.job_end : 0.0;
-  return {std::log1p(std::max(0.0, ttl)), std::log1p(std::max(0.0, tfs)), pos,
-          std::log1p(std::max(0.0, sim.job_end))};
+  row->clear();
+  row->push_back(std::log1p(std::max(0.0, ttl)));
+  row->push_back(std::log1p(std::max(0.0, tfs)));
+  row->push_back(pos);
+  row->push_back(std::log1p(std::max(0.0, sim.job_end)));
 }
 
 Status TtlEstimator::Train(const std::vector<workload::JobInstance>& jobs,
@@ -74,56 +84,69 @@ Status TtlEstimator::Train(const std::vector<TrainExample>& examples,
 
 std::vector<double> TtlEstimator::Predict(const workload::JobInstance& job,
                                           const SimulatedSchedule& sim) const {
+  PredictScratch scratch;
+  std::vector<double> out;
+  PredictInto(job, sim, &scratch, &out);
+  return out;
+}
+
+void TtlEstimator::PredictInto(const workload::JobInstance& job,
+                               const SimulatedSchedule& sim, PredictScratch* scratch,
+                               std::vector<double>* out) const {
   const size_t ns = job.graph.num_stages();
   if (!trained_ || !config_.batch_inference) {
-    std::vector<double> out;
-    out.reserve(ns);
+    out->resize(ns);
     for (size_t si = 0; si < ns; ++si) {
       dag::StageId s = static_cast<dag::StageId>(si);
       if (!trained_) {
-        out.push_back(sim.Ttl(s));
+        (*out)[si] = sim.Ttl(s);
         continue;
       }
-      std::vector<double> row = StackingFeatures(sim, s);
+      StackingFeaturesInto(sim, s, &scratch->row);
       int type = job.graph.stage(s).stage_type;
       auto it = per_type_.find(type);
-      double y_log = (it != per_type_.end()) ? it->second.Predict(row)
-                                             : general_->Predict(row);
-      out.push_back(std::max(0.0, std::expm1(y_log)));
+      double y_log = (it != per_type_.end()) ? it->second.Predict(scratch->row)
+                                             : general_->Predict(scratch->row);
+      (*out)[si] = std::max(0.0, std::expm1(y_log));
     }
-    return out;
+    return;
   }
 
-  // Batched path: one stacking-feature matrix, one PredictBatch per model.
-  ml::FeatureMatrix m(StackingFeatureNames());
-  std::map<int, std::vector<size_t>> by_type;
-  std::vector<size_t> general_rows;
-  for (size_t si = 0; si < ns; ++si) {
-    m.AddRow(StackingFeatures(sim, static_cast<dag::StageId>(si)));
-    int type = job.graph.stage(static_cast<dag::StageId>(si)).stage_type;
-    if (per_type_.count(type) != 0) {
-      by_type[type].push_back(si);
-    } else {
-      general_rows.push_back(si);
-    }
+  // Batched path: one stacking-feature matrix, one PredictRowsInto per
+  // serving model — same grouping and scatter order as the per-job map
+  // partition, on reused buffers.
+  if (scratch->matrix.num_features() != 4) {  // StackingFeatureNames().size()
+    scratch->matrix = ml::FeatureMatrix(StackingFeatureNames());
   }
-  std::vector<double> out(ns, 0.0);
-  auto score = [&](const ml::GbdtRegressor& model, const std::vector<size_t>& rows) {
-    std::vector<double> y_log;
-    if (rows.size() == ns) {
-      y_log = model.PredictBatch(m);
-    } else {
-      ml::FeatureMatrix sub(m.feature_names());
-      for (size_t r : rows) sub.AddRow(m.Row(r));
-      y_log = model.PredictBatch(sub);
-    }
-    for (size_t k = 0; k < rows.size(); ++k) {
-      out[rows[k]] = std::max(0.0, std::expm1(y_log[k]));
+  scratch->matrix.ClearRows();
+  for (size_t si = 0; si < ns; ++si) {
+    StackingFeaturesInto(sim, static_cast<dag::StageId>(si), &scratch->row);
+    scratch->matrix.AddRow(scratch->row);
+  }
+  out->assign(ns, 0.0);
+  scratch->served.assign(ns, 0);
+  auto score = [&](const ml::GbdtRegressor& model) {
+    model.PredictRowsInto(scratch->matrix, scratch->rows, &scratch->y_log);
+    for (size_t k = 0; k < scratch->rows.size(); ++k) {
+      (*out)[scratch->rows[k]] = std::max(0.0, std::expm1(scratch->y_log[k]));
     }
   };
-  for (const auto& [type, rows] : by_type) score(per_type_.at(type), rows);
-  if (!general_rows.empty()) score(*general_, general_rows);
-  return out;
+  for (const auto& [type, model] : per_type_) {
+    scratch->rows.clear();
+    for (size_t si = 0; si < ns; ++si) {
+      if (job.graph.stage(static_cast<dag::StageId>(si)).stage_type == type) {
+        scratch->rows.push_back(si);
+        scratch->served[si] = 1;
+      }
+    }
+    if (scratch->rows.empty()) continue;
+    score(model);
+  }
+  scratch->rows.clear();
+  for (size_t si = 0; si < ns; ++si) {
+    if (!scratch->served[si]) scratch->rows.push_back(si);
+  }
+  if (!scratch->rows.empty()) score(*general_);
 }
 
 std::string TtlEstimator::ToText() const {

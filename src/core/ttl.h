@@ -59,6 +59,12 @@ class TtlEstimator {
   std::vector<double> Predict(const workload::JobInstance& job,
                               const SimulatedSchedule& sim) const;
 
+  /// Predict into caller-owned buffers (bit-identical to Predict; no heap
+  /// allocation once `scratch` and `out` are warm). `out` must not alias
+  /// scratch fields.
+  void PredictInto(const workload::JobInstance& job, const SimulatedSchedule& sim,
+                   PredictScratch* scratch, std::vector<double>* out) const;
+
   /// Toggle batched scoring after construction. Not safe to call
   /// concurrently with inference.
   void set_batch_inference(bool on) { config_.batch_inference = on; }
@@ -66,6 +72,9 @@ class TtlEstimator {
   /// Stacking feature row: the stage's "position" within the job.
   static std::vector<double> StackingFeatures(const SimulatedSchedule& sim,
                                               dag::StageId stage);
+  /// Same row into caller-owned storage (cleared first; capacity reused).
+  static void StackingFeaturesInto(const SimulatedSchedule& sim, dag::StageId stage,
+                                   std::vector<double>* row);
   static std::vector<std::string> StackingFeatureNames();
 
   /// Serialize the trained stacking models; LoadFromText restores them.

@@ -92,24 +92,34 @@ Status JobGraph::Validate() const {
 }
 
 Result<std::vector<StageId>> JobGraph::TopologicalOrder() const {
-  std::vector<int> indeg(stages_.size(), 0);
+  TopoScratch scratch;
+  std::vector<StageId> order;
+  PHOEBE_RETURN_NOT_OK(TopologicalOrderInto(&scratch, &order));
+  return order;
+}
+
+Status JobGraph::TopologicalOrderInto(TopoScratch* scratch,
+                                      std::vector<StageId>* out) const {
+  std::vector<int>& indeg = scratch->indeg;
+  indeg.assign(stages_.size(), 0);
   for (const Edge& e : edges_) ++indeg[static_cast<size_t>(e.to)];
 
   // Min-id-first ready set keeps the order deterministic; with dense ids a
   // sorted deque insertion is fine for the graph sizes we handle.
-  std::vector<StageId> ready;
+  std::vector<StageId>& ready = scratch->ready;
+  ready.clear();
   for (size_t i = 0; i < stages_.size(); ++i) {
     if (indeg[i] == 0) ready.push_back(static_cast<StageId>(i));
   }
   // Process in ascending id order via a sorted stack (reverse-sorted vector).
   std::sort(ready.rbegin(), ready.rend());
 
-  std::vector<StageId> order;
-  order.reserve(stages_.size());
+  out->clear();
+  out->reserve(stages_.size());
   while (!ready.empty()) {
     StageId u = ready.back();
     ready.pop_back();
-    order.push_back(u);
+    out->push_back(u);
     for (StageId v : downstream_[static_cast<size_t>(u)]) {
       if (--indeg[static_cast<size_t>(v)] == 0) {
         // Insert keeping reverse-sorted order.
@@ -118,10 +128,10 @@ Result<std::vector<StageId>> JobGraph::TopologicalOrder() const {
       }
     }
   }
-  if (order.size() != stages_.size()) {
+  if (out->size() != stages_.size()) {
     return Status::FailedPrecondition("job graph contains a cycle");
   }
-  return order;
+  return Status::OK();
 }
 
 Result<int> JobGraph::CriticalPathLength() const {

@@ -74,9 +74,22 @@ class JobGraph {
   /// Full structural validation: ids dense, edges in range, acyclic.
   Status Validate() const;
 
+  /// Reusable working storage for TopologicalOrderInto. A warm scratch (one
+  /// that has seen a graph at least this large) makes the traversal
+  /// allocation-free.
+  struct TopoScratch {
+    std::vector<int> indeg;
+    std::vector<StageId> ready;
+  };
+
   /// Kahn topological order (deterministic: ready stages are taken in id
   /// order). Fails with FailedPrecondition on a cycle.
   Result<std::vector<StageId>> TopologicalOrder() const;
+
+  /// Same order, written into caller-owned storage (hot decide path; see
+  /// core/engine.h DecideScratch). `*out` is resized to num_stages() on
+  /// success and unspecified on error.
+  Status TopologicalOrderInto(TopoScratch* scratch, std::vector<StageId>* out) const;
 
   /// Longest path length measured in stages (the "depth" of the DAG).
   /// Requires an acyclic graph.

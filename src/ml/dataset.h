@@ -24,6 +24,12 @@ class FeatureMatrix {
   /// Append one row; must have exactly num_features() values.
   void AddRow(std::span<const double> row);
 
+  /// Drop all rows but keep the column names and the underlying row storage —
+  /// the reuse hook for per-worker featurization scratch (see core/engine.h
+  /// DecideScratch): repeated JobMatrixInto fills stop allocating once the
+  /// matrix has seen its widest job.
+  void ClearRows() { data_.clear(); }
+
   std::span<const double> Row(size_t i) const;
   std::span<double> MutableRow(size_t i);
   double At(size_t row, size_t col) const { return data_[row * names_.size() + col]; }

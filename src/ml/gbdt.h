@@ -88,6 +88,12 @@ class GbdtRegressor : public Regressor {
   /// thresholds, same per-row tree accumulation order).
   std::vector<double> PredictBatch(const FeatureMatrix& x) const override;
 
+  /// Same blocked tree-major traversal over an explicit row subset, writing
+  /// into a caller-owned buffer (no allocation once `out` is warm). Per-row
+  /// accumulation order matches Predict exactly, so results stay bit-equal.
+  void PredictRowsInto(const FeatureMatrix& x, std::span<const size_t> rows,
+                       std::vector<double>* out) const override;
+
   bool fitted() const override { return fitted_; }
 
   const GbdtParams& params() const { return params_; }

@@ -114,6 +114,19 @@ double RidgeRegressor::Predict(std::span<const double> features) const {
   return out;
 }
 
+void RidgeRegressor::PredictRowsInto(const FeatureMatrix& x, std::span<const size_t> rows,
+                                     std::vector<double>* out) const {
+  PHOEBE_CHECK_MSG(fitted_, "PredictRowsInto called before Fit");
+  out->resize(rows.size());
+  for (size_t k = 0; k < rows.size(); ++k) {
+    auto row = x.Row(rows[k]);
+    PHOEBE_CHECK(row.size() == weights_.size());
+    double y = intercept_;
+    for (size_t f = 0; f < weights_.size(); ++f) y += weights_[f] * row[f];
+    (*out)[k] = y;
+  }
+}
+
 std::string RidgeRegressor::ToText() const {
   PHOEBE_CHECK_MSG(fitted_, "ToText called before Fit");
   std::string out = StrFormat("ridge %zu %.17g\n", weights_.size(), intercept_);

@@ -43,6 +43,12 @@ class MlpRegressor : public Regressor {
   /// row loop: the inner input-index accumulation order is unchanged.
   std::vector<double> PredictBatch(const FeatureMatrix& x) const override;
 
+  /// Blocked forward pass over an explicit row subset into a caller-owned
+  /// buffer. The ping-pong activation buffers are per-thread and sized once,
+  /// so a warm caller sees no heap traffic. Bit-equal to Predict.
+  void PredictRowsInto(const FeatureMatrix& x, std::span<const size_t> rows,
+                       std::vector<double>* out) const override;
+
   bool fitted() const override { return fitted_; }
 
   /// Mean training loss of the final epoch (for convergence checks in tests).

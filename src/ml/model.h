@@ -28,6 +28,16 @@ class Regressor {
   /// the paths freely (prop_batch_inference_test pins this contract).
   virtual std::vector<double> PredictBatch(const FeatureMatrix& x) const;
 
+  /// Predict an explicit row subset into a caller-owned buffer: `out` is
+  /// resized to `rows.size()` and `(*out)[k]` equals `Predict(x.Row(rows[k]))`
+  /// bit for bit. This is the zero-steady-state-allocation serving entry
+  /// point: overrides may only touch caller-owned or per-thread buffers, so a
+  /// warm caller reusing `out` triggers no heap traffic. The base
+  /// implementation is the scalar row loop; blocked overrides (GBDT, MLP) are
+  /// held to the same bit-equality contract as PredictBatch.
+  virtual void PredictRowsInto(const FeatureMatrix& x, std::span<const size_t> rows,
+                               std::vector<double>* out) const;
+
   /// True once Fit succeeded.
   virtual bool fitted() const = 0;
 };

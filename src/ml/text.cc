@@ -7,9 +7,9 @@
 
 namespace phoebe::ml {
 
-uint64_t Fnv1a64(const void* data, size_t len) {
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
-  uint64_t h = 0xcbf29ce484222325ULL;
+  uint64_t h = seed;
   for (size_t i = 0; i < len; ++i) {
     h ^= p[i];
     h *= 0x100000001b3ULL;

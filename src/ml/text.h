@@ -35,7 +35,10 @@ class TextHasher {
   int min_n_, max_n_;
 };
 
-/// 64-bit FNV-1a hash.
-uint64_t Fnv1a64(const void* data, size_t len);
+/// 64-bit FNV-1a hash. The seeded overload continues a hash in progress:
+/// `Fnv1a64(b, nb, Fnv1a64(a, na))` equals hashing the concatenated bytes,
+/// so callers can stream fields without materialising a buffer.
+inline constexpr uint64_t kFnv1a64Basis = 0xcbf29ce484222325ULL;
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = kFnv1a64Basis);
 
 }  // namespace phoebe::ml

@@ -101,9 +101,46 @@ class FleetShardFixture : public ::testing::Test {
     }
     std::string out;
     for (int d = 0; d < kFleetDays; ++d) {
-      auto report = merge_driver.ReplayDay(FleetDay(d), FleetStats(d), merged->at(d));
+      auto report =
+          merge_driver.ReplayDay(FleetDay(d), FleetStats(d), merged->days.at(d));
       report.status().Check();
       out += FleetDayReportJson(*report, d) + "\n";
+    }
+    return out;
+  }
+
+  /// The report stream of an N-shard run where each shard replays its days
+  /// locally (v2 embedded reports) and the merge is report concatenation —
+  /// no ReplayDay at merge time. Only valid unbudgeted + cache-off.
+  static std::string ShardSideReports(const FleetConfig& cfg, int shard_count) {
+    const uint32_t checksum = pipeline_->bundle()->checksum();
+    std::vector<FleetShardBlob> blobs;
+    for (int s = 0; s < shard_count; ++s) {
+      FleetDriver shard_driver(&pipeline_->engine(), cfg);
+      std::map<int, FleetDayDecisions> days;
+      std::map<int, FleetDayReport> reports;
+      for (int d = 0; d < kFleetDays; ++d) {
+        if (!ShardOwnsDay(d, s, shard_count)) continue;
+        auto decisions = shard_driver.DecideDay(FleetDay(d), FleetStats(d));
+        decisions.status().Check();
+        auto report = shard_driver.ReplayDay(FleetDay(d), FleetStats(d), *decisions);
+        report.status().Check();
+        days.emplace(d, std::move(*decisions));
+        reports.emplace(d, std::move(*report));
+      }
+      FleetShardHeader header{s, shard_count, kFleetDays, checksum};
+      auto text = SerializeFleetShard(header, days, &reports);
+      text.status().Check();
+      auto parsed = ParseFleetShard(*text);
+      parsed.status().Check();
+      blobs.push_back(std::move(*parsed));
+    }
+    auto merged = CombineFleetShards(blobs, checksum);
+    merged.status().Check();
+    EXPECT_EQ(merged->reports.size(), static_cast<size_t>(kFleetDays));
+    std::string out;
+    for (int d = 0; d < kFleetDays; ++d) {
+      out += FleetDayReportJson(merged->reports.at(d), d) + "\n";
     }
     return out;
   }
@@ -137,6 +174,67 @@ TEST_F(FleetShardFixture, ShardMergeByteIdenticalCacheOff) {
   for (int n : {1, 2, 4}) {
     SCOPED_TRACE(n);
     EXPECT_EQ(expected, ShardedReports(cfg, /*budgeted=*/false, n));
+  }
+}
+
+TEST_F(FleetShardFixture, ShardSideReplayByteIdenticalToUnsharded) {
+  // v2 embedded reports: shards replay their own days and the merge is pure
+  // report concatenation — it must still be byte-for-byte the unsharded run.
+  FleetConfig cfg;
+  const std::string expected = SequentialReports(cfg, /*budgeted=*/false);
+  ASSERT_FALSE(expected.empty());
+  for (int n : {1, 2, 4}) {
+    SCOPED_TRACE(n);
+    EXPECT_EQ(expected, ShardSideReports(cfg, n));
+  }
+}
+
+TEST_F(FleetShardFixture, BlobWithReportsRoundTripIsIdentity) {
+  FleetDriver driver(&pipeline_->engine(), FleetConfig{});
+  auto decisions = driver.DecideDay(FleetDay(1), FleetStats(1));
+  ASSERT_TRUE(decisions.ok());
+  auto report = driver.ReplayDay(FleetDay(1), FleetStats(1), *decisions);
+  ASSERT_TRUE(report.ok());
+  std::map<int, FleetDayDecisions> days;
+  days.emplace(1, std::move(*decisions));
+  std::map<int, FleetDayReport> reports;
+  reports.emplace(1, *report);
+  FleetShardHeader header{1, 2, kFleetDays, pipeline_->bundle()->checksum()};
+  auto text = SerializeFleetShard(header, days, &reports);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto parsed = ParseFleetShard(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->reports.size(), 1u);
+  // The reconstructed report renders to the same canonical JSON (outcome
+  // cut bitsets are rebuilt from the decision records, not re-serialized).
+  EXPECT_EQ(FleetDayReportJson(*report, 1),
+            FleetDayReportJson(parsed->reports.at(1), 1));
+  auto text2 = SerializeFleetShard(parsed->header, parsed->days, &parsed->reports);
+  ASSERT_TRUE(text2.ok());
+  EXPECT_EQ(*text, *text2);
+}
+
+TEST_F(FleetShardFixture, SerializeRejectsInconsistentReports) {
+  FleetDriver driver(&pipeline_->engine(), FleetConfig{});
+  auto decisions = driver.DecideDay(FleetDay(0), FleetStats(0));
+  ASSERT_TRUE(decisions.ok());
+  auto report = driver.ReplayDay(FleetDay(0), FleetStats(0), *decisions);
+  ASSERT_TRUE(report.ok());
+  std::map<int, FleetDayDecisions> days;
+  days.emplace(0, std::move(*decisions));
+  FleetShardHeader header{0, 2, kFleetDays, 0};
+  {
+    std::map<int, FleetDayReport> reports;  // report for a day not in `days`
+    reports.emplace(2, *report);
+    EXPECT_FALSE(SerializeFleetShard(header, days, &reports).ok());
+  }
+  {
+    std::map<int, FleetDayReport> reports;  // outcome count disagrees
+    FleetDayReport truncated = *report;
+    ASSERT_FALSE(truncated.outcomes.empty());
+    truncated.outcomes.pop_back();
+    reports.emplace(0, truncated);
+    EXPECT_FALSE(SerializeFleetShard(header, days, &reports).ok());
   }
 }
 
@@ -233,7 +331,8 @@ TEST_F(FleetShardFixture, CombineValidatesShardSet) {
   // Complete set merges and covers every day.
   auto ok = CombineFleetShards({b0, b1}, checksum);
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
-  EXPECT_EQ(ok->size(), static_cast<size_t>(kFleetDays));
+  EXPECT_EQ(ok->days.size(), static_cast<size_t>(kFleetDays));
+  EXPECT_TRUE(ok->reports.empty());  // decide-only shards embed no reports
 
   // Missing shard, duplicate shard, and wrong bundle all refuse.
   EXPECT_FALSE(CombineFleetShards({b0}, checksum).ok());
@@ -258,9 +357,25 @@ TEST_F(FleetShardFixture, ParseRejectsMalformedBlobs) {
   EXPECT_FALSE(ParseFleetShard(text->substr(0, text->size() - 1)).ok());
   EXPECT_FALSE(ParseFleetShard(*text + "junk\n").ok());
   {
-    std::string t = *text;  // version bump must be rejected
-    t.replace(t.find(" 1\n"), 3, " 2\n");
+    std::string t = *text;  // unknown future version must be rejected
+    t.replace(t.find(" 2\n"), 3, " 3\n");
     EXPECT_FALSE(ParseFleetShard(t).ok());
+  }
+  {
+    // A version-1 blob is this same body minus report sections (this one has
+    // none) under the old header — it must keep parsing.
+    std::string t = *text;
+    t.replace(t.find(" 2\n"), 3, " 1\n");
+    auto v1 = ParseFleetShard(t);
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    EXPECT_TRUE(v1->reports.empty());
+    // ...but a report section inside a version-1 blob is malformed.
+    std::string with_report = t;
+    size_t end_day = with_report.find("end_day\n");
+    ASSERT_NE(end_day, std::string::npos);
+    with_report.insert(end_day,
+                       "report 0 0 0 0 0 0 0 0 0 0\n");
+    EXPECT_FALSE(ParseFleetShard(with_report).ok());
   }
 }
 

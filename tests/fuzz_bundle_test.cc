@@ -122,8 +122,50 @@ TEST(FuzzBundleTest, LoaderSurvivesCorruption) {
   EXPECT_GT(report.rejected, 0) << report.Describe();
 }
 
+TEST(FuzzShardBlobCorpusTest, FilesNeverCrashAndValidSeedsParse) {
+  auto files = CorpusFiles(".blob");
+  ASSERT_FALSE(files.empty()) << "no .blob seeds in " << PHOEBE_FUZZ_CORPUS_DIR;
+  for (const auto& p : files) {
+    const std::string text = ReadFileOrDie(p);
+    Status st = ParseShardBlob(text);  // must return, never crash
+    if (p.filename().string().find("_valid") != std::string::npos) {
+      EXPECT_TRUE(st.ok()) << p << ": " << st.ToString();
+    } else {
+      EXPECT_FALSE(st.ok()) << p << " unexpectedly parsed";
+    }
+  }
+}
+
+TEST(FuzzShardBlobCorpusTest, ValidSeedsRoundTrip) {
+  // The checked-in v1 seed pins backward compatibility: it must keep
+  // parsing (with no embedded reports), and its body must reserialize
+  // byte-identically under the current version header. The v2 seed must
+  // round-trip exactly, embedded report sections included.
+  for (const auto& p : CorpusFiles(".blob")) {
+    const std::string name = p.filename().string();
+    if (name.find("_valid") == std::string::npos) continue;
+    const std::string text = ReadFileOrDie(p);
+    auto blob = core::ParseFleetShard(text);
+    ASSERT_TRUE(blob.ok()) << p << ": " << blob.status().ToString();
+    auto text2 = core::SerializeFleetShard(
+        blob->header, blob->days, blob->reports.empty() ? nullptr : &blob->reports);
+    ASSERT_TRUE(text2.ok()) << p;
+    if (name.find("v1") != std::string::npos) {
+      EXPECT_TRUE(blob->reports.empty()) << p;
+      std::string upgraded = text;
+      upgraded.replace(upgraded.find(" 1\n"), 3, " 2\n");
+      EXPECT_EQ(*text2, upgraded) << p << " body does not round-trip";
+    } else {
+      EXPECT_FALSE(blob->reports.empty()) << p;
+      EXPECT_EQ(*text2, text) << p << " does not round-trip";
+    }
+  }
+}
+
 TEST(FuzzBundleTest, ShardBlobParserSurvivesCorruption) {
   // The shard blob is the other cross-process artifact; same total contract.
+  // Seeds: a freshly serialized v2 blob plus the checked-in corpus files
+  // (including the v1 seed, so mutations exercise the compat path too).
   core::FleetDayDecisions day;
   day.decisions.resize(3);
   core::FleetDecision d;
@@ -138,10 +180,13 @@ TEST(FuzzBundleTest, ShardBlobParserSurvivesCorruption) {
   auto blob = core::SerializeFleetShard(header, days);
   ASSERT_TRUE(blob.ok()) << blob.status().ToString();
 
+  std::vector<std::string> seeds{*blob};
+  for (const auto& p : CorpusFiles(".blob")) seeds.push_back(ReadFileOrDie(p));
+
   FuzzOptions opt;
   opt.num_inputs = 600;
   opt.seed = 0x5aad;
-  FuzzReport report = FuzzParser(opt, {*blob}, ParseShardBlob);
+  FuzzReport report = FuzzParser(opt, seeds, ParseShardBlob);
   EXPECT_TRUE(report.ok) << report.Describe();
   EXPECT_GT(report.rejected, 0) << report.Describe();
 }

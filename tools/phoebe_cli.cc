@@ -600,15 +600,28 @@ int CmdFleet(int argc, char** argv) {
     }
     core::FleetShardHeader header{index, count, num_days,
                                   t.phoebe.bundle()->checksum()};
+    // Unbudgeted + cache-off runs have no cross-day state, so each shard can
+    // replay its own days and embed the finished reports (v2 blobs); the
+    // merge then degenerates to report concatenation. Budgeted or cached
+    // runs stay decide-only — admission and the cache are merge-time serial.
+    const bool shard_side_replay = budget_gb <= 0.0 && !cfg.template_cache.enabled;
     std::map<int, core::FleetDayDecisions> days;
+    std::map<int, core::FleetDayReport> reports;
     for (int d = 0; d < num_days; ++d) {
       if (!core::ShardOwnsDay(d, index, count)) continue;
-      auto decisions = driver.DecideDay(t.repo.Day(t.train_days + d),
-                                        t.repo.StatsBefore(t.train_days + d));
+      const auto& jobs = t.repo.Day(t.train_days + d);
+      auto stats = t.repo.StatsBefore(t.train_days + d);
+      auto decisions = driver.DecideDay(jobs, stats);
       decisions.status().Check();
+      if (shard_side_replay) {
+        auto report = driver.ReplayDay(jobs, stats, *decisions);
+        report.status().Check();
+        reports.emplace(d, std::move(*report));
+      }
       days.emplace(d, std::move(*decisions));
     }
-    auto blob = core::SerializeFleetShard(header, days);
+    auto blob = core::SerializeFleetShard(header, days,
+                                          shard_side_replay ? &reports : nullptr);
     blob.status().Check();
     std::ofstream f(out, std::ios::binary);
     if (!f) {
@@ -629,7 +642,9 @@ int CmdFleet(int argc, char** argv) {
   // replay serially here, so the reports are byte-identical to an unsharded
   // run with this same configuration.
   std::map<int, core::FleetDayDecisions> merged;
+  std::map<int, core::FleetDayReport> shard_reports;
   bool replay = false;
+  bool concat_reports = false;  // all days carry embedded shard-side reports
   std::string merge = p.GetString("merge");
   if (!merge.empty()) {
     obs::Histogram* merge_hist =
@@ -659,8 +674,14 @@ int CmdFleet(int argc, char** argv) {
     }
     auto m = core::CombineFleetShards(blobs, t.phoebe.bundle()->checksum());
     m.status().Check();
-    merged = std::move(*m);
+    merged = std::move(m->days);
+    shard_reports = std::move(m->reports);
     replay = true;
+    // Embedded reports are only trusted when this merge's configuration is
+    // the one they are valid for (unbudgeted, cache off) and every day has
+    // one; otherwise fall back to the serial per-day replay.
+    concat_reports = budget_gb <= 0.0 && !cfg.template_cache.enabled &&
+                     static_cast<int>(shard_reports.size()) == num_days;
   }
 
   if (budget_gb > 0.0) {
@@ -684,15 +705,19 @@ int CmdFleet(int argc, char** argv) {
     if (registry) day_before = registry->Snapshot();
     const auto& jobs = t.repo.Day(t.train_days + d);
     auto stats = t.repo.StatsBefore(t.train_days + d);
-    auto report = replay ? driver.ReplayDay(jobs, stats, merged.at(d))
-                         : driver.RunDay(jobs, stats);
+    Result<core::FleetDayReport> report =
+        concat_reports ? Result<core::FleetDayReport>(std::move(shard_reports.at(d)))
+        : replay       ? driver.ReplayDay(jobs, stats, merged.at(d))
+                       : driver.RunDay(jobs, stats);
     report.status().Check();
 
     std::printf("fleet day %d: %zu jobs, %d threads, %d cut(s)%s%s\n",
                 t.train_days + d, jobs.size(), ThreadPool::Resolve(cfg.num_threads),
                 cfg.num_cuts,
                 budget_gb > 0.0 ? StrFormat(", budget %.1f GB", budget_gb).c_str() : "",
-                replay ? " (merged from shards)" : "");
+                concat_reports ? " (concatenated shard reports)"
+                : replay       ? " (merged from shards)"
+                               : "");
     TablePrinter tab({"metric", "value"});
     tab.AddRow({"jobs considered", StrFormat("%d", report->jobs_considered)});
     tab.AddRow({"jobs with a cut", StrFormat("%d", report->jobs_with_cut)});

@@ -35,11 +35,13 @@ run_config build-asan "asan+ubsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=ON
 # across worker threads), the metrics registry (concurrent lock-free
 # updates), the metrics-on fleet byte-neutrality suite, and the serve
 # daemon's client/reload races (readers, workers, and hot bundle swaps on
-# live traffic), and the lifecycle determinism suite (full retrain/promote
-# loops at 4 decision threads). The full suite under TSan is too slow for a
-# local gate, and the serial-only tests cannot race by construction.
+# live traffic), the lifecycle determinism suite (full retrain/promote
+# loops at 4 decision threads), and the per-worker decide-scratch arenas
+# (FleetScratch: warm-arena reuse across threads must stay byte-neutral).
+# The full suite under TSan is too slow for a local gate, and the
+# serial-only tests cannot race by construction.
 export TSAN_OPTIONS="halt_on_error=1"
-EXTRA_CTEST_ARGS=(-R "ThreadPool|FleetParallel|FleetFixture|ObsRegistry|FleetMetrics|ServeConcurrency|LifecycleDeterminism" "$@")
+EXTRA_CTEST_ARGS=(-R "ThreadPool|FleetParallel|FleetFixture|ObsRegistry|FleetMetrics|ServeConcurrency|LifecycleDeterminism|FleetScratch" "$@")
 run_config build-tsan "tsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=thread
 
 echo "All checks passed (release + asan/ubsan + tsan fleet tests)."
