@@ -13,7 +13,8 @@ const char* KindName(int kind) {
     case 0: return "int";
     case 1: return "double";
     case 2: return "string";
-    default: return "bool";
+    case 3: return "bool";
+    default: return "string";  // kStringList values are plain strings
   }
 }
 
@@ -75,6 +76,12 @@ ArgParser& ArgParser::AddString(const std::string& name, const std::string& defa
 ArgParser& ArgParser::AddBool(const std::string& name, const std::string& help) {
   Flag& f = Register(name, Kind::kBool, help);
   f.default_text = "false";
+  return *this;
+}
+
+ArgParser& ArgParser::AddStringList(const std::string& name, const std::string& help) {
+  Flag& f = Register(name, Kind::kStringList, help);
+  f.default_text = "none, repeatable";
   return *this;
 }
 
@@ -171,6 +178,9 @@ Status ArgParser::Parse(int argc, char** argv, int first) {
       case Kind::kString:
         flag.string_value = value;
         break;
+      case Kind::kStringList:
+        flag.list_value.push_back(value);
+        break;
       case Kind::kBool:
         break;  // handled above
     }
@@ -227,6 +237,10 @@ const std::string& ArgParser::GetString(const std::string& name) const {
 
 bool ArgParser::GetBool(const std::string& name) const {
   return Lookup(name, Kind::kBool).bool_value;
+}
+
+const std::vector<std::string>& ArgParser::GetStrings(const std::string& name) const {
+  return Lookup(name, Kind::kStringList).list_value;
 }
 
 bool ArgParser::Provided(const std::string& name) const {

@@ -40,6 +40,9 @@ class ArgParser {
   /// Presence flag, default false. `--name` sets it; `--name=true/false`
   /// also works.
   ArgParser& AddBool(const std::string& name, const std::string& help);
+  /// Repeatable string flag: every `--name value` occurrence appends to the
+  /// list, in command-line order. Default is the empty list.
+  ArgParser& AddStringList(const std::string& name, const std::string& help);
 
   /// Parse argv[first..argc). On error (unknown flag, missing or malformed
   /// value, positional argument) returns InvalidArgument and leaves parsed
@@ -55,11 +58,14 @@ class ArgParser {
   double GetDouble(const std::string& name) const;
   const std::string& GetString(const std::string& name) const;
   bool GetBool(const std::string& name) const;
+  /// All occurrences of a repeatable flag, in command-line order (empty if
+  /// the flag never appeared).
+  const std::vector<std::string>& GetStrings(const std::string& name) const;
   /// True if the flag appeared on the command line (vs. its default).
   bool Provided(const std::string& name) const;
 
  private:
-  enum class Kind { kInt, kDouble, kString, kBool };
+  enum class Kind { kInt, kDouble, kString, kBool, kStringList };
 
   struct Flag {
     Kind kind = Kind::kString;
@@ -70,6 +76,7 @@ class ArgParser {
     double double_value = 0.0;
     std::string string_value;
     bool bool_value = false;
+    std::vector<std::string> list_value;
   };
 
   Flag& Register(const std::string& name, Kind kind, const std::string& help);

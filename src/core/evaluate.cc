@@ -1,10 +1,33 @@
 #include "core/evaluate.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "cluster/failure.h"
 
 namespace phoebe::core {
+
+namespace {
+
+/// Cost source of a deterministic approach (shared by BackTester and the
+/// arm-based evaluator; kRandom also maps here for the member ChooseCut).
+CostSource ApproachSource(Approach approach) {
+  switch (approach) {
+    case Approach::kOptimal: return CostSource::kTruth;
+    case Approach::kOptimizerEst: return CostSource::kOptimizerEstimates;
+    case Approach::kConstant: return CostSource::kConstant;
+    case Approach::kMl: return CostSource::kMlSimulator;
+    case Approach::kMlStacked: return CostSource::kMlStacked;
+    case Approach::kRandom:
+    case Approach::kMidPoint:
+      // Baselines position the cut on the simulated schedule with ML exec
+      // inputs (the schedule source does not matter for Random).
+      return CostSource::kMlSimulator;
+  }
+  return CostSource::kMlSimulator;
+}
+
+}  // namespace
 
 const std::string& ApproachName(Approach a) {
   static const std::map<Approach, std::string> kNames = {
@@ -74,19 +97,7 @@ BackTester::BackTester(const DecisionEngine* engine, double mtbf_seconds,
 }
 
 CostSource BackTester::SourceFor(Approach approach) const {
-  switch (approach) {
-    case Approach::kOptimal: return CostSource::kTruth;
-    case Approach::kOptimizerEst: return CostSource::kOptimizerEstimates;
-    case Approach::kConstant: return CostSource::kConstant;
-    case Approach::kMl: return CostSource::kMlSimulator;
-    case Approach::kMlStacked: return CostSource::kMlStacked;
-    case Approach::kRandom:
-    case Approach::kMidPoint:
-      // Baselines position the cut on the simulated schedule with ML exec
-      // inputs (the schedule source does not matter for Random).
-      return CostSource::kMlSimulator;
-  }
-  return CostSource::kMlSimulator;
+  return ApproachSource(approach);
 }
 
 Result<CutResult> BackTester::ChooseCut(const workload::JobInstance& job,
@@ -144,6 +155,14 @@ Result<std::map<Approach, RunningStats>> BackTester::EvaluateRecovery(
 Result<RunningStats> BackTester::EvaluateApproach(
     const std::vector<workload::JobInstance>& jobs,
     const telemetry::HistoricStats& stats, Approach approach, Objective objective) {
+  if (approach != Approach::kRandom) {
+    PHOEBE_ASSIGN_OR_RETURN(
+        std::vector<RunningStats> arms,
+        EvaluateApproachArms({engine_}, jobs, stats, approach, objective,
+                             mtbf_seconds_));
+    return arms.front();
+  }
+  // kRandom consumes this tester's rng stream; it cannot share an arm pass.
   RunningStats out;
   for (const workload::JobInstance& job : jobs) {
     if (job.graph.num_stages() < 2) continue;
@@ -153,6 +172,56 @@ Result<RunningStats> BackTester::EvaluateApproach(
     } else {
       cluster::FailureModel failure(job, mtbf_seconds_);
       out.Add(failure.RestartSavingFraction(cut.cut));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<RunningStats>> EvaluateApproachArms(
+    const std::vector<const DecisionEngine*>& engines,
+    const std::vector<workload::JobInstance>& jobs,
+    const telemetry::HistoricStats& stats, Approach approach,
+    Objective objective, double mtbf_seconds) {
+  if (engines.empty()) return Status::InvalidArgument("no engines to evaluate");
+  for (const DecisionEngine* e : engines) {
+    if (e == nullptr) return Status::InvalidArgument("null engine in arm list");
+  }
+  if (approach == Approach::kRandom) {
+    return Status::InvalidArgument(
+        "Approach::kRandom needs a per-tester rng stream; use "
+        "BackTester::EvaluateApproach");
+  }
+  if (mtbf_seconds <= 0.0) {
+    return Status::InvalidArgument("mtbf_seconds must be > 0");
+  }
+  std::vector<RunningStats> out(engines.size());
+  for (const workload::JobInstance& job : jobs) {
+    if (job.graph.num_stages() < 2) continue;
+    // Job-level work shared across arms: the eligibility check above and,
+    // for recovery, the failure model over the true schedule.
+    std::optional<cluster::FailureModel> failure;
+    if (objective != Objective::kTempStorage) {
+      failure.emplace(job, mtbf_seconds);
+    }
+    for (size_t k = 0; k < engines.size(); ++k) {
+      const DecisionEngine* engine = engines[k];
+      PHOEBE_ASSIGN_OR_RETURN(
+          StageCosts costs,
+          engine->BuildCosts(job, ApproachSource(approach), stats));
+      CutResult cut;
+      if (approach == Approach::kMidPoint) {
+        PHOEBE_ASSIGN_OR_RETURN(cut, MidPointCut(job.graph, costs));
+      } else if (objective == Objective::kTempStorage) {
+        PHOEBE_ASSIGN_OR_RETURN(cut, OptimizeTempStorage(job.graph, costs));
+      } else {
+        PHOEBE_ASSIGN_OR_RETURN(cut,
+                                OptimizeRecovery(job.graph, costs, engine->delta()));
+      }
+      if (objective == Objective::kTempStorage) {
+        out[k].Add(RealizedTempSaving(job, cut.cut));
+      } else {
+        out[k].Add(failure->RestartSavingFraction(cut.cut));
+      }
     }
   }
   return out;

@@ -69,10 +69,11 @@ class BackTester {
       const std::vector<Approach>& approaches = AllApproaches());
 
   /// Realized saving of ONE approach under either objective — the unit the
-  /// lifecycle loop's canary comparison aggregates over a trailing window
-  /// (one BackTester per bundle, same jobs, same stats view). Temp-storage
-  /// savings come from RealizedTempSaving, recovery savings from the failure
-  /// model's RestartSavingFraction, exactly as the per-approach sweeps above.
+  /// lifecycle loop's canary comparison aggregates over a trailing window.
+  /// Temp-storage savings come from RealizedTempSaving, recovery savings
+  /// from the failure model's RestartSavingFraction, exactly as the
+  /// per-approach sweeps above. Deterministic approaches delegate to
+  /// EvaluateApproachArms as the N=1 case.
   Result<RunningStats> EvaluateApproach(
       const std::vector<workload::JobInstance>& jobs,
       const telemetry::HistoricStats& stats, Approach approach,
@@ -85,5 +86,21 @@ class BackTester {
   double mtbf_seconds_;
   Rng rng_;
 };
+
+/// Realized saving of one deterministic approach under N engines in a single
+/// pass over the jobs — the arm-based form of BackTester::EvaluateApproach
+/// the lifecycle canary uses to cost incumbent and candidate against
+/// identical inputs. Per job, the eligibility check and (for the recovery
+/// objective) the FailureModel are computed once and shared by every arm, so
+/// an N-arm call does one generation pass instead of N. Entry k of the
+/// result aggregates engine k's realized savings; each entry is bit-exactly
+/// what a standalone EvaluateApproach under that engine returns.
+/// Approach::kRandom is rejected (its cut draws consume a per-tester rng
+/// stream that a shared pass cannot replay per arm).
+Result<std::vector<RunningStats>> EvaluateApproachArms(
+    const std::vector<const DecisionEngine*>& engines,
+    const std::vector<workload::JobInstance>& jobs,
+    const telemetry::HistoricStats& stats, Approach approach,
+    Objective objective, double mtbf_seconds);
 
 }  // namespace phoebe::core

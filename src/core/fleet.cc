@@ -39,7 +39,7 @@ Status FleetConfig::Validate() const {
   return template_cache.Validate();
 }
 
-FleetDriver::FleetDriver(const DecisionEngine* engine, FleetConfig config)
+DecisionArm::DecisionArm(const DecisionEngine* engine, FleetConfig config)
     : engine_(engine), config_(config), config_status_(config.Validate()),
       template_cache_(config.template_cache.capacity) {
   PHOEBE_CHECK(engine != nullptr);
@@ -71,13 +71,14 @@ namespace {
 /// written by index, so the result is independent of scheduling order. Pure
 /// map over the jobs: the engine's bundle is immutable, so concurrent calls
 /// for distinct jobs are safe by construction (see DESIGN.md "Concurrency").
-/// `jobs_decided`/`worker_jobs` are the driver's (possibly null/empty)
+/// `jobs_decided`/`worker_jobs` are the arm's (possibly null/empty)
 /// telemetry counters; per-worker attribution never touches the result slots.
 /// One decide-path arena per worker, heap-boxed so workers never share cache
 /// lines. ParallelForWorker hands each body invocation its worker id, which
 /// makes arena reuse race-free by construction; decisions are bit-identical
 /// regardless of which (or how warm an) arena served a job, so the
-/// byte-determinism contract is untouched.
+/// byte-determinism contract is untouched. Each arm builds its own arenas
+/// per decide phase — arenas are never shared across arms.
 std::vector<std::unique_ptr<DecideScratch>> MakeWorkerArenas(int threads) {
   std::vector<std::unique_ptr<DecideScratch>> arenas(
       static_cast<size_t>(std::max(threads, 1)));
@@ -120,11 +121,11 @@ std::vector<std::optional<Result<FleetDecision>>> DecideAll(
 
 }  // namespace
 
-Status FleetDriver::Calibrate(const std::vector<workload::JobInstance>& history_jobs,
-                              const telemetry::HistoricStats& history_stats) {
+Status DecisionArm::Calibrate(const DayContext& history) {
   PHOEBE_RETURN_NOT_OK(config_status_);
+  const std::vector<workload::JobInstance>& history_jobs = *history.jobs;
   calibration_.clear();
-  auto decisions = DecideAll(*engine_, config_, history_jobs, history_stats,
+  auto decisions = DecideAll(*engine_, config_, history_jobs, *history.stats,
                              metrics_.jobs_decided, metrics_.worker_jobs);
   for (size_t i = 0; i < history_jobs.size(); ++i) {
     if (!decisions[i].has_value()) continue;  // < 2 stages
@@ -141,17 +142,16 @@ Status FleetDriver::Calibrate(const std::vector<workload::JobInstance>& history_
   return Status::OK();
 }
 
-Result<FleetDayDecisions> FleetDriver::DecideDay(
-    const std::vector<workload::JobInstance>& jobs,
-    const telemetry::HistoricStats& stats) const {
+Result<FleetDayDecisions> DecisionArm::DecideDay(const DayContext& ctx) const {
   PHOEBE_RETURN_NOT_OK(config_status_);
   obs::ScopedTimer day_timer(metrics_.decide_day_seconds);
+  const std::vector<workload::JobInstance>& jobs = *ctx.jobs;
   // Fresh decisions for *every* eligible job, never consulting the template
   // cache: a shard process has no cache state, and the merge's ReplayDay only
   // consumes the slots RunDay would have computed (leaders / all jobs), so
   // extra slots cost shard CPU but never change the merged report.
-  auto slots = DecideAll(*engine_, config_, jobs, stats, metrics_.jobs_decided,
-                         metrics_.worker_jobs);
+  auto slots = DecideAll(*engine_, config_, jobs, *ctx.stats,
+                         metrics_.jobs_decided, metrics_.worker_jobs);
   FleetDayDecisions day;
   day.decisions.resize(jobs.size());
   for (size_t i = 0; i < jobs.size(); ++i) {
@@ -162,24 +162,22 @@ Result<FleetDayDecisions> FleetDriver::DecideDay(
   return day;
 }
 
-Result<FleetDayReport> FleetDriver::RunDay(
-    const std::vector<workload::JobInstance>& jobs,
-    const telemetry::HistoricStats& stats) {
-  return RunDayImpl(jobs, stats, /*precomputed=*/nullptr);
+Result<FleetDayReport> DecisionArm::RunDay(const DayContext& ctx) {
+  return RunDayImpl(ctx, /*precomputed=*/nullptr);
 }
 
-Result<FleetDayReport> FleetDriver::ReplayDay(
-    const std::vector<workload::JobInstance>& jobs,
-    const telemetry::HistoricStats& stats, const FleetDayDecisions& precomputed) {
+Result<FleetDayReport> DecisionArm::ReplayDay(const DayContext& ctx,
+                                              const FleetDayDecisions& precomputed) {
   obs::ScopedTimer replay_timer(metrics_.replay_day_seconds);
-  return RunDayImpl(jobs, stats, &precomputed);
+  return RunDayImpl(ctx, &precomputed);
 }
 
-Result<FleetDayReport> FleetDriver::RunDayImpl(
-    const std::vector<workload::JobInstance>& jobs,
-    const telemetry::HistoricStats& stats, const FleetDayDecisions* precomputed) {
+Result<FleetDayReport> DecisionArm::RunDayImpl(const DayContext& ctx,
+                                               const FleetDayDecisions* precomputed) {
   PHOEBE_RETURN_NOT_OK(config_status_);
   obs::ScopedTimer day_timer(metrics_.day_seconds);
+  const std::vector<workload::JobInstance>& jobs = *ctx.jobs;
+  const telemetry::HistoricStats& stats = *ctx.stats;
   const bool budgeted = std::isfinite(config_.storage_budget_bytes);
   if (budgeted && !calibrated_) {
     return Status::FailedPrecondition("Calibrate must run before a budgeted RunDay");
@@ -224,7 +222,7 @@ Result<FleetDayReport> FleetDriver::RunDayImpl(
   //
   // With the template cache on, a serial arrival-order prepass first resolves
   // hits against the cache (as left by prior RunDay/ReplayDay calls on this
-  // driver) and designates the first instance of each unseen key as that
+  // arm) and designates the first instance of each unseen key as that
   // key's leader; the parallel phase then computes leaders only, and a serial
   // admission prologue copies leader decisions to their followers and inserts
   // them into the cache — so every cache mutation happens serially in arrival

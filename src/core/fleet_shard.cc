@@ -10,9 +10,12 @@ namespace phoebe::core {
 namespace {
 
 constexpr const char* kMagic = "phoebe_shard";
-/// Written format version. v2 added the optional per-day `report` section;
-/// v1 blobs (decisions only) still parse.
-constexpr int kFormatVersion = 2;
+/// Maximum parseable format version. v2 added the optional per-day `report`
+/// section; v3 added per-day `arm` sections for A/B runs; v1 blobs
+/// (decisions only) still parse. The serializer stamps the lowest version
+/// that can express the blob (2 without arm sections, 3 with), so output for
+/// pre-v3 content is byte-identical to the pre-v3 serializer's.
+constexpr int kFormatVersion = 3;
 constexpr int kMinFormatVersion = 1;
 
 std::string CutBits(const cluster::CutSet& cut) {
@@ -198,7 +201,9 @@ Status ParseJobDecisionRecord(const std::string& text, size_t expected_index,
 
 Result<std::string> SerializeFleetShard(
     const FleetShardHeader& header, const std::map<int, FleetDayDecisions>& days,
-    const std::map<int, FleetDayReport>* reports) {
+    const std::map<int, FleetDayReport>* reports,
+    const std::map<int, std::map<int, FleetDayDecisions>>* arm_days,
+    const std::map<int, std::map<int, FleetDayReport>>* arm_reports) {
   if (header.shard_count < 1 || header.shard_index < 0 ||
       header.shard_index >= header.shard_count) {
     return Status::InvalidArgument("invalid shard index/count");
@@ -230,8 +235,55 @@ Result<std::string> SerializeFleetShard(
       }
     }
   }
+  bool has_arms = false;
+  if (arm_days != nullptr) {
+    for (const auto& [day, arms] : *arm_days) {
+      auto it = days.find(day);
+      if (it == days.end()) {
+        return Status::InvalidArgument(
+            StrFormat("arm sections for day %d have no arm-0 record", day));
+      }
+      for (const auto& [arm, decisions] : arms) {
+        if (arm < 1) {
+          return Status::InvalidArgument(StrFormat(
+              "arm index %d for day %d must be >= 1 (arm 0 is the day record)",
+              arm, day));
+        }
+        if (decisions.decisions.size() != it->second.decisions.size()) {
+          return Status::InvalidArgument(StrFormat(
+              "arm %d of day %d covers %zu jobs, arm 0 covers %zu", arm, day,
+              decisions.decisions.size(), it->second.decisions.size()));
+        }
+        has_arms = true;
+      }
+    }
+  }
+  if (arm_reports != nullptr) {
+    for (const auto& [day, arms] : *arm_reports) {
+      const std::map<int, FleetDayDecisions>* day_arms = nullptr;
+      if (arm_days != nullptr) {
+        auto dit = arm_days->find(day);
+        if (dit != arm_days->end()) day_arms = &dit->second;
+      }
+      for (const auto& [arm, report] : arms) {
+        auto ait = day_arms == nullptr ? std::map<int, FleetDayDecisions>::const_iterator()
+                                       : day_arms->find(arm);
+        if (day_arms == nullptr || ait == day_arms->end()) {
+          return Status::InvalidArgument(StrFormat(
+              "report for arm %d of day %d has no decision record", arm, day));
+        }
+        if (report.outcomes.size() != ait->second.decisions.size()) {
+          return Status::InvalidArgument(StrFormat(
+              "report for arm %d of day %d covers %zu jobs, decisions cover %zu",
+              arm, day, report.outcomes.size(), ait->second.decisions.size()));
+        }
+      }
+    }
+  }
 
-  std::string out = StrFormat("%s %d\n", kMagic, kFormatVersion);
+  // Lowest version that can express the content: pre-v3 blobs must stay
+  // byte-identical to the pre-v3 serializer's output.
+  std::string out = StrFormat("%s %d\n", kMagic, has_arms ? 3 : 2);
   out += StrFormat("shard %d %d days %d checksum %08x\n", header.shard_index,
                    header.shard_count, header.num_days, header.bundle_checksum);
   for (const auto& [day, decisions] : days) {
@@ -242,6 +294,28 @@ Result<std::string> SerializeFleetShard(
     if (reports != nullptr) {
       auto it = reports->find(day);
       if (it != reports->end()) out += SerializeDayReportSection(it->second);
+    }
+    if (arm_days != nullptr) {
+      auto dit = arm_days->find(day);
+      if (dit != arm_days->end()) {
+        for (const auto& [arm, arm_decisions] : dit->second) {
+          out += StrFormat("arm %d jobs %zu\n", arm,
+                           arm_decisions.decisions.size());
+          for (size_t i = 0; i < arm_decisions.decisions.size(); ++i) {
+            out += SerializeJobDecisionRecord(i, arm_decisions.decisions[i]);
+          }
+          if (arm_reports != nullptr) {
+            auto rit = arm_reports->find(day);
+            if (rit != arm_reports->end()) {
+              auto arit = rit->second.find(arm);
+              if (arit != rit->second.end()) {
+                out += SerializeDayReportSection(arit->second);
+              }
+            }
+          }
+          out += "end_arm\n";
+        }
+      }
     }
     out += "end_day\n";
   }
@@ -330,6 +404,46 @@ Result<FleetShardBlob> ParseFleetShard(const std::string& text) {
       blob.reports.emplace(day, std::move(report));
       PHOEBE_ASSIGN_OR_RETURN(end_line, r.Next());
     }
+    int32_t last_arm = 0;
+    while (end_line.rfind("arm ", 0) == 0) {  // v3: optional A/B arm sections
+      if (version < 3) {
+        return Status::InvalidArgument(StrFormat(
+            "per-arm section in a version-%d shard blob", version));
+      }
+      std::vector<std::string> at = Split(end_line, ' ');
+      int32_t arm = 0, arm_jobs = 0;
+      if (at.size() != 4 || at[2] != "jobs" || !ParseInt32(at[1], &arm).ok() ||
+          !ParseInt32(at[3], &arm_jobs).ok()) {
+        return Status::InvalidArgument("malformed arm header: " + end_line);
+      }
+      // Arm 0 is the day's primary record; additional arms are strictly
+      // increasing and decide the same jobs.
+      if (arm <= last_arm || arm_jobs != num_jobs) {
+        return Status::InvalidArgument("malformed arm header: " + end_line);
+      }
+      last_arm = arm;
+      FleetDayDecisions arm_decisions;
+      arm_decisions.decisions.resize(static_cast<size_t>(arm_jobs));
+      for (int i = 0; i < arm_jobs; ++i) {
+        PHOEBE_ASSIGN_OR_RETURN(std::string job_line, r.Next());
+        PHOEBE_RETURN_NOT_OK(ParseJobDecisionFromTokens(
+            Split(job_line, ' '), static_cast<size_t>(i), r,
+            &arm_decisions.decisions[static_cast<size_t>(i)]));
+      }
+      PHOEBE_ASSIGN_OR_RETURN(std::string arm_end, r.Next());
+      if (arm_end.rfind("report ", 0) == 0) {
+        FleetDayReport report;
+        PHOEBE_RETURN_NOT_OK(ParseDayReportSection(Split(arm_end, ' '),
+                                                   arm_decisions, r, &report));
+        blob.arm_reports[day].emplace(arm, std::move(report));
+        PHOEBE_ASSIGN_OR_RETURN(arm_end, r.Next());
+      }
+      if (arm_end != "end_arm") {
+        return Status::InvalidArgument("expected end_arm, got: " + arm_end);
+      }
+      blob.arm_days[day].emplace(arm, std::move(arm_decisions));
+      PHOEBE_ASSIGN_OR_RETURN(end_line, r.Next());
+    }
     if (end_line != "end_day") {
       return Status::InvalidArgument("expected end_day, got: " + end_line);
     }
@@ -371,6 +485,12 @@ Result<CombinedFleetShards> CombineFleetShards(
     }
     for (const auto& [day, report] : blob.reports) {
       merged.reports.emplace(day, report);
+    }
+    for (const auto& [day, arms] : blob.arm_days) {
+      merged.arm_days.emplace(day, arms);
+    }
+    for (const auto& [day, arms] : blob.arm_reports) {
+      merged.arm_reports.emplace(day, arms);
     }
   }
   for (int s = 0; s < shard_count; ++s) {

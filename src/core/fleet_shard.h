@@ -39,6 +39,18 @@
 // cut bitsets are not repeated: the parser reconstructs them from the day's
 // decision records, which RunDay copies them from verbatim. Version-1 blobs
 // (no report sections) still parse.
+//
+// Version 3 adds optional per-day *arm* sections for differential A/B runs
+// (core/fleet_ab.h): after the day's primary records (arm 0) and its
+// optional report, each additional arm k >= 1 embeds its own decisions —
+// same day, same job count — and optionally its own report:
+//   arm <k> jobs <m>          # k strictly increasing within the day
+//     job <i> ...             # m records, same line format as arm 0
+//     report ...              # optional, same format/conditions as arm 0
+//   end_arm
+// The serializer stamps version 3 only when an arm section is present, so
+// single-arm blobs stay byte-identical to v2 output; parsers reject arm
+// sections in v1/v2 blobs the way v1 rejects report sections.
 #pragma once
 
 #include <map>
@@ -59,7 +71,10 @@ struct FleetShardHeader {
 };
 
 /// \brief A parsed shard blob: header + decisions for the days it owns, plus
-/// (v2, optional per day) the shard-side replayed report.
+/// (v2, optional per day) the shard-side replayed report, plus (v3, optional
+/// per day) the additional arms' decisions/reports of an A/B run. Arm 0 of
+/// an A/B run is the primary `days`/`reports` pair, so single-arm consumers
+/// can read a v3 blob without knowing about arms.
 struct FleetShardBlob {
   FleetShardHeader header;
   std::map<int, FleetDayDecisions> days;  ///< day index -> decide-phase output
@@ -67,6 +82,13 @@ struct FleetShardBlob {
   /// for v1 blobs or decide-only shards). Outcome cut/cuts are reconstructed
   /// from the decision records at parse time.
   std::map<int, FleetDayReport> reports;
+  /// v3: day index -> arm index (>= 1) -> that arm's decide-phase output
+  /// over the same jobs. Every day with an entry here also appears in
+  /// `days` (its arm 0) with the same job count.
+  std::map<int, std::map<int, FleetDayDecisions>> arm_days;
+  /// v3: shard-side replayed reports per additional arm (subset of
+  /// `arm_days`, same validity conditions as `reports`).
+  std::map<int, std::map<int, FleetDayReport>> arm_reports;
 };
 
 /// True iff shard `shard_index` of `shard_count` owns day `day`.
@@ -93,13 +115,19 @@ Status ParseJobDecisionRecord(const std::string& text, size_t expected_index,
 /// shard-side replayed report for each day it covers (every report day must
 /// also appear in `days`, with matching outcome count); callers must only
 /// pass reports from unbudgeted, cache-off runs — the only configuration
-/// where a day's report is independent of the other days.
+/// where a day's report is independent of the other days. `arm_days` /
+/// `arm_reports`, if non-null, embed the additional arms of an A/B run
+/// (arm indices >= 1; every arm day must appear in `days` with the same job
+/// count, every arm report in `arm_days`). The blob is stamped version 3
+/// iff at least one arm section is written, version 2 otherwise.
 Result<std::string> SerializeFleetShard(
     const FleetShardHeader& header, const std::map<int, FleetDayDecisions>& days,
-    const std::map<int, FleetDayReport>* reports = nullptr);
+    const std::map<int, FleetDayReport>* reports = nullptr,
+    const std::map<int, std::map<int, FleetDayDecisions>>* arm_days = nullptr,
+    const std::map<int, std::map<int, FleetDayReport>>* arm_reports = nullptr);
 
-/// Strict parse of a shard blob (format version 1 or 2); any malformed line
-/// is an error.
+/// Strict parse of a shard blob (format version 1, 2, or 3); any malformed
+/// line is an error.
 Result<FleetShardBlob> ParseFleetShard(const std::string& text);
 
 /// \brief Output of CombineFleetShards: the merged decision map (always
@@ -110,6 +138,11 @@ Result<FleetShardBlob> ParseFleetShard(const std::string& text);
 struct CombinedFleetShards {
   std::map<int, FleetDayDecisions> days;
   std::map<int, FleetDayReport> reports;
+  /// v3 A/B runs: additional arms' decisions/reports, keyed like
+  /// FleetShardBlob's maps. Arm coverage is the caller's to check (the A/B
+  /// merge requires every day to carry the same arm set).
+  std::map<int, std::map<int, FleetDayDecisions>> arm_days;
+  std::map<int, std::map<int, FleetDayReport>> arm_reports;
 };
 
 /// Validate that `blobs` are the complete shard set of one run (headers

@@ -150,26 +150,39 @@ void LifecycleDriver::AdoptIncumbent(
   trained_on_day_ = day;
 }
 
-Result<double> LifecycleDriver::WindowCost(
-    const std::shared_ptr<const core::PipelineBundle>& bundle,
+Result<std::vector<double>> LifecycleDriver::WindowCosts(
+    const std::vector<std::shared_ptr<const core::PipelineBundle>>& bundles,
     const telemetry::WorkloadRepository& repo, int day, int window_first) const {
-  core::DecisionEngine engine(bundle);
-  core::BackTester tester(&engine, config_.mtbf_seconds);
-  double sum = 0.0;
-  size_t count = 0;
+  std::vector<std::unique_ptr<core::DecisionEngine>> engines;
+  std::vector<const core::DecisionEngine*> arms;
+  for (const auto& bundle : bundles) {
+    engines.push_back(std::make_unique<core::DecisionEngine>(bundle));
+    arms.push_back(engines.back().get());
+  }
+  std::vector<double> sums(bundles.size(), 0.0);
+  std::vector<size_t> counts(bundles.size(), 0);
   for (int d = window_first; d <= day; ++d) {
     if (!repo.HasDay(d)) continue;
+    // One pass over the day's jobs costs every bundle: the stats view and
+    // the per-job generation work are shared across arms.
     PHOEBE_ASSIGN_OR_RETURN(
-        RunningStats stats,
-        tester.EvaluateApproach(repo.Day(d), repo.StatsBefore(d),
-                                core::Approach::kMlStacked,
-                                config_.fleet.objective));
-    sum += stats.sum();
-    count += stats.count();
+        std::vector<RunningStats> day_stats,
+        core::EvaluateApproachArms(arms, repo.Day(d), repo.StatsBefore(d),
+                                   core::Approach::kMlStacked,
+                                   config_.fleet.objective,
+                                   config_.mtbf_seconds));
+    for (size_t k = 0; k < bundles.size(); ++k) {
+      sums[k] += day_stats[k].sum();
+      counts[k] += day_stats[k].count();
+    }
   }
-  if (count == 0) return 1.0;  // nothing eligible: no saving captured
-  const double cost = 1.0 - sum / static_cast<double>(count);
-  return std::min(1.0, std::max(0.0, cost));
+  std::vector<double> costs(bundles.size(), 1.0);
+  for (size_t k = 0; k < bundles.size(); ++k) {
+    if (counts[k] == 0) continue;  // nothing eligible: no saving captured
+    const double cost = 1.0 - sums[k] / static_cast<double>(counts[k]);
+    costs[k] = std::min(1.0, std::max(0.0, cost));
+  }
+  return costs;
 }
 
 Result<LifecycleDayReport> LifecycleDriver::OnDayCompleted(
@@ -236,38 +249,44 @@ Result<LifecycleDayReport> LifecycleDriver::OnDayCompleted(
     }
     report.candidate_checksum = candidate->checksum();
 
-    // 5. Canary backtest: both bundles replay the trailing window, cost =
-    // 1 - mean realized saving. The bootstrap candidate has no incumbent to
-    // beat and is promoted unconditionally (cost recorded for the audit
-    // trail; the incumbent side keeps the -1 "not measured" sentinel).
+    // 5. Canary backtest: both bundles replay the trailing window as two
+    // arms of one pass, cost = 1 - mean realized saving. The bootstrap
+    // candidate has no incumbent to beat and is promoted unconditionally
+    // (cost recorded for the audit trail; the incumbent side keeps the -1
+    // "not measured" sentinel).
     const int window_first = std::max(0, day - config_.backtest_window_days + 1);
     {
       obs::ScopedTimer t(metrics_.backtest_seconds);
-      if (!bootstrap) {
-        PHOEBE_ASSIGN_OR_RETURN(report.incumbent_cost,
-                                WindowCost(incumbent_, *repo, day, window_first));
-      }
-      PHOEBE_ASSIGN_OR_RETURN(report.candidate_cost,
-                              WindowCost(candidate, *repo, day, window_first));
+      std::vector<std::shared_ptr<const core::PipelineBundle>> bundles;
+      if (!bootstrap) bundles.push_back(incumbent_);
+      bundles.push_back(candidate);
+      PHOEBE_ASSIGN_OR_RETURN(std::vector<double> costs,
+                              WindowCosts(bundles, *repo, day, window_first));
+      if (!bootstrap) report.incumbent_cost = costs.front();
+      report.candidate_cost = costs.back();
     }
     const bool promote =
         bootstrap || report.candidate_cost < report.incumbent_cost;
     report.verdict = promote ? "promoted" : "rejected";
 
-    // 6. Shadow the rollover: the candidate's would-be decisions for today,
-    // byte-diffed against the incumbent's. Runs before any swap so both
-    // sides decide under their own model.
+    // 6. Shadow the rollover: incumbent and candidate run as two decision
+    // arms over one shared DayContext, and the diff consumes the paired
+    // decisions. Runs before any swap so both sides decide under their own
+    // model.
     if (config_.shadow && !bootstrap) {
       obs::ScopedTimer t(metrics_.shadow_seconds);
       const telemetry::HistoricStats stats = repo->StatsBefore(day);
-      PHOEBE_ASSIGN_OR_RETURN(core::FleetDayDecisions incumbent_decisions,
-                              fleet_->DecideDay(jobs, stats));
+      const core::DayContext ctx(day, jobs, stats);
       core::DecisionEngine candidate_engine(candidate);
       core::FleetConfig shadow_config = config_.fleet;
       shadow_config.metrics = nullptr;  // shadow traffic must not pollute fleet.*
-      core::FleetDriver candidate_fleet(&candidate_engine, shadow_config);
+      core::DecisionArm candidate_arm(&candidate_engine, shadow_config);
+      // The serving arm decides the same context (DecideDay is const: no
+      // cache interaction, so serving state is untouched).
+      PHOEBE_ASSIGN_OR_RETURN(core::FleetDayDecisions incumbent_decisions,
+                              fleet_->arm().DecideDay(ctx));
       PHOEBE_ASSIGN_OR_RETURN(core::FleetDayDecisions candidate_decisions,
-                              candidate_fleet.DecideDay(jobs, stats));
+                              candidate_arm.DecideDay(ctx));
       PHOEBE_ASSIGN_OR_RETURN(
           ShadowDayDiff diff,
           DiffShadowDecisions(day, incumbent_->checksum(), candidate->checksum(),

@@ -13,12 +13,14 @@
 //     │  the same Figure 8 signal RetrainingDriver uses)
 //     ├─ RetrainPolicy decides: bootstrap | accuracy decay | age → train a
 //     │  *candidate* PipelineBundle on the trailing train window
-//     ├─ canary backtest: incumbent and candidate each decide the trailing
-//     │  backtest window via BackTester, cost = 1 - mean realized saving;
-//     │  the candidate is promoted only on a strictly lower cost
-//     ├─ shadow mode (optional): the candidate's would-be decisions for the
-//     │  day are serialized as shard-blob job records and byte-diffed
-//     │  against the incumbent's (lifecycle/shadow.h)
+//     ├─ canary backtest: incumbent and candidate decide the trailing
+//     │  backtest window as two arms of one pass (EvaluateApproachArms),
+//     │  cost = 1 - mean realized saving; the candidate is promoted only on
+//     │  a strictly lower cost
+//     ├─ shadow mode (optional): incumbent and candidate run as two
+//     │  DecisionArms over the day's shared DayContext; their would-be
+//     │  decisions are serialized as shard-blob job records and byte-diffed
+//     │  (lifecycle/shadow.h — a paired-arm report consumer)
 //     └─ one CRC-checked record is appended to the promotion log either way
 //
 // Determinism contract: every artifact the loop emits — the promotion log,
@@ -173,11 +175,14 @@ class LifecycleDriver {
   /// must not serve the new one).
   void AdoptIncumbent(std::shared_ptr<const core::PipelineBundle> bundle, int day);
 
-  /// Mean trailing-window cost (1 - realized saving) of `bundle` over the
-  /// backtest window ending at `day`.
-  Result<double> WindowCost(const std::shared_ptr<const core::PipelineBundle>& bundle,
-                            const telemetry::WorkloadRepository& repo, int day,
-                            int window_first) const;
+  /// Mean trailing-window cost (1 - realized saving) of each bundle over the
+  /// backtest window ending at `day`, entry k for bundle k. One window pass
+  /// evaluates every bundle (core::EvaluateApproachArms), so the canary
+  /// costs incumbent and candidate against identical inputs with one
+  /// generation pass instead of one per bundle.
+  Result<std::vector<double>> WindowCosts(
+      const std::vector<std::shared_ptr<const core::PipelineBundle>>& bundles,
+      const telemetry::WorkloadRepository& repo, int day, int window_first) const;
 
   LifecycleConfig config_;
   Status config_status_;

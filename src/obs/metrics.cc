@@ -49,6 +49,7 @@ std::vector<double> Histogram::ExponentialBounds(double start, double factor,
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
+  if (root_ != this) return root_->counter(prefix_ + name);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return it->second.get();
@@ -60,6 +61,7 @@ Counter* MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
+  if (root_ != this) return root_->gauge(prefix_ + name);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second.get();
@@ -71,6 +73,7 @@ Gauge* MetricsRegistry::gauge(const std::string& name) {
 
 Histogram* MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
+  if (root_ != this) return root_->histogram(prefix_ + name, std::move(bounds));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second.get();
@@ -82,7 +85,39 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
       .first->second.get();
 }
 
+MetricsRegistry* MetricsRegistry::Namespaced(const std::string& prefix) {
+  // A view delegates to the root so nested prefixes concatenate and all
+  // views — whatever they were created from — live in one flat map.
+  if (root_ != this) return root_->Namespaced(prefix_ + prefix);
+  if (prefix.empty()) return this;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = views_.find(prefix);
+  if (it != views_.end()) return it->second.get();
+  std::unique_ptr<MetricsRegistry> view(new MetricsRegistry(this, prefix));
+  return views_.emplace(prefix, std::move(view)).first->second.get();
+}
+
+namespace {
+
+/// Keep only the metrics whose (full) name starts with `prefix`.
+MetricsSnapshot FilterSnapshot(MetricsSnapshot snap, const std::string& prefix) {
+  MetricsSnapshot out;
+  for (auto& [name, v] : snap.counters) {
+    if (name.rfind(prefix, 0) == 0) out.counters[name] = v;
+  }
+  for (auto& [name, v] : snap.gauges) {
+    if (name.rfind(prefix, 0) == 0) out.gauges[name] = v;
+  }
+  for (auto& [name, h] : snap.histograms) {
+    if (name.rfind(prefix, 0) == 0) out.histograms[name] = std::move(h);
+  }
+  return out;
+}
+
+}  // namespace
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  if (root_ != this) return FilterSnapshot(root_->Snapshot(), prefix_);
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();

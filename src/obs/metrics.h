@@ -165,15 +165,34 @@ class MetricsRegistry {
   Histogram* histogram(const std::string& name,
                        std::vector<double> bounds = Histogram::LatencyBounds());
 
+  /// A namespaced view over this registry: every registration through the
+  /// returned registry gets `prefix` prepended to its name ("ab.arm0." +
+  /// "engine.decide.ml_stacked.seconds"), and its Snapshot() sees only the
+  /// prefixed names (full names kept). This is how N DecisionEngine arms
+  /// share one output file without colliding on `engine.<source>.*` — each
+  /// arm registers through its own view, all storage stays in this root.
+  ///
+  /// The view is owned by the root (same lifetime; callers never delete it),
+  /// calling with the same prefix returns the same pointer, an empty prefix
+  /// returns the root itself, and nesting concatenates prefixes. Thread-safe
+  /// like every other registry call.
+  MetricsRegistry* Namespaced(const std::string& prefix);
+
   MetricsSnapshot Snapshot() const;
 
  private:
+  MetricsRegistry(MetricsRegistry* root, std::string prefix)
+      : root_(root), prefix_(std::move(prefix)) {}
+
   enum class Kind { kCounter, kGauge, kHistogram };
+  MetricsRegistry* root_ = this;  ///< self for a root, the root for a view
+  std::string prefix_;            ///< empty for a root
   mutable std::mutex mu_;
   std::map<std::string, Kind> kinds_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<MetricsRegistry>> views_;  ///< by prefix
 };
 
 /// \brief RAII span over a named phase: observes the elapsed wall-clock

@@ -358,8 +358,23 @@ TEST_F(FleetShardFixture, ParseRejectsMalformedBlobs) {
   EXPECT_FALSE(ParseFleetShard(*text + "junk\n").ok());
   {
     std::string t = *text;  // unknown future version must be rejected
-    t.replace(t.find(" 2\n"), 3, " 3\n");
+    t.replace(t.find(" 2\n"), 3, " 4\n");
     EXPECT_FALSE(ParseFleetShard(t).ok());
+  }
+  {
+    // A version-3 header over a body with no arm sections is fine (v3 is a
+    // strict superset), but an arm section inside a v2 blob is malformed —
+    // the same downgrade rule v1 applies to report sections.
+    std::string t = *text;
+    t.replace(t.find(" 2\n"), 3, " 3\n");
+    auto v3 = ParseFleetShard(t);
+    ASSERT_TRUE(v3.ok()) << v3.status().ToString();
+    EXPECT_TRUE(v3->arm_days.empty());
+    std::string with_arm = *text;
+    size_t end_day = with_arm.find("end_day\n");
+    ASSERT_NE(end_day, std::string::npos);
+    with_arm.insert(end_day, "arm 1 jobs 0\nend_arm\n");
+    EXPECT_FALSE(ParseFleetShard(with_arm).ok());
   }
   {
     // A version-1 blob is this same body minus report sections (this one has
@@ -377,6 +392,69 @@ TEST_F(FleetShardFixture, ParseRejectsMalformedBlobs) {
                        "report 0 0 0 0 0 0 0 0 0 0\n");
     EXPECT_FALSE(ParseFleetShard(with_report).ok());
   }
+}
+
+TEST_F(FleetShardFixture, ArmSectionsRoundTripAsVersion3) {
+  // An A/B shard: arm 0 (default config) is the day record, arm 1 (two cuts
+  // per job) rides in a v3 arm section with its own embedded report.
+  FleetConfig cfg0;
+  FleetConfig cfg1;
+  cfg1.num_cuts = 2;
+  FleetDriver arm0(&pipeline_->engine(), cfg0);
+  FleetDriver arm1(&pipeline_->engine(), cfg1);
+  std::map<int, FleetDayDecisions> days;
+  std::map<int, std::map<int, FleetDayDecisions>> arm_days;
+  std::map<int, std::map<int, FleetDayReport>> arm_reports;
+  for (int d = 0; d < kFleetDays; ++d) {
+    auto d0 = arm0.DecideDay(FleetDay(d), FleetStats(d));
+    auto d1 = arm1.DecideDay(FleetDay(d), FleetStats(d));
+    d0.status().Check();
+    d1.status().Check();
+    // Unbudgeted + cache-off, so the shard may replay its own days.
+    FleetDriver replay1(&pipeline_->engine(), cfg1);
+    auto r1 = replay1.ReplayDay(FleetDay(d), FleetStats(d), *d1);
+    r1.status().Check();
+    days.emplace(d, std::move(*d0));
+    arm_days[d].emplace(1, std::move(*d1));
+    arm_reports[d].emplace(1, std::move(*r1));
+  }
+  FleetShardHeader header{0, 1, kFleetDays, 0xabcd1234u};
+  auto text = SerializeFleetShard(header, days, nullptr, &arm_days, &arm_reports);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(text->rfind("phoebe_shard 3\n", 0), 0u);
+
+  auto parsed = ParseFleetShard(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->days.size(), days.size());
+  ASSERT_EQ(parsed->arm_days.size(), arm_days.size());
+  ASSERT_EQ(parsed->arm_reports.size(), arm_reports.size());
+  // Re-serializing the parsed blob reproduces the text byte for byte.
+  auto again = SerializeFleetShard(parsed->header, parsed->days, nullptr,
+                                   &parsed->arm_days, &parsed->arm_reports);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(*again, *text);
+  // And the arm reports round-trip to the canonical JSON byte for byte.
+  for (const auto& [d, arms] : arm_reports) {
+    EXPECT_EQ(FleetDayReportJson(parsed->arm_reports.at(d).at(1), d),
+              FleetDayReportJson(arms.at(1), d));
+  }
+
+  // The combine carries arm sections through to the merged maps.
+  std::vector<FleetShardBlob> blobs;
+  blobs.push_back(std::move(*parsed));
+  auto merged = CombineFleetShards(blobs, 0xabcd1234u);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->arm_days.size(), arm_days.size());
+  EXPECT_EQ(merged->arm_reports.size(), arm_reports.size());
+
+  // Serializer-side validation: arm index 0 and job-count mismatches are
+  // structural errors, not silently written.
+  std::map<int, std::map<int, FleetDayDecisions>> bad_arm;
+  bad_arm[0].emplace(0, days.at(0));
+  EXPECT_FALSE(SerializeFleetShard(header, days, nullptr, &bad_arm).ok());
+  std::map<int, std::map<int, FleetDayDecisions>> short_arm;
+  short_arm[0].emplace(1, FleetDayDecisions{});
+  EXPECT_FALSE(SerializeFleetShard(header, days, nullptr, &short_arm).ok());
 }
 
 TEST_F(FleetShardFixture, ReplayRejectsMismatchedDecisions) {

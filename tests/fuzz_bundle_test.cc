@@ -139,8 +139,10 @@ TEST(FuzzShardBlobCorpusTest, FilesNeverCrashAndValidSeedsParse) {
 TEST(FuzzShardBlobCorpusTest, ValidSeedsRoundTrip) {
   // The checked-in v1 seed pins backward compatibility: it must keep
   // parsing (with no embedded reports), and its body must reserialize
-  // byte-identically under the current version header. The v2 seed must
-  // round-trip exactly, embedded report sections included.
+  // byte-identically under the serializer's arm-free version header (2 —
+  // the serializer stamps the lowest version that can express the blob).
+  // The v2 seed must round-trip exactly, embedded report sections included;
+  // the v3 seed must round-trip exactly, per-arm sections included.
   for (const auto& p : CorpusFiles(".blob")) {
     const std::string name = p.filename().string();
     if (name.find("_valid") == std::string::npos) continue;
@@ -148,13 +150,18 @@ TEST(FuzzShardBlobCorpusTest, ValidSeedsRoundTrip) {
     auto blob = core::ParseFleetShard(text);
     ASSERT_TRUE(blob.ok()) << p << ": " << blob.status().ToString();
     auto text2 = core::SerializeFleetShard(
-        blob->header, blob->days, blob->reports.empty() ? nullptr : &blob->reports);
+        blob->header, blob->days, blob->reports.empty() ? nullptr : &blob->reports,
+        blob->arm_days.empty() ? nullptr : &blob->arm_days,
+        blob->arm_reports.empty() ? nullptr : &blob->arm_reports);
     ASSERT_TRUE(text2.ok()) << p;
     if (name.find("v1") != std::string::npos) {
       EXPECT_TRUE(blob->reports.empty()) << p;
       std::string upgraded = text;
       upgraded.replace(upgraded.find(" 1\n"), 3, " 2\n");
       EXPECT_EQ(*text2, upgraded) << p << " body does not round-trip";
+    } else if (name.find("v3") != std::string::npos) {
+      EXPECT_FALSE(blob->arm_days.empty()) << p;
+      EXPECT_EQ(*text2, text) << p << " does not round-trip";
     } else {
       EXPECT_FALSE(blob->reports.empty()) << p;
       EXPECT_EQ(*text2, text) << p << " does not round-trip";

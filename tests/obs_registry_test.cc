@@ -173,6 +173,67 @@ TEST(ObsRegistryTest, TelemetryLineJsonIsDeterministic) {
   EXPECT_EQ(line.find('\n'), std::string::npos);  // single line, no newline
 }
 
+TEST(ObsRegistryTest, NamespacedViewsPrefixWithoutColliding) {
+  // The fleet-ab scenario: two engines both register "engine.decide.seconds"
+  // through distinct arm views over one root. Without namespacing the second
+  // registration would silently share (or, cross-kind, abort); with it each
+  // arm gets its own metric under its own full name.
+  MetricsRegistry root;
+  MetricsRegistry* arm0 = root.Namespaced("ab.arm0.");
+  MetricsRegistry* arm1 = root.Namespaced("ab.arm1.");
+  ASSERT_NE(arm0, arm1);
+
+  Counter* c0 = arm0->counter("engine.decide.count");
+  Counter* c1 = arm1->counter("engine.decide.count");
+  ASSERT_NE(c0, c1);
+  c0->Add(2);
+  c1->Add(5);
+
+  MetricsSnapshot snap = root.Snapshot();
+  EXPECT_EQ(snap.counters.at("ab.arm0.engine.decide.count"), 2);
+  EXPECT_EQ(snap.counters.at("ab.arm1.engine.decide.count"), 5);
+  EXPECT_EQ(snap.counters.count("engine.decide.count"), 0u);
+}
+
+TEST(ObsRegistryTest, NamespacedIsIdempotentEmptyIsRootNestingConcatenates) {
+  MetricsRegistry root;
+  EXPECT_EQ(root.Namespaced(""), &root);
+  MetricsRegistry* a = root.Namespaced("a.");
+  EXPECT_EQ(root.Namespaced("a."), a);  // same prefix, same view object
+
+  // Nesting concatenates: a view's view registers under the joined prefix,
+  // and the same joined prefix reached either way is the same view.
+  MetricsRegistry* ab = a->Namespaced("b.");
+  EXPECT_EQ(ab, root.Namespaced("a.b."));
+  ab->counter("n")->Increment();
+  EXPECT_EQ(root.Snapshot().counters.at("a.b.n"), 1);
+
+  // Registering the same leaf name through root and view coexists: the full
+  // names differ, so these are two distinct metrics.
+  Counter* plain = root.counter("n");
+  EXPECT_NE(plain, ab->counter("n"));
+}
+
+TEST(ObsRegistryTest, NamespacedSnapshotFiltersToThePrefix) {
+  MetricsRegistry root;
+  root.counter("outside")->Add(1);
+  MetricsRegistry* arm = root.Namespaced("arm0.");
+  arm->counter("hits")->Add(3);
+  arm->gauge("level")->Set(2.0);
+  arm->histogram("lat", {1.0})->Observe(0.5);
+
+  // The view's snapshot is the root's restricted to its prefix — full names
+  // kept, so a per-arm snapshot still merges cleanly into run-level JSON.
+  MetricsSnapshot snap = arm->Snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters.at("arm0.hits"), 3);
+  EXPECT_EQ(snap.gauges.at("arm0.level"), 2.0);
+  EXPECT_EQ(snap.histograms.at("arm0.lat").count, 1);
+  EXPECT_EQ(snap.counters.count("outside"), 0u);
+  // Everything is still visible from the root.
+  EXPECT_EQ(root.Snapshot().counters.size(), 2u);
+}
+
 TEST(ObsRegistryTest, MetricsConfigValidate) {
   MetricsConfig cfg;
   EXPECT_TRUE(cfg.Validate().ok());  // disabled default is valid

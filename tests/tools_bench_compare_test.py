@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py — the nightly perf-trajectory gate.
+
+The comparator is the only thing standing between a silent perf or
+determinism regression and a green nightly, so its edges are pinned here:
+tolerance boundaries in both directions, byte-identity gate flips (which
+must fail regardless of tolerance), missing metrics/rows, and unknown bench
+kinds. Runs under ctest via a plain Python3 interpreter; stdlib only.
+"""
+
+import importlib.util
+import os
+import sys
+import unittest
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "tools", "bench_compare.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_compare", _TOOL)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def ab_doc(seconds=1.0, paired=True, arms_identical=True, threads=1):
+    return {
+        "bench": "ab_harness",
+        "arm_reports_identical_to_standalone": arms_identical,
+        "series": [
+            {
+                "threads": threads,
+                "seconds": seconds,
+                "paired_identical_to_serial": paired,
+            }
+        ],
+    }
+
+
+class CompareAbHarnessTest(unittest.TestCase):
+    def test_identical_docs_pass(self):
+        regressions, notes = bench_compare.compare(ab_doc(), ab_doc(), 0.10)
+        self.assertEqual(regressions, [])
+        self.assertEqual(len(notes), 1)
+
+    def test_within_tolerance_passes(self):
+        # 9% slower on a "lower" metric under 10% tolerance: ok.
+        regressions, _ = bench_compare.compare(ab_doc(1.0), ab_doc(1.09), 0.10)
+        self.assertEqual(regressions, [])
+
+    def test_beyond_tolerance_fails(self):
+        regressions, _ = bench_compare.compare(ab_doc(1.0), ab_doc(1.11), 0.10)
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("seconds", regressions[0])
+
+    def test_improvement_never_fails_lower_metric(self):
+        regressions, _ = bench_compare.compare(ab_doc(1.0), ab_doc(0.5), 0.10)
+        self.assertEqual(regressions, [])
+
+    def test_top_level_gate_flip_fails_regardless_of_tolerance(self):
+        regressions, _ = bench_compare.compare(
+            ab_doc(), ab_doc(arms_identical=False), 0.99
+        )
+        self.assertTrue(
+            any("arm_reports_identical_to_standalone" in r for r in regressions)
+        )
+
+    def test_series_gate_flip_fails_regardless_of_tolerance(self):
+        regressions, _ = bench_compare.compare(ab_doc(), ab_doc(paired=False), 0.99)
+        self.assertTrue(any("paired_identical_to_serial" in r for r in regressions))
+
+    def test_gate_false_in_snapshot_is_not_a_regression(self):
+        # A gate that was already false in the snapshot cannot "flip".
+        snap = ab_doc(arms_identical=False, paired=False)
+        cur = ab_doc(arms_identical=False, paired=False)
+        regressions, _ = bench_compare.compare(snap, cur, 0.10)
+        self.assertEqual(regressions, [])
+
+    def test_missing_series_row_fails(self):
+        cur = ab_doc()
+        cur["series"] = []
+        regressions, _ = bench_compare.compare(ab_doc(), cur, 0.10)
+        self.assertTrue(any("missing from current run" in r for r in regressions))
+
+    def test_missing_metric_fails(self):
+        cur = ab_doc()
+        del cur["series"][0]["seconds"]
+        regressions, _ = bench_compare.compare(ab_doc(), cur, 0.10)
+        self.assertTrue(any("'seconds' missing" in r for r in regressions))
+
+    def test_metric_absent_from_snapshot_is_skipped(self):
+        # The standalone baseline row (threads=0) carries no gate; extra
+        # metrics only in the current doc are never compared.
+        snap = ab_doc()
+        del snap["series"][0]["seconds"]
+        regressions, _ = bench_compare.compare(snap, ab_doc(), 0.10)
+        self.assertEqual(regressions, [])
+
+    def test_bench_kind_mismatch_fails(self):
+        other = ab_doc()
+        other["bench"] = "fleet_scale"
+        regressions, _ = bench_compare.compare(ab_doc(), other, 0.10)
+        self.assertTrue(any("bench kind mismatch" in r for r in regressions))
+
+    def test_unknown_bench_kind_fails(self):
+        doc = ab_doc()
+        doc["bench"] = "not_a_bench"
+        regressions, _ = bench_compare.compare(doc, dict(doc), 0.10)
+        self.assertTrue(any("no comparison plan" in r for r in regressions))
+
+
+class CompareFleetScaleTest(unittest.TestCase):
+    def doc(self, decide=1.0, identical=True):
+        return {
+            "bench": "fleet_scale",
+            "series": [
+                {"threads": 1, "seconds": 1.0, "identical_to_serial": True}
+            ],
+            "process_series": [
+                {
+                    "processes": 2,
+                    "decide_seconds": decide,
+                    "merge_seconds": 0.5,
+                    "identical_to_sequential": identical,
+                }
+            ],
+        }
+
+    def test_both_series_walked(self):
+        regressions, notes = bench_compare.compare(self.doc(), self.doc(), 0.10)
+        self.assertEqual(regressions, [])
+        # series.seconds + process_series.{decide,merge}_seconds all noted.
+        self.assertEqual(len(notes), 3)
+
+    def test_process_series_regression_detected(self):
+        regressions, _ = bench_compare.compare(self.doc(1.0), self.doc(2.0), 0.10)
+        self.assertTrue(any("decide_seconds" in r for r in regressions))
+
+    def test_process_series_gate_flip_detected(self):
+        regressions, _ = bench_compare.compare(
+            self.doc(), self.doc(identical=False), 0.99
+        )
+        self.assertTrue(any("identical_to_sequential" in r for r in regressions))
+
+
+class ZeroBaselineTest(unittest.TestCase):
+    def test_zero_snapshot_metric_is_skipped(self):
+        # A 0.0 baseline cannot express a fractional change; the comparator
+        # must skip it rather than divide by zero.
+        snap = ab_doc(seconds=0.0)
+        regressions, _ = bench_compare.compare(snap, ab_doc(seconds=5.0), 0.10)
+        self.assertEqual(regressions, [])
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

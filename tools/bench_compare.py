@@ -37,6 +37,17 @@ PLANS = {
         ],
         "gates": ["batch_reports_identical", "exact_mode_reports_identical"],
     },
+    "ab_harness": {
+        "series": [
+            {
+                "path": "series",
+                "key": "threads",
+                "metrics": [("seconds", "lower")],
+                "gates": ["paired_identical_to_serial"],
+            }
+        ],
+        "gates": ["arm_reports_identical_to_standalone"],
+    },
     "fleet_scale": {
         "series": [
             {

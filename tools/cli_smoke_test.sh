@@ -193,6 +193,77 @@ if ! grep -q 'fleet.phase.decide.seconds' "$WORKDIR/telemetry.jsonl"; then
   fail "fleet --metrics: missing decide phase histogram"
 fi
 
+# fleet-ab error paths: a single arm is not a comparison; a bad --arm key or
+# value must fail loudly.
+expect_exit 2 "fleet-ab single arm" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --bundle "$WORKDIR/model.phoebe"
+expect_stderr_contains "fleet-ab single arm" ">= 2 arms"
+expect_exit 2 "fleet-ab bad arm key" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --arm bogus=1
+expect_stderr_contains "fleet-ab bad arm key" "name|source|cuts|cache|bps"
+expect_exit 2 "fleet-ab bad arm source" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --arm source=nonsense
+
+# fleet-ab zero diff: two arms serving the same bundle must report zero
+# decision and admission flips.
+expect_exit 0 "fleet-ab identical bundles" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --bundle "$WORKDIR/model.phoebe" \
+  --report "$WORKDIR/ab_same.txt"
+if grep "^delta" "$WORKDIR/ab_same.txt" | grep -qv "decision_flips 0 admission_flips 0"; then
+  fail "fleet-ab: identical bundles reported a non-zero diff"
+fi
+
+# fleet-ab arm-0 identity: the baseline arm's per-day JSON report must be
+# byte-identical to the standalone `fleet --report` run under the same
+# bundle and config (report_unsharded.jsonl from above).
+expect_exit 0 "fleet-ab arm reports" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --arm name=twocut,cuts=2 \
+  --arm-reports "$WORKDIR/ab_arm" --report "$WORKDIR/ab_paired.txt"
+if ! diff -q "$WORKDIR/report_unsharded.jsonl" "$WORKDIR/ab_arm0.jsonl" >/dev/null; then
+  fail "fleet-ab: arm-0 report differs from the standalone fleet report"
+fi
+if [ ! -s "$WORKDIR/ab_arm1.jsonl" ]; then
+  fail "fleet-ab: arm-1 report file is empty or missing"
+fi
+if ! head -1 "$WORKDIR/ab_paired.txt" | grep -q "phoebe_ab_report 1"; then
+  fail "fleet-ab: paired report is missing its header"
+fi
+
+# fleet-ab determinism: a threaded re-run must reproduce the paired report
+# byte for byte.
+expect_exit 0 "fleet-ab threaded" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --days 2 --threads 2 \
+  --bundle "$WORKDIR/model.phoebe" --arm name=twocut,cuts=2 \
+  --report "$WORKDIR/ab_paired_t2.txt"
+if ! diff -q "$WORKDIR/ab_paired.txt" "$WORKDIR/ab_paired_t2.txt" >/dev/null; then
+  fail "fleet-ab: threaded paired report differs from serial"
+fi
+
+# fleet-ab shard/merge: per-arm decide phases ship in v3 blobs (regular day
+# records for arm 0, `arm` sections for the rest); the merge must reproduce
+# the unsharded paired report byte for byte.
+expect_exit 0 "fleet-ab shard 0/2" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --arm name=twocut,cuts=2 \
+  --shard 0/2 --out "$WORKDIR/ab_shard0.blob"
+expect_exit 0 "fleet-ab shard 1/2" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --arm name=twocut,cuts=2 \
+  --shard 1/2 --out "$WORKDIR/ab_shard1.blob"
+if ! head -1 "$WORKDIR/ab_shard0.blob" | grep -q "phoebe_shard 3"; then
+  fail "fleet-ab: shard blob with per-arm sections is not version 3"
+fi
+expect_exit 0 "fleet-ab merge" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --arm name=twocut,cuts=2 \
+  --merge "$WORKDIR/ab_shard0.blob,$WORKDIR/ab_shard1.blob" \
+  --report "$WORKDIR/ab_paired_merged.txt"
+if ! diff -q "$WORKDIR/ab_paired.txt" "$WORKDIR/ab_paired_merged.txt" >/dev/null; then
+  fail "fleet-ab: merged paired report differs from unsharded"
+fi
+
 # trace round trip through the CLI surface.
 expect_exit 0 "trace-export" -- \
   "$CLI" trace-export "${SMALL[@]}" --days 1 --out "$WORKDIR/trace.txt"
@@ -304,6 +375,28 @@ if ! grep -q "lifecycle.days" "$WORKDIR/lc_telemetry.jsonl"; then
 fi
 if ! grep -q '"scope":"run"' "$WORKDIR/lc_telemetry.jsonl"; then
   fail "lifecycle --metrics: missing cumulative run line"
+fi
+
+# Candidate-architecture canary: --candidate-pipeline small exercises the
+# promotion path (the bootstrap always promotes), and crippled candidates —
+# one near-zero-learning-rate stump per model — must lose every post-bootstrap
+# canary, exercising the rejection path; a bad preset is a usage error.
+expect_exit 2 "lifecycle bad candidate-pipeline" -- \
+  "$CLI" lifecycle "${SMALL[@]}" --out-dir "$WORKDIR/lc_bad" --candidate-pipeline huge
+expect_stderr_contains "lifecycle bad candidate-pipeline" "default|small|crippled"
+expect_exit 0 "lifecycle small candidate" -- \
+  "$CLI" lifecycle "${SMALL[@]}" --days 4 --policy-max-age 2 --policy-min-history 2 \
+  --policy-train-window 3 --backtest-window 2 --candidate-pipeline small \
+  --out-dir "$WORKDIR/lc_small"
+expect_stdout_contains "lifecycle small candidate" "retrain (bootstrap)"
+expect_stdout_contains "lifecycle small candidate" "promoted"
+expect_exit 0 "lifecycle crippled candidate" -- \
+  "$CLI" lifecycle "${SMALL[@]}" --days 6 --policy-max-age 2 --policy-min-history 2 \
+  --policy-train-window 3 --backtest-window 2 --candidate-pipeline crippled \
+  --out-dir "$WORKDIR/lc_crippled"
+expect_stdout_contains "lifecycle crippled candidate" "rejected"
+if ! grep -q "verdict rejected" "$WORKDIR/lc_crippled/promotion.log"; then
+  fail "lifecycle: crippled candidate's rejection is missing from promotion.log"
 fi
 
 # Determinism end to end: a threaded, exact-cached, metrics-off re-run must

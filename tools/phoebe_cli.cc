@@ -12,6 +12,11 @@
 //              --bundle serves a saved artifact, --shard/--merge split the
 //              run across processes with byte-identical merged reports,
 //              --metrics exports per-day telemetry JSON lines
+//   fleet-ab   differential fleet A/B: N decision arms (saved bundles and/or
+//              --arm config variants) decide the same generated days over one
+//              shared context; emits the paired per-day comparison report,
+//              with --shard/--merge splitting the run across processes via
+//              v3 per-arm shard sections
 //   lifecycle  simulated-production continuous-operation loop: daily
 //              telemetry, drift-aware retraining, canary backtest promotion,
 //              optional shadow diffing; artifacts (promotion.log, bundles,
@@ -47,6 +52,7 @@
 #include "core/evaluate.h"
 #include "core/explain.h"
 #include "core/fleet.h"
+#include "core/fleet_ab.h"
 #include "core/fleet_shard.h"
 #include "core/pipeline.h"
 #include "dag/dot_export.h"
@@ -762,6 +768,395 @@ int CmdFleet(int argc, char** argv) {
   return 0;
 }
 
+/// Apply one `--arm` spec ("name=twocut,cuts=2,source=ml_sim,cache=64,bps=50")
+/// on top of the baseline FleetConfig. Only the listed keys are accepted; a
+/// typo is a CLI error, never a silently ignored knob.
+Status ApplyArmSpec(const std::string& spec, core::FleetConfig* cfg,
+                    std::string* name) {
+  for (const std::string& kv : Split(spec, ',')) {
+    size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(StrFormat(
+          "--arm expects comma-separated key=value pairs, got '%s'", kv.c_str()));
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    Status parsed = Status::OK();
+    if (key == "name") {
+      *name = value;
+    } else if (key == "source") {
+      parsed = core::CostSourceFromToken(value, &cfg->source);
+    } else if (key == "cuts") {
+      int32_t v = 0;
+      parsed = ParseInt32(value, &v);
+      if (parsed.ok()) cfg->num_cuts = std::max(1, v);
+    } else if (key == "cache") {
+      int32_t v = 0;
+      parsed = ParseInt32(value, &v);
+      if (parsed.ok()) {
+        cfg->template_cache.enabled = v > 0;
+        if (v > 0) cfg->template_cache.capacity = static_cast<size_t>(v);
+      }
+    } else if (key == "bps") {
+      int32_t v = 0;
+      parsed = ParseInt32(value, &v);
+      if (parsed.ok()) cfg->template_cache.quantize_bps = std::max(0, v);
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "--arm key '%s' is not one of name|source|cuts|cache|bps", key.c_str()));
+    }
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(StrFormat("--arm %s: %s", key.c_str(),
+                                               parsed.message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+int CmdFleetAb(int argc, char** argv) {
+  ArgParser p("phoebe_cli fleet-ab",
+              "Differential fleet A/B: N decision arms (saved bundles and/or "
+              "--arm config variants) decide the same generated days over one "
+              "shared context. Arm 0 is the baseline every delta is measured "
+              "against; each arm's day report is byte-identical to a "
+              "standalone `fleet` run under that arm's engine and config.");
+  AddWorkloadFlags(p);
+  p.AddInt("train-days", 5, "days of history to train on");
+  p.AddInt("test-days", 1, "held-out days generated after training");
+  p.AddStringList("bundle", "saved bundle file; each occurrence adds one arm "
+                  "serving that bundle (arm 0 trains in-process when absent)");
+  p.AddStringList("arm", "config arm over the arm-0 bundle: comma-separated "
+                  "key=value of name|source|cuts|cache|bps "
+                  "(e.g. name=twocut,cuts=2)");
+  p.AddInt("days", 1, "number of fleet days to run");
+  p.AddInt("threads", 1, "decision threads (0 = all cores; paired reports are "
+           "byte-identical for any value)");
+  p.AddInt("num-cuts", 1, "checkpoint cuts per job (baseline config)");
+  p.AddDouble("budget-gb", 0.0, "global storage budget in GB (0 = unlimited)");
+  p.AddString("objective", "temp", "optimization objective: temp|recovery");
+  p.AddInt("template-cache", 0, "baseline template cache capacity (0 = off)");
+  p.AddInt("cache-bps", 0, "baseline cache drift tolerance in basis points "
+           "(0 = exact, byte-neutral)");
+  p.AddString("report", "", "write the paired A/B report text to this file");
+  p.AddString("arm-reports", "", "write each arm's per-day JSON report lines "
+              "to <prefix><k>.jsonl (arm 0's file is byte-identical to a "
+              "standalone `fleet --report` under the same config)");
+  p.AddString("metrics", "", "write telemetry JSON lines to this file "
+              "(per-arm names under ab.arm<k>.)");
+  p.AddString("shard", "", "I/N decide-only mode: write one v3 blob with "
+              "per-arm sections to --out");
+  p.AddString("out", "", "output blob path for --shard");
+  p.AddString("merge", "", "comma-separated v3 shard blobs to replay into "
+              "byte-identical paired reports");
+  int code;
+  if (!ParseOrReport(p, argc, argv, &code)) return code;
+
+  auto objective = ParseObjective(p.GetString("objective"));
+  if (!objective.ok()) {
+    std::fprintf(stderr, "%s\n", objective.status().ToString().c_str());
+    return 2;
+  }
+
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::ofstream metrics_file;
+  const std::string metrics_path = p.GetString("metrics");
+  if (!metrics_path.empty()) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    metrics_file.open(metrics_path, std::ios::binary);
+    if (!metrics_file) {
+      std::fprintf(stderr, "cannot open '%s'\n", metrics_path.c_str());
+      return 1;
+    }
+  }
+
+  // Workload + history: the arm-independent half of the day loop, generated
+  // exactly once no matter how many arms decide it.
+  const int num_days = std::max(1, p.GetInt("days"));
+  auto gen = MakeGen(p);
+  telemetry::WorkloadRepository repo;
+  const int train_days = p.GetInt("train-days");
+  const int total = train_days + std::max({1, p.GetInt("test-days"), num_days});
+  for (int d = 0; d < total; ++d) repo.AddDay(d, gen.GenerateDay(d)).Check();
+
+  const double budget_gb = p.GetDouble("budget-gb");
+  core::FleetConfig base_cfg;
+  base_cfg.objective = *objective;
+  base_cfg.num_cuts = std::max(1, p.GetInt("num-cuts"));
+  base_cfg.num_threads = p.GetInt("threads");
+  if (budget_gb > 0.0) base_cfg.storage_budget_bytes = budget_gb * 1e9;
+  int cache_capacity = p.GetInt("template-cache");
+  if (cache_capacity > 0) {
+    base_cfg.template_cache.enabled = true;
+    base_cfg.template_cache.capacity = static_cast<size_t>(cache_capacity);
+    base_cfg.template_cache.quantize_bps = std::max(0, p.GetInt("cache-bps"));
+  }
+
+  // Arm plan: one arm per --bundle (arm 0 trains in-process when none are
+  // named), then one arm per --arm spec over the arm-0 bundle.
+  struct ArmPlan {
+    std::string name;
+    std::shared_ptr<const core::PipelineBundle> bundle;
+    core::FleetConfig cfg;
+  };
+  std::vector<ArmPlan> plans;
+  core::PhoebePipeline trained;
+  for (const std::string& path : p.GetStrings("bundle")) {
+    auto bundle = core::PipelineBundle::LoadFromFile(path, registry.get());
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "cannot load '%s': %s\n", path.c_str(),
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    plans.push_back({StrFormat("bundle%zu", plans.size()), *bundle, base_cfg});
+  }
+  if (plans.empty()) {
+    trained.Train(repo, 0, train_days).Check();
+    plans.push_back({"base", trained.bundle(), base_cfg});
+  }
+  for (const std::string& spec : p.GetStrings("arm")) {
+    ArmPlan plan{StrFormat("cfg%zu", plans.size()), plans.front().bundle, base_cfg};
+    if (Status st = ApplyArmSpec(spec, &plan.cfg, &plan.name); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+    plans.push_back(std::move(plan));
+  }
+  if (plans.size() < 2) {
+    std::fprintf(stderr, "fleet-ab compares >= 2 arms; pass --bundle twice "
+                 "and/or add --arm specs\n");
+    return 2;
+  }
+
+  // Each arm decides through its own engine view (cheap: a const reader over
+  // the shared immutable bundle) so its engine.* and fleet.* metric names
+  // carry the arm's ab.arm<k>. prefix and never collide.
+  std::vector<std::unique_ptr<core::DecisionEngine>> engines;
+  std::vector<core::FleetArmSpec> specs;
+  for (size_t k = 0; k < plans.size(); ++k) {
+    obs::MetricsRegistry* arm_metrics =
+        registry ? registry->Namespaced(StrFormat("ab.arm%zu.", k)) : nullptr;
+    plans[k].cfg.metrics = arm_metrics;
+    engines.push_back(
+        std::make_unique<core::DecisionEngine>(plans[k].bundle, arm_metrics));
+    core::FleetArmSpec spec;
+    spec.name = plans[k].name;
+    spec.engine = engines.back().get();
+    spec.config = plans[k].cfg;
+    spec.bundle_checksum = plans[k].bundle->checksum();
+    specs.push_back(std::move(spec));
+  }
+  core::FleetAbDriver driver(std::move(specs));
+
+  if (budget_gb > 0.0) {
+    const auto& hist_jobs = repo.Day(train_days - 1);
+    auto hist_stats = repo.StatsBefore(train_days - 1);
+    driver.Calibrate(core::DayContext(-1, hist_jobs, hist_stats)).Check();
+  }
+
+  // --shard I/N: decide-only mode. Arm 0's decisions are the blob's regular
+  // day records; arms 1..n-1 land in v3 per-arm sections, so one blob carries
+  // the whole differential run's decide phase for the days it owns.
+  std::string shard = p.GetString("shard");
+  if (!shard.empty()) {
+    std::vector<std::string> parts = Split(shard, '/');
+    int32_t index = -1, count = 0;
+    if (parts.size() != 2 || !ParseInt32(parts[0], &index).ok() ||
+        !ParseInt32(parts[1], &count).ok() || count < 1 || index < 0 || index >= count) {
+      std::fprintf(stderr, "--shard expects I/N with 0 <= I < N, got '%s'\n",
+                   shard.c_str());
+      return 2;
+    }
+    std::string out = p.GetString("out");
+    if (out.empty()) {
+      std::fprintf(stderr, "fleet-ab --shard requires --out <file>\n");
+      return 2;
+    }
+    core::FleetShardHeader header{index, count, num_days,
+                                  driver.spec(0).bundle_checksum};
+    std::map<int, core::FleetDayDecisions> days;
+    std::map<int, std::map<int, core::FleetDayDecisions>> arm_days;
+    for (int d = 0; d < num_days; ++d) {
+      if (!core::ShardOwnsDay(d, index, count)) continue;
+      const auto& jobs = repo.Day(train_days + d);
+      auto stats = repo.StatsBefore(train_days + d);
+      auto decisions = driver.DecideDay(core::DayContext(d, jobs, stats));
+      decisions.status().Check();
+      for (size_t k = 1; k < decisions->size(); ++k) {
+        arm_days[d].emplace(static_cast<int>(k), std::move((*decisions)[k]));
+      }
+      days.emplace(d, std::move(decisions->front()));
+    }
+    auto blob = core::SerializeFleetShard(header, days, nullptr,
+                                          arm_days.empty() ? nullptr : &arm_days);
+    blob.status().Check();
+    std::ofstream f(out, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", out.c_str());
+      return 1;
+    }
+    f << *blob;
+    std::fprintf(stderr, "shard %d/%d: wrote %zu of %d day(s) x %zu arm(s) to %s\n",
+                 index, count, days.size(), num_days, driver.num_arms(),
+                 out.c_str());
+    if (registry) {
+      metrics_file << obs::TelemetryLineJson(registry->Snapshot(), "run", -1) << "\n";
+    }
+    return 0;
+  }
+
+  // --merge f1,f2,...: replace every arm's decide phase with the blobs'
+  // precomputed records; cache + admission replay per arm here, so the paired
+  // reports are byte-identical to an unsharded fleet-ab run.
+  std::map<int, core::FleetDayDecisions> merged;
+  std::map<int, std::map<int, core::FleetDayDecisions>> merged_arms;
+  bool replay = false;
+  std::string merge = p.GetString("merge");
+  if (!merge.empty()) {
+    std::vector<core::FleetShardBlob> blobs;
+    for (const std::string& path : Split(merge, ',')) {
+      std::ifstream f(path, std::ios::binary);
+      if (!f) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 1;
+      }
+      std::string text((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+      auto blob = core::ParseFleetShard(text);
+      if (!blob.ok()) {
+        std::fprintf(stderr, "parse error in '%s': %s\n", path.c_str(),
+                     blob.status().ToString().c_str());
+        return 1;
+      }
+      blobs.push_back(std::move(*blob));
+    }
+    if (blobs.front().header.num_days != num_days) {
+      std::fprintf(stderr, "shard blobs cover %d day(s); pass --days %d\n",
+                   blobs.front().header.num_days, blobs.front().header.num_days);
+      return 2;
+    }
+    auto m = core::CombineFleetShards(blobs, driver.spec(0).bundle_checksum);
+    m.status().Check();
+    merged = std::move(m->days);
+    merged_arms = std::move(m->arm_days);
+    replay = true;
+  }
+
+  std::string report_path = p.GetString("report");
+  std::string arm_reports_prefix = p.GetString("arm-reports");
+  std::vector<std::unique_ptr<std::ofstream>> arm_report_files;
+  if (!arm_reports_prefix.empty()) {
+    for (size_t k = 0; k < driver.num_arms(); ++k) {
+      std::string path = StrFormat("%s%zu.jsonl", arm_reports_prefix.c_str(), k);
+      auto f = std::make_unique<std::ofstream>(path, std::ios::binary);
+      if (!*f) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 1;
+      }
+      arm_report_files.push_back(std::move(f));
+    }
+  }
+
+  std::vector<core::AbDayComparison> all_days;
+  for (int d = 0; d < num_days; ++d) {
+    obs::MetricsSnapshot day_before;
+    if (registry) day_before = registry->Snapshot();
+    const auto& jobs = repo.Day(train_days + d);
+    auto stats = repo.StatsBefore(train_days + d);
+    core::DayContext ctx(d, jobs, stats);
+    auto result = [&]() -> Result<core::FleetAbDriver::AbDayResult> {
+      if (!replay) return driver.RunDay(ctx);
+      std::vector<core::FleetDayDecisions> pre;
+      pre.push_back(std::move(merged.at(d)));
+      auto ait = merged_arms.find(d);
+      for (size_t k = 1; k < driver.num_arms(); ++k) {
+        if (ait == merged_arms.end() ||
+            ait->second.find(static_cast<int>(k)) == ait->second.end()) {
+          return Status::InvalidArgument(StrFormat(
+              "shard blobs carry no arm-%zu section for day %d", k, d));
+        }
+        pre.push_back(std::move(ait->second.at(static_cast<int>(k))));
+      }
+      return driver.ReplayDay(ctx, pre);
+    }();
+    result.status().Check();
+    const core::AbDayComparison& cmp = result->comparison;
+
+    std::printf("fleet-ab day %d: %d jobs, %zu arms%s%s\n", d, cmp.jobs,
+                driver.num_arms(),
+                budget_gb > 0.0 ? StrFormat(", budget %.1f GB", budget_gb).c_str() : "",
+                replay ? " (merged from shards)" : "");
+    TablePrinter tab({"arm", "saving %", "cost", "flips", "admission", "cost delta"});
+    for (size_t k = 0; k < cmp.arms.size(); ++k) {
+      const core::AbArmDaySummary& a = cmp.arms[k];
+      const core::AbArmDelta& delta = cmp.deltas[k];
+      tab.AddRow({a.name, StrFormat("%.1f", 100.0 * a.saving_fraction),
+                  StrFormat("%.4f", a.cost),
+                  k == 0 ? "-" : StrFormat("%d", delta.decision_flips),
+                  k == 0 ? "-" : StrFormat("%d", delta.admission_flips),
+                  k == 0 ? "-" : StrFormat("%+.4f", delta.cost_delta)});
+    }
+    tab.Print();
+
+    for (size_t k = 0; k < arm_report_files.size(); ++k) {
+      *arm_report_files[k] << core::FleetDayReportJson(result->reports[k], d)
+                           << "\n";
+    }
+    all_days.push_back(std::move(result->comparison));
+    if (registry) {
+      metrics_file << obs::TelemetryLineJson(
+                          obs::SnapshotDelta(day_before, registry->Snapshot()),
+                          "day", d)
+                   << "\n";
+    }
+  }
+  if (!report_path.empty()) {
+    std::ofstream f(report_path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open '%s'\n", report_path.c_str());
+      return 1;
+    }
+    f << core::SerializeAbReport(all_days);
+    std::fprintf(stderr, "wrote paired report (%d day(s), %zu arms) to %s\n",
+                 num_days, driver.num_arms(), report_path.c_str());
+  }
+  if (!arm_report_files.empty()) {
+    std::fprintf(stderr, "wrote per-arm day reports to %s{0..%zu}.jsonl\n",
+                 arm_reports_prefix.c_str(), driver.num_arms() - 1);
+  }
+  if (registry) {
+    metrics_file << obs::TelemetryLineJson(registry->Snapshot(), "run", -1) << "\n";
+    metrics_file.close();
+    std::fprintf(stderr, "wrote telemetry to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+/// Candidate-architecture presets for `lifecycle --candidate-pipeline`.
+/// "small" shrinks every GBDT to 8 trees — a cheaper architecture that can
+/// still win the canary; "crippled" is one near-zero-learning-rate stump per
+/// model, deliberately too weak to beat a trained incumbent (the knob that
+/// exercises the rejection path end to end).
+core::PipelineConfig SmallPipelineConfig() {
+  core::PipelineConfig cfg = core::PhoebePipeline::DefaultConfig();
+  cfg.exec_predictor.gbdt.num_trees = 8;
+  cfg.size_predictor.gbdt.num_trees = 8;
+  cfg.ttl.gbdt.num_trees = 8;
+  return cfg;
+}
+
+core::PipelineConfig CrippledPipelineConfig() {
+  core::PipelineConfig cfg = SmallPipelineConfig();
+  for (core::PredictorConfig* pc : {&cfg.exec_predictor, &cfg.size_predictor}) {
+    pc->gbdt.num_trees = 1;
+    pc->gbdt.num_leaves = 2;
+    pc->gbdt.learning_rate = 1e-4;
+  }
+  cfg.ttl.gbdt.num_trees = 1;
+  cfg.ttl.gbdt.num_leaves = 2;
+  cfg.ttl.gbdt.learning_rate = 1e-4;
+  return cfg;
+}
+
 int CmdLifecycle(int argc, char** argv) {
   ArgParser p("phoebe_cli lifecycle",
               "Simulated-production continuous-operation loop: each day "
@@ -794,6 +1189,9 @@ int CmdLifecycle(int argc, char** argv) {
            "(0 = keep everything; must cover the deepest window)");
   p.AddBool("shadow", "record the candidate's would-be decisions as shard-blob "
             "job records and byte-diff them against the incumbent's");
+  p.AddString("candidate-pipeline", "default", "architecture candidates train "
+              "under while the incumbent keeps its own: default|small|crippled "
+              "(crippled always loses the canary — the rejection-path demo)");
   p.AddString("out-dir", "", "artifact directory (required)");
   p.AddString("metrics", "", "write per-day lifecycle.* telemetry JSON lines "
               "(and a final cumulative 'run' line) to this file");
@@ -839,6 +1237,16 @@ int CmdLifecycle(int argc, char** argv) {
     cfg.fleet.template_cache.quantize_bps = std::max(0, p.GetInt("cache-bps"));
   }
   cfg.shadow = p.GetBool("shadow");
+  const std::string candidate = p.GetString("candidate-pipeline");
+  if (candidate == "small") {
+    cfg.candidate_pipeline = SmallPipelineConfig();
+  } else if (candidate == "crippled") {
+    cfg.candidate_pipeline = CrippledPipelineConfig();
+  } else if (candidate != "default") {
+    std::fprintf(stderr, "--candidate-pipeline expects default|small|crippled, "
+                 "got '%s'\n", candidate.c_str());
+    return 2;
+  }
   cfg.retention_days = p.GetInt("retention-days");
   cfg.out_dir = out_dir;
   cfg.metrics = registry.get();
@@ -1170,6 +1578,8 @@ void Usage() {
       "  backtest     compare checkpoint approaches on a held-out day\n"
       "  fleet        day-level driver: threads, budget, template cache,\n"
       "               --shard/--merge process split, --metrics telemetry\n"
+      "  fleet-ab     differential A/B: N arms (bundles / --arm configs) over\n"
+      "               one shared day context, paired comparison reports\n"
       "  lifecycle    continuous-operation loop: drift-aware retraining,\n"
       "               canary backtest promotion, shadow diffing (--out-dir)\n"
       "  serve        long-running decision daemon (framed socket protocol,\n"
@@ -1197,6 +1607,7 @@ int main(int argc, char** argv) {
   if (cmd == "decide") return CmdDecide(argc, argv);
   if (cmd == "backtest") return CmdBacktest(argc, argv);
   if (cmd == "fleet") return CmdFleet(argc, argv);
+  if (cmd == "fleet-ab") return CmdFleetAb(argc, argv);
   if (cmd == "lifecycle") return CmdLifecycle(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "serve-client") return CmdServeClient(argc, argv);

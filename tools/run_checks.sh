@@ -37,11 +37,13 @@ run_config build-asan "asan+ubsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=ON
 # daemon's client/reload races (readers, workers, and hot bundle swaps on
 # live traffic), the lifecycle determinism suite (full retrain/promote
 # loops at 4 decision threads), and the per-worker decide-scratch arenas
-# (FleetScratch: warm-arena reuse across threads must stay byte-neutral).
+# (FleetScratch: warm-arena reuse across threads must stay byte-neutral),
+# and the A/B harness (FleetAb: per-arm decide fan-out on the shared day
+# context must stay byte-identical across thread counts).
 # The full suite under TSan is too slow for a local gate, and the
 # serial-only tests cannot race by construction.
 export TSAN_OPTIONS="halt_on_error=1"
-EXTRA_CTEST_ARGS=(-R "ThreadPool|FleetParallel|FleetFixture|ObsRegistry|FleetMetrics|ServeConcurrency|LifecycleDeterminism|FleetScratch" "$@")
+EXTRA_CTEST_ARGS=(-R "ThreadPool|FleetParallel|FleetFixture|ObsRegistry|FleetMetrics|ServeConcurrency|LifecycleDeterminism|FleetScratch|FleetAb" "$@")
 run_config build-tsan "tsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=thread
 
 echo "All checks passed (release + asan/ubsan + tsan fleet tests)."
