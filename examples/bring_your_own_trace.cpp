@@ -45,13 +45,13 @@ int main(int argc, char** argv) {
   std::ifstream f(trace_path);
   std::ostringstream buf;
   buf << f.rdbuf();
-  auto jobs = workload::ParseTrace(buf.str());
-  jobs.status().Check();
-  std::printf("parsed %zu jobs from %s\n", jobs->size(), trace_path.c_str());
+  std::vector<workload::JobInstance> jobs;
+  workload::ParseTrace(std::string_view(buf.str()), &jobs).Check();
+  std::printf("parsed %zu jobs from %s\n", jobs.size(), trace_path.c_str());
 
   telemetry::WorkloadRepository repo;
   std::map<int, std::vector<workload::JobInstance>> by_day;
-  for (auto& job : *jobs) by_day[job.day].push_back(std::move(job));
+  for (auto& job : jobs) by_day[job.day].push_back(std::move(job));
   int last_day = -1;
   for (auto& [day, day_jobs] : by_day) {
     repo.AddDay(day, std::move(day_jobs)).Check();

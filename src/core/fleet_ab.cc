@@ -94,20 +94,40 @@ Result<AbDayComparison> BuildAbDayComparison(
     const DayContext& ctx, const std::vector<FleetArmSpec>& specs,
     const std::vector<FleetDayDecisions>& decisions,
     const std::vector<FleetDayReport>& reports) {
+  return BuildAbDayComparison(std::vector<DayContext>(specs.size(), ctx), specs,
+                              decisions, reports);
+}
+
+Result<AbDayComparison> BuildAbDayComparison(
+    const std::vector<DayContext>& ctxs, const std::vector<FleetArmSpec>& specs,
+    const std::vector<FleetDayDecisions>& decisions,
+    const std::vector<FleetDayReport>& reports) {
   const size_t n = specs.size();
-  if (n == 0 || decisions.size() != n || reports.size() != n) {
+  if (n == 0 || ctxs.size() != n || decisions.size() != n ||
+      reports.size() != n) {
     return Status::InvalidArgument(
-        "specs, decisions, and reports must be parallel and non-empty");
+        "specs, contexts, decisions, and reports must be parallel and "
+        "non-empty");
   }
-  const size_t m = ctx.jobs->size();
+  for (size_t k = 0; k < n; ++k) {
+    if (ctxs[k].jobs == nullptr) {
+      return Status::InvalidArgument(StrFormat("arm %zu context has no jobs", k));
+    }
+    if (ctxs[k].day != ctxs[0].day) {
+      return Status::InvalidArgument(
+          "per-arm contexts must share one day index");
+    }
+  }
+  const size_t m = ctxs[0].jobs->size();
   AbDayComparison c;
-  c.day = ctx.day;
+  c.day = ctxs[0].day;
   c.jobs = static_cast<int>(m);
   c.arms.reserve(n);
   for (size_t k = 0; k < n; ++k) {
-    if (decisions[k].decisions.size() != m || reports[k].outcomes.size() != m) {
+    const size_t mk = ctxs[k].jobs->size();
+    if (decisions[k].decisions.size() != mk || reports[k].outcomes.size() != mk) {
       return Status::InvalidArgument(StrFormat(
-          "arm %zu decisions/report do not cover the day's %zu jobs", k, m));
+          "arm %zu decisions/report do not cover the day's %zu jobs", k, mk));
     }
     AbArmDaySummary s;
     s.name = specs[k].name;
@@ -126,17 +146,22 @@ Result<AbDayComparison> BuildAbDayComparison(
   c.deltas.resize(n);
   // The diff unit is the serialized shard-blob job record — the same bytes
   // lifecycle shadow mode compares — so "no flip" means byte-identical
-  // decisions, not merely equal aggregates.
+  // decisions, not merely equal aggregates. Flips are only defined for arms
+  // deciding arm 0's job vector (pointer identity); a scenario arm's jobs
+  // are a different workload, where saving/cost deltas are the comparison.
   std::vector<std::string> base_records;
-  if (n > 1) {
-    base_records.reserve(m);
-    for (size_t i = 0; i < m; ++i) {
-      base_records.push_back(
-          SerializeJobDecisionRecord(i, decisions[0].decisions[i]));
-    }
-  }
   for (size_t k = 1; k < n; ++k) {
     AbArmDelta& delta = c.deltas[k];
+    delta.saving_delta = c.arms[k].saving_fraction - c.arms[0].saving_fraction;
+    delta.cost_delta = c.arms[k].cost - c.arms[0].cost;
+    if (ctxs[k].jobs != ctxs[0].jobs) continue;
+    if (base_records.empty() && m > 0) {
+      base_records.reserve(m);
+      for (size_t i = 0; i < m; ++i) {
+        base_records.push_back(
+            SerializeJobDecisionRecord(i, decisions[0].decisions[i]));
+      }
+    }
     for (size_t i = 0; i < m; ++i) {
       if (SerializeJobDecisionRecord(i, decisions[k].decisions[i]) !=
           base_records[i]) {
@@ -152,8 +177,6 @@ Result<AbDayComparison> BuildAbDayComparison(
     }
     delta.decision_flips = static_cast<int>(delta.flipped_jobs.size());
     delta.admission_flips = static_cast<int>(delta.admission_flipped.size());
-    delta.saving_delta = c.arms[k].saving_fraction - c.arms[0].saving_fraction;
-    delta.cost_delta = c.arms[k].cost - c.arms[0].cost;
   }
   return c;
 }
@@ -318,8 +341,18 @@ FleetAbDriver::FleetAbDriver(std::vector<FleetArmSpec> specs)
 
 Status FleetAbDriver::Calibrate(const DayContext& history) {
   PHOEBE_RETURN_NOT_OK(specs_status_);
-  for (auto& arm : arms_) {
-    PHOEBE_RETURN_NOT_OK(arm->Calibrate(history));
+  return Calibrate(std::vector<DayContext>(arms_.size(), history));
+}
+
+Status FleetAbDriver::Calibrate(const std::vector<DayContext>& histories) {
+  PHOEBE_RETURN_NOT_OK(specs_status_);
+  if (histories.size() != arms_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("calibration contexts cover %zu arms, driver has %zu",
+                  histories.size(), arms_.size()));
+  }
+  for (size_t k = 0; k < arms_.size(); ++k) {
+    PHOEBE_RETURN_NOT_OK(arms_[k]->Calibrate(histories[k]));
   }
   return Status::OK();
 }
@@ -327,23 +360,53 @@ Status FleetAbDriver::Calibrate(const DayContext& history) {
 Result<std::vector<FleetDayDecisions>> FleetAbDriver::DecideDay(
     const DayContext& ctx) const {
   PHOEBE_RETURN_NOT_OK(specs_status_);
+  return DecideDay(std::vector<DayContext>(arms_.size(), ctx));
+}
+
+Result<std::vector<FleetDayDecisions>> FleetAbDriver::DecideDay(
+    const std::vector<DayContext>& ctxs) const {
+  PHOEBE_RETURN_NOT_OK(specs_status_);
+  if (ctxs.size() != arms_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("day contexts cover %zu arms, driver has %zu", ctxs.size(),
+                  arms_.size()));
+  }
   std::vector<FleetDayDecisions> decisions;
   decisions.reserve(arms_.size());
-  for (const auto& arm : arms_) {
-    PHOEBE_ASSIGN_OR_RETURN(FleetDayDecisions d, arm->DecideDay(ctx));
+  for (size_t k = 0; k < arms_.size(); ++k) {
+    PHOEBE_ASSIGN_OR_RETURN(FleetDayDecisions d, arms_[k]->DecideDay(ctxs[k]));
     decisions.push_back(std::move(d));
   }
   return decisions;
 }
 
 Result<FleetAbDriver::AbDayResult> FleetAbDriver::RunDay(const DayContext& ctx) {
-  PHOEBE_ASSIGN_OR_RETURN(std::vector<FleetDayDecisions> decisions, DecideDay(ctx));
-  return ReplayDay(ctx, decisions);
+  PHOEBE_RETURN_NOT_OK(specs_status_);
+  return RunDay(std::vector<DayContext>(arms_.size(), ctx));
+}
+
+Result<FleetAbDriver::AbDayResult> FleetAbDriver::RunDay(
+    const std::vector<DayContext>& ctxs) {
+  PHOEBE_ASSIGN_OR_RETURN(std::vector<FleetDayDecisions> decisions,
+                          DecideDay(ctxs));
+  return ReplayDay(ctxs, decisions);
 }
 
 Result<FleetAbDriver::AbDayResult> FleetAbDriver::ReplayDay(
     const DayContext& ctx, const std::vector<FleetDayDecisions>& precomputed) {
   PHOEBE_RETURN_NOT_OK(specs_status_);
+  return ReplayDay(std::vector<DayContext>(arms_.size(), ctx), precomputed);
+}
+
+Result<FleetAbDriver::AbDayResult> FleetAbDriver::ReplayDay(
+    const std::vector<DayContext>& ctxs,
+    const std::vector<FleetDayDecisions>& precomputed) {
+  PHOEBE_RETURN_NOT_OK(specs_status_);
+  if (ctxs.size() != arms_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("day contexts cover %zu arms, driver has %zu", ctxs.size(),
+                  arms_.size()));
+  }
   if (precomputed.size() != arms_.size()) {
     return Status::InvalidArgument(
         StrFormat("precomputed decisions cover %zu arms, driver has %zu",
@@ -354,12 +417,12 @@ Result<FleetAbDriver::AbDayResult> FleetAbDriver::ReplayDay(
   result.reports.reserve(arms_.size());
   for (size_t k = 0; k < arms_.size(); ++k) {
     PHOEBE_ASSIGN_OR_RETURN(FleetDayReport report,
-                            arms_[k]->ReplayDay(ctx, precomputed[k]));
+                            arms_[k]->ReplayDay(ctxs[k], precomputed[k]));
     result.reports.push_back(std::move(report));
   }
   PHOEBE_ASSIGN_OR_RETURN(
       result.comparison,
-      BuildAbDayComparison(ctx, specs_, result.decisions, result.reports));
+      BuildAbDayComparison(ctxs, specs_, result.decisions, result.reports));
   return result;
 }
 

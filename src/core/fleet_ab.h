@@ -1,4 +1,6 @@
-// Differential fleet A/B harness: N decision arms over one DayContext.
+// Differential fleet A/B harness: N decision arms over one DayContext —
+// or, in the per-arm-context form, one DayContext per arm so scenario arms
+// can decide a differently-generated workload for the same day index.
 //
 // "Is the new model/config better?" is only answerable when the
 // alternatives are costed against *identical* inputs. The arm/context split
@@ -116,6 +118,18 @@ Result<AbDayComparison> BuildAbDayComparison(
     const std::vector<FleetDayDecisions>& decisions,
     const std::vector<FleetDayReport>& reports);
 
+/// Per-arm-context form: `ctxs` holds one DayContext per arm (all sharing one
+/// day index). Scenario arms decide a differently-generated workload, so a
+/// job-slot byte diff against arm 0 is meaningless there — decision and
+/// admission flips are computed only for arms whose `jobs` pointer *is* arm
+/// 0's vector (the harness passes the identical vector for shared-context
+/// arms); other arms report zero flips but still carry saving/cost deltas.
+/// `jobs` in the result is arm 0's day size.
+Result<AbDayComparison> BuildAbDayComparison(
+    const std::vector<DayContext>& ctxs, const std::vector<FleetArmSpec>& specs,
+    const std::vector<FleetDayDecisions>& decisions,
+    const std::vector<FleetDayReport>& reports);
+
 /// Serialize paired day comparisons in the versioned text format above.
 /// Doubles print as %.17g, so Parse(Serialize(x)) == x and equal comparisons
 /// serialize byte-identically.
@@ -148,6 +162,10 @@ class FleetAbDriver {
   /// Calibrate every arm's admission threshold from one historical day.
   Status Calibrate(const DayContext& history);
 
+  /// Per-arm-context form: arm k calibrates from `histories[k]` (scenario
+  /// arms calibrate against their own workload's history).
+  Status Calibrate(const std::vector<DayContext>& histories);
+
   /// \brief One day under every arm: per-arm decisions, per-arm reports
   /// (byte-identical to that arm's standalone run), and the paired
   /// comparison.
@@ -164,13 +182,27 @@ class FleetAbDriver {
   /// standalone FleetDriver::RunDay under that arm's engine and config.
   Result<AbDayResult> RunDay(const DayContext& ctx);
 
+  /// Per-arm-context form: arm k decides + replays `ctxs[k]` (one context
+  /// per arm, all sharing one day index). This is how scenario arms run one
+  /// day under per-arm workloads; arms passed the identical jobs vector keep
+  /// the full flip diff (see BuildAbDayComparison's per-arm-context form).
+  Result<AbDayResult> RunDay(const std::vector<DayContext>& ctxs);
+
   /// Decide phase only, every arm — the per-arm work a shard process
   /// performs (see fleet_shard.h's v3 per-arm sections).
   Result<std::vector<FleetDayDecisions>> DecideDay(const DayContext& ctx) const;
 
+  /// Per-arm-context decide phase: arm k decides `ctxs[k]`.
+  Result<std::vector<FleetDayDecisions>> DecideDay(
+      const std::vector<DayContext>& ctxs) const;
+
   /// RunDay with every arm's decide phase replaced by `precomputed`
   /// (parallel to the arms; from DecideDay, possibly in another process).
   Result<AbDayResult> ReplayDay(const DayContext& ctx,
+                                const std::vector<FleetDayDecisions>& precomputed);
+
+  /// Per-arm-context replay: arm k replays `precomputed[k]` over `ctxs[k]`.
+  Result<AbDayResult> ReplayDay(const std::vector<DayContext>& ctxs,
                                 const std::vector<FleetDayDecisions>& precomputed);
 
  private:

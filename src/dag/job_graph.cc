@@ -238,10 +238,4 @@ Status JobGraph::FromText(std::string_view text, JobGraph* out) {
   return Status::OK();
 }
 
-Result<JobGraph> JobGraph::FromText(const std::string& text) {
-  JobGraph g;
-  PHOEBE_RETURN_NOT_OK(FromText(std::string_view(text), &g));
-  return g;
-}
-
 }  // namespace phoebe::dag

@@ -108,12 +108,9 @@ class JobGraph {
   /// Stage ids are assigned in file order. Blank lines and '#' comments are
   /// ignored. On error `*out` is untouched; any malformed input yields a
   /// clean Status naming the line (never a crash; fuzz_parser_test pins
-  /// this). This is the primary parse entry point — the Status-first
+  /// this). This is the sole parse entry point — the Status-first
   /// convention every Phoebe parser follows (see DESIGN.md).
   static Status FromText(std::string_view text, JobGraph* out);
-  /// Deprecated shim for the pre-Status-first callers; delegates to the
-  /// two-argument overload. Prefer `Status FromText(text, &graph)`.
-  static Result<JobGraph> FromText(const std::string& text);
 
  private:
   std::string name_;

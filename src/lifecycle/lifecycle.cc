@@ -165,12 +165,14 @@ Result<std::vector<double>> LifecycleDriver::WindowCosts(
     if (!repo.HasDay(d)) continue;
     // One pass over the day's jobs costs every bundle: the stats view and
     // the per-job generation work are shared across arms.
+    const double mtbf =
+        config_.mtbf_factor ? config_.mtbf_seconds / config_.mtbf_factor(d)
+                            : config_.mtbf_seconds;
     PHOEBE_ASSIGN_OR_RETURN(
         std::vector<RunningStats> day_stats,
         core::EvaluateApproachArms(arms, repo.Day(d), repo.StatsBefore(d),
                                    core::Approach::kMlStacked,
-                                   config_.fleet.objective,
-                                   config_.mtbf_seconds));
+                                   config_.fleet.objective, mtbf));
     for (size_t k = 0; k < bundles.size(); ++k) {
       sums[k] += day_stats[k].sum();
       counts[k] += day_stats[k].count();

@@ -36,6 +36,7 @@
 // promoted bundle up without dropping a request.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -62,6 +63,11 @@ struct LifecycleConfig {
   int backtest_window_days = 3;
   /// Cluster MTBF for the recovery objective's failure model.
   double mtbf_seconds = 12 * 3600.0;
+  /// Optional per-day failure-rate multiplier: day d's canary backtest
+  /// divides mtbf_seconds by mtbf_factor(d) (a failure-storm scenario spikes
+  /// this over its window). Null means 1.0 everywhere. Must return a finite
+  /// positive value for every day it is asked about.
+  std::function<double(int)> mtbf_factor;
   /// Day-serving configuration: objective, cuts, threads, template cache.
   /// The storage budget must stay unlimited (admission calibration is not
   /// wired into the loop), and the source must be kMlStacked — the only

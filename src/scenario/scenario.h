@@ -1,0 +1,144 @@
+// Scenario layer: named hostile-workload presets over the synthetic
+// generator.
+//
+// A ScenarioSpec is a declarative description of *how a workload misbehaves*:
+// a Zipfian template-popularity overlay (hot templates dominate traffic,
+// stressing the recurring-template decision cache's LRU), a typed overlay of
+// WorkloadConfig knobs, and a schedule of per-day events (arrival bursts,
+// correlated MTBF collapses, stepped or ramped drift/input-scale regimes).
+// Specs come from named presets (`ScenarioFromPreset`) or a round-tripping
+// `phoebe_scenario 1` text format, and turn into a workload via
+// `MakeScenarioGenerator`, which attaches a `ScenarioShaper` (a
+// workload::DayShaper) to the generator.
+//
+// Determinism: a scenario only reshapes the deterministic per-(seed, day)
+// generation inputs — it never touches decide/replay — so every preset keeps
+// the byte-identical-report contract across threads x cache x shards
+// (core_scenario_determinism_test pins this). The `baseline` preset is
+// byte-identical to running with no scenario at all.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/generator.h"
+
+namespace phoebe::scenario {
+
+/// \brief What a scheduled event multiplies.
+enum class EventKind {
+  kBurst,  ///< expected arrivals (all templates)
+  kMtbf,   ///< failure rate: effective MTBF = base / magnitude
+  kDrift,  ///< parameter random-walk step sigma
+  kInput,  ///< per-day input-volume scale
+};
+
+/// \brief How the event's magnitude applies over its day window.
+enum class EventMode {
+  kStep,  ///< full magnitude on every day in [first_day, last_day]
+  kRamp,  ///< linear 1 -> magnitude over [first_day, last_day], held after
+};
+
+/// \brief One scheduled multiplicative disturbance.
+///
+/// Days outside the window contribute 1.0 (ramp events hold `magnitude` past
+/// `last_day`); overlapping events of the same kind multiply. `last_day` of
+/// -1 means open-ended and is only legal for step events.
+struct ScenarioEvent {
+  EventKind kind = EventKind::kBurst;
+  EventMode mode = EventMode::kStep;
+  int first_day = 0;
+  int last_day = -1;
+  double magnitude = 1.0;
+
+  /// This event's factor at `day` (1.0 outside the window).
+  double FactorAt(int day) const;
+};
+
+/// \brief A named workload scenario: popularity skew + config overlay +
+/// event schedule.
+struct ScenarioSpec {
+  std::string name = "baseline";
+
+  /// Zipf exponent s for template popularity: template i gets relative
+  /// weight 1/(i+1)^s, normalized so the mean weight over all templates is
+  /// 1.0 (total expected arrivals stay matched; only the mix skews, with
+  /// template 0 hottest). 0 = uniform popularity (no overlay).
+  double zipf_exponent = 0.0;
+
+  /// Typed overlay: fields override the base WorkloadConfig when set.
+  std::optional<double> mean_instances_per_day;
+  std::optional<double> daily_drift_sigma;
+  std::optional<double> daily_input_growth;
+  std::optional<double> weekly_amplitude;
+  std::optional<double> exec_noise_sigma;
+
+  std::vector<ScenarioEvent> events;
+
+  Status Validate() const;
+
+  /// Combined factor of all events of one kind at `day`.
+  double ArrivalFactor(int day) const;
+  double DriftFactor(int day) const;
+  double InputFactor(int day) const;
+  /// Failure-rate multiplier: divide the baseline MTBF by this.
+  double MtbfFactor(int day) const;
+
+  /// `base` with the overlay applied.
+  workload::WorkloadConfig ApplyOverlay(workload::WorkloadConfig base) const;
+};
+
+/// The built-in preset names, in canonical order.
+const std::vector<std::string>& ScenarioPresetNames();
+
+/// Builds one of the named presets: baseline, zipf, flash-crowd,
+/// failure-storm, drift-sudden, drift-gradual. `*out` untouched on error.
+Status ScenarioFromPreset(std::string_view name, ScenarioSpec* out);
+
+/// Canonical `phoebe_scenario 1` text form; ScenarioFromText inverts it
+/// byte-exactly (Serialize -> Parse -> Serialize is the identity).
+std::string SerializeScenario(const ScenarioSpec& spec);
+
+/// Total, strict parser for the text format: never crashes on arbitrary
+/// bytes, rejects bad magic, malformed lines, duplicate scalar fields,
+/// invalid events, truncation, and trailing bytes. `*out` untouched on error.
+Status ScenarioFromText(std::string_view text, ScenarioSpec* out);
+
+/// Resolves a `--scenario` argument: a preset name, else a path to a
+/// `phoebe_scenario 1` file. `*out` untouched on error.
+Status ResolveScenario(const std::string& arg, ScenarioSpec* out);
+
+/// \brief DayShaper over a spec's event schedule and Zipf overlay.
+class ScenarioShaper : public workload::DayShaper {
+ public:
+  explicit ScenarioShaper(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+  double ArrivalMultiplier(int day) const override {
+    return spec_.ArrivalFactor(day);
+  }
+  double DriftSigmaScale(int day) const override {
+    return spec_.DriftFactor(day);
+  }
+  double InputScaleMultiplier(int day) const override {
+    return spec_.InputFactor(day);
+  }
+  double TemplateWeight(int index, int num_templates) const override;
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  ScenarioSpec spec_;
+};
+
+/// A generator for `base` reshaped by `spec`: overlay applied to the config,
+/// a ScenarioShaper attached. For the baseline preset (no overlay, no
+/// events, no skew) the result is byte-identical to
+/// `WorkloadGenerator(base)`.
+std::unique_ptr<workload::WorkloadGenerator> MakeScenarioGenerator(
+    const ScenarioSpec& spec, const workload::WorkloadConfig& base);
+
+}  // namespace phoebe::scenario

@@ -111,28 +111,28 @@ Status CheckCutsNested(const std::vector<core::CutResult>& cuts) {
 }
 
 Status CheckGraphRoundTrip(const dag::JobGraph& graph) {
-  auto restored = dag::JobGraph::FromText(graph.ToText());
-  if (!restored.ok()) {
-    return Status::Internal("oracle: FromText failed: " +
-                            restored.status().ToString());
+  dag::JobGraph restored;
+  Status st = dag::JobGraph::FromText(std::string_view(graph.ToText()), &restored);
+  if (!st.ok()) {
+    return Status::Internal("oracle: FromText failed: " + st.ToString());
   }
-  if (restored->name() != graph.name()) {
+  if (restored.name() != graph.name()) {
     return Status::Internal("oracle: name changed in round-trip");
   }
-  if (restored->num_stages() != graph.num_stages() ||
-      restored->num_edges() != graph.num_edges()) {
+  if (restored.num_stages() != graph.num_stages() ||
+      restored.num_edges() != graph.num_edges()) {
     return Status::Internal("oracle: graph shape changed in round-trip");
   }
   for (size_t u = 0; u < graph.num_stages(); ++u) {
     const dag::Stage& a = graph.stage(static_cast<dag::StageId>(u));
-    const dag::Stage& b = restored->stage(static_cast<dag::StageId>(u));
+    const dag::Stage& b = restored.stage(static_cast<dag::StageId>(u));
     if (a.name != b.name || a.stage_type != b.stage_type ||
         a.num_tasks != b.num_tasks || a.operators != b.operators) {
       return Fail("stage changed in round-trip", u);
     }
   }
   for (size_t i = 0; i < graph.edges().size(); ++i) {
-    if (!(graph.edges()[i] == restored->edges()[i])) {
+    if (!(graph.edges()[i] == restored.edges()[i])) {
       return Status::Internal(StrFormat("oracle: edge %zu changed in round-trip", i));
     }
   }
@@ -140,17 +140,18 @@ Status CheckGraphRoundTrip(const dag::JobGraph& graph) {
 }
 
 Status CheckTraceRoundTrip(const std::vector<workload::JobInstance>& jobs) {
-  auto restored = workload::ParseTrace(workload::SerializeTrace(jobs));
-  if (!restored.ok()) {
-    return Status::Internal("oracle: ParseTrace failed: " +
-                            restored.status().ToString());
+  std::vector<workload::JobInstance> restored;
+  Status st = workload::ParseTrace(
+      std::string_view(workload::SerializeTrace(jobs)), &restored);
+  if (!st.ok()) {
+    return Status::Internal("oracle: ParseTrace failed: " + st.ToString());
   }
-  if (restored->size() != jobs.size()) {
+  if (restored.size() != jobs.size()) {
     return Status::Internal("oracle: job count changed in round-trip");
   }
   for (size_t j = 0; j < jobs.size(); ++j) {
     const workload::JobInstance& a = jobs[j];
-    const workload::JobInstance& b = (*restored)[j];
+    const workload::JobInstance& b = restored[j];
     if (a.job_id != b.job_id || a.template_id != b.template_id || a.day != b.day ||
         !SameDouble(a.submit_time, b.submit_time) || a.job_name != b.job_name ||
         a.norm_input_name != b.norm_input_name) {

@@ -51,7 +51,9 @@ Status WorkloadConfig::Validate() const {
   return Status::OK();
 }
 
-WorkloadGenerator::WorkloadGenerator(WorkloadConfig config) : config_(config) {
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config,
+                                     std::shared_ptr<const DayShaper> shaper)
+    : config_(config), shaper_(std::move(shaper)) {
   config_.Validate().Check();
   Rng rng(config_.seed);
   templates_.reserve(static_cast<size_t>(config_.num_templates));
@@ -250,11 +252,12 @@ void WorkloadGenerator::AdvanceDrift(int template_idx, int day) {
   constexpr double kReversion = 0.95;
   while (st.day < day) {
     ++st.day;
+    const double sigma =
+        shaper_ ? config_.daily_drift_sigma * shaper_->DriftSigmaScale(st.day)
+                : config_.daily_drift_sigma;
     Rng step(Mix(tmpl.seed, 0xD41F7000ULL + static_cast<uint64_t>(st.day)));
-    st.rate_walk = kReversion * st.rate_walk +
-                   step.Normal(0.0, config_.daily_drift_sigma);
-    st.sel_walk = kReversion * st.sel_walk +
-                  step.Normal(0.0, config_.daily_drift_sigma);
+    st.rate_walk = kReversion * st.rate_walk + step.Normal(0.0, sigma);
+    st.sel_walk = kReversion * st.sel_walk + step.Normal(0.0, sigma);
   }
 }
 
@@ -262,11 +265,17 @@ std::vector<JobInstance> WorkloadGenerator::GenerateDay(int day) {
   PHOEBE_CHECK(day >= 0);
   std::vector<JobInstance> out;
   int64_t seq = 0;
+  const int num_templates = static_cast<int>(templates_.size());
   for (size_t ti = 0; ti < templates_.size(); ++ti) {
     AdvanceDrift(static_cast<int>(ti), day);
     const JobTemplate& tmpl = templates_[ti];
     Rng day_rng(Mix(Mix(config_.seed, tmpl.seed), 0xDA70000ULL + static_cast<uint64_t>(day)));
-    int64_t count = day_rng.Poisson(tmpl.instances_per_day);
+    double mean_arrivals = tmpl.instances_per_day;
+    if (shaper_) {
+      mean_arrivals *= shaper_->ArrivalMultiplier(day) *
+                       shaper_->TemplateWeight(static_cast<int>(ti), num_templates);
+    }
+    int64_t count = day_rng.Poisson(mean_arrivals);
     for (int64_t k = 0; k < count; ++k) {
       Rng inst_rng = day_rng.Fork();
       int64_t job_id = static_cast<int64_t>(day) * 1000000 + seq++;
@@ -305,7 +314,9 @@ JobInstance WorkloadGenerator::MakeInstance(const JobTemplate& tmpl,
   auto order = inst.graph.TopologicalOrder();
   order.status().Check();
 
-  const double scale = InputScale(day);
+  const double scale =
+      shaper_ ? InputScale(day) * shaper_->InputScaleMultiplier(day)
+              : InputScale(day);
   const double instance_factor = rng->LogNormal(0.0, config_.input_instance_sigma);
   const double rate_drift = std::exp(drift.rate_walk);
   const double partition_scale =

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,37 @@
 #include "workload/stage_type.h"
 
 namespace phoebe::workload {
+
+/// \brief Per-day shaping hook over the generator's base distributions.
+///
+/// A shaper multiplies selected generator inputs by day-dependent factors
+/// without touching the underlying random streams, so a shaped workload stays
+/// deterministic per (config, shaper, day) and the identity shaper (all
+/// factors 1.0) is byte-identical to running with no shaper at all — ×1.0 is
+/// exact in IEEE arithmetic. The scenario layer (src/scenario/) implements
+/// this interface from a declarative event schedule.
+///
+/// Implementations must be pure functions of their constructor state: the
+/// generator may call any method for any day, repeatedly, in any order.
+class DayShaper {
+ public:
+  virtual ~DayShaper() = default;
+
+  /// Multiplier on every template's expected arrivals for `day`.
+  virtual double ArrivalMultiplier(int day) const { return 1.0; }
+  /// Multiplier on the parameter random-walk step sigma at `day`.
+  virtual double DriftSigmaScale(int day) const { return 1.0; }
+  /// Multiplier on the per-day input-volume scale at `day`.
+  virtual double InputScaleMultiplier(int day) const { return 1.0; }
+  /// Relative popularity weight of template `index` out of `num_templates`.
+  /// Day-independent; implementations should keep the mean over all templates
+  /// at 1.0 so the total expected arrival volume stays matched.
+  virtual double TemplateWeight(int index, int num_templates) const {
+    (void)index;
+    (void)num_templates;
+    return 1.0;
+  }
+};
 
 /// \brief Knobs for the synthetic workload.
 struct WorkloadConfig {
@@ -129,7 +161,12 @@ struct JobTemplate {
 /// identical instances.
 class WorkloadGenerator {
  public:
-  explicit WorkloadGenerator(WorkloadConfig config);
+  /// `shaper` may be null (the common case): no per-day shaping. A non-null
+  /// shaper must be supplied at construction because the drift walk advances
+  /// cumulatively — retrofitting a shaper mid-stream would desynchronize the
+  /// walk from a fresh generator with the same shaper.
+  explicit WorkloadGenerator(WorkloadConfig config,
+                             std::shared_ptr<const DayShaper> shaper = nullptr);
 
   const WorkloadConfig& config() const { return config_; }
   const std::vector<JobTemplate>& templates() const { return templates_; }
@@ -157,6 +194,7 @@ class WorkloadGenerator {
   void AdvanceDrift(int template_idx, int day);
 
   WorkloadConfig config_;
+  std::shared_ptr<const DayShaper> shaper_;  ///< null = no shaping
   std::vector<JobTemplate> templates_;
   std::vector<DriftState> drift_;  ///< per template
   int64_t next_job_id_ = 1;

@@ -87,7 +87,8 @@ Status ParseTrace(std::string_view text, std::vector<JobInstance>* out) {
       graph_text += *line;
       graph_text += '\n';
     }
-    PHOEBE_ASSIGN_OR_RETURN(job.graph, dag::JobGraph::FromText(graph_text));
+    PHOEBE_RETURN_NOT_OK(
+        dag::JobGraph::FromText(std::string_view(graph_text), &job.graph));
 
     const size_t n = job.graph.num_stages();
     job.truth.reserve(n);
@@ -147,12 +148,6 @@ Status ParseTrace(std::string_view text, std::vector<JobInstance>* out) {
   }
   *out = std::move(jobs);
   return Status::OK();
-}
-
-Result<std::vector<JobInstance>> ParseTrace(const std::string& text) {
-  std::vector<JobInstance> jobs;
-  PHOEBE_RETURN_NOT_OK(ParseTrace(std::string_view(text), &jobs));
-  return jobs;
 }
 
 }  // namespace phoebe::workload

@@ -26,11 +26,9 @@ namespace phoebe::workload {
 std::string SerializeTrace(const std::vector<JobInstance>& jobs);
 
 /// Parse a trace produced by SerializeTrace. Validates graph structure and
-/// per-stage array sizes. Primary Status-first entry point: on error `*out`
+/// per-stage array sizes. Sole Status-first entry point: on error `*out`
 /// is untouched and the Status names the malformed job/stage (never a
 /// crash; fuzz_parser_test pins this).
 Status ParseTrace(std::string_view text, std::vector<JobInstance>* out);
-/// Deprecated shim; delegates to the two-argument overload.
-Result<std::vector<JobInstance>> ParseTrace(const std::string& text);
 
 }  // namespace phoebe::workload

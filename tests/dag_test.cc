@@ -220,46 +220,55 @@ TEST(MetricsTest, SumsTasks) {
 
 // ---------- Serialization ----------
 
+// Status-first parse helper for the rejection cases below.
+Status ParseGraphText(std::string_view text) {
+  JobGraph g;
+  return JobGraph::FromText(text, &g);
+}
+
 TEST(SerializationTest, RoundTrip) {
   JobGraph g = Diamond();
   g.mutable_stage(0).num_tasks = 17;
   std::string text = g.ToText();
-  auto parsed = JobGraph::FromText(text);
-  ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ(parsed->name(), "diamond");
-  EXPECT_EQ(parsed->num_stages(), 4u);
-  EXPECT_EQ(parsed->num_edges(), 4u);
-  EXPECT_EQ(parsed->stage(0).num_tasks, 17);
-  EXPECT_EQ(parsed->stage(2).operators,
+  JobGraph parsed;
+  ASSERT_TRUE(JobGraph::FromText(std::string_view(text), &parsed).ok());
+  EXPECT_EQ(parsed.name(), "diamond");
+  EXPECT_EQ(parsed.num_stages(), 4u);
+  EXPECT_EQ(parsed.num_edges(), 4u);
+  EXPECT_EQ(parsed.stage(0).num_tasks, 17);
+  EXPECT_EQ(parsed.stage(2).operators,
             (std::vector<OperatorKind>{OperatorKind::kAggregate}));
-  EXPECT_EQ(parsed->ToText(), text);
+  EXPECT_EQ(parsed.ToText(), text);
 }
 
 TEST(SerializationTest, CommentsAndBlanksIgnored) {
-  auto parsed = JobGraph::FromText(
-      "# header\n\njob j\nstage a 0 1 Extract\nstage b 1 2 Filter,Project\n"
-      "edge 0 1\n");
-  ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ(parsed->num_stages(), 2u);
-  EXPECT_EQ(parsed->stage(1).operators.size(), 2u);
+  JobGraph parsed;
+  ASSERT_TRUE(JobGraph::FromText(
+                  "# header\n\njob j\nstage a 0 1 Extract\n"
+                  "stage b 1 2 Filter,Project\nedge 0 1\n",
+                  &parsed)
+                  .ok());
+  EXPECT_EQ(parsed.num_stages(), 2u);
+  EXPECT_EQ(parsed.stage(1).operators.size(), 2u);
 }
 
 TEST(SerializationTest, RejectsUnknownOperator) {
-  EXPECT_FALSE(JobGraph::FromText("stage a 0 1 Bogus\n").ok());
+  EXPECT_FALSE(ParseGraphText("stage a 0 1 Bogus\n").ok());
 }
 
 TEST(SerializationTest, RejectsUnknownDirective) {
-  EXPECT_FALSE(JobGraph::FromText("frobnicate\n").ok());
+  EXPECT_FALSE(ParseGraphText("frobnicate\n").ok());
 }
 
 TEST(SerializationTest, RejectsBadEdge) {
-  EXPECT_FALSE(JobGraph::FromText("stage a 0 1 Filter\nedge 0 7\n").ok());
+  EXPECT_FALSE(ParseGraphText("stage a 0 1 Filter\nedge 0 7\n").ok());
 }
 
 TEST(SerializationTest, RejectsCycleOnParse) {
-  EXPECT_FALSE(JobGraph::FromText(
-                   "stage a 0 1 Filter\nstage b 0 1 Filter\nedge 0 1\nedge 1 0\n")
-                   .ok());
+  EXPECT_FALSE(
+      ParseGraphText(
+          "stage a 0 1 Filter\nstage b 0 1 Filter\nedge 0 1\nedge 1 0\n")
+          .ok());
 }
 
 // ---------- Graphviz export ----------

@@ -30,9 +30,9 @@ namespace {
 #error "PHOEBE_FUZZ_CORPUS_DIR must point at tests/fuzz_corpus"
 #endif
 
-// Drive the Status-first primary entry points; the Result shims share the
-// same body, so one harness covers both. The out-param must stay untouched
-// on error — callers rely on that to keep a previous good value.
+// Drive the Status-first entry points (the only parse surface since the
+// Result shims were retired). The out-param must stay untouched on error —
+// callers rely on that to keep a previous good value.
 Status ParseGraph(const std::string& text) {
   dag::JobGraph g;
   Status st = dag::JobGraph::FromText(std::string_view(text), &g);
@@ -168,12 +168,13 @@ TEST(FuzzParserTest, RoundTripSurvivors) {
   const int num_inputs = ScaledCaseCount(opt.num_inputs);
   for (int i = 0; i < num_inputs; ++i) {
     const std::string doc = MutateDocument(seeds, opt, opt.seed + static_cast<uint64_t>(i));
-    auto parsed = dag::JobGraph::FromText(doc);
-    if (!parsed.ok()) continue;
+    dag::JobGraph parsed;
+    if (!dag::JobGraph::FromText(std::string_view(doc), &parsed).ok()) continue;
     ++survivors;
-    auto reparsed = dag::JobGraph::FromText(parsed->ToText());
-    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
-    EXPECT_EQ(parsed->ToText(), reparsed->ToText());
+    dag::JobGraph reparsed;
+    Status st = dag::JobGraph::FromText(std::string_view(parsed.ToText()), &reparsed);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(parsed.ToText(), reparsed.ToText());
   }
   EXPECT_GT(survivors, 0);
 }

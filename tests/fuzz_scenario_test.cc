@@ -1,0 +1,141 @@
+// Corruption fuzzing of the scenario text format (ScenarioFromText): every
+// input — however mangled — must either parse or come back as a clean error
+// Status with the out-param untouched. Crashes, exceptions, and sanitizer
+// reports are the bugs this suite exists to catch; run it under the
+// ASan/UBSan config for full effect. The checked-in corpus under
+// tests/fuzz_corpus/ pins a rich valid document and a bit-flipped regression
+// seed (a corrupted event magnitude deep in the schedule parser).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "testing/fuzz.h"
+#include "testing/property.h"
+
+namespace phoebe::testing {
+namespace {
+
+#ifndef PHOEBE_FUZZ_CORPUS_DIR
+#error "PHOEBE_FUZZ_CORPUS_DIR must point at tests/fuzz_corpus"
+#endif
+
+// The Status-first total parser under test. The out-param must stay
+// untouched on error — callers rely on that to keep a previous good value.
+Status ParseScenarioText(const std::string& text) {
+  scenario::ScenarioSpec spec;
+  spec.name = "sentinel";
+  spec.zipf_exponent = 7.25;
+  Status st = scenario::ScenarioFromText(std::string_view(text), &spec);
+  if (!st.ok()) {
+    EXPECT_EQ(spec.name, "sentinel") << "out-param mutated on error";
+    EXPECT_EQ(spec.zipf_exponent, 7.25) << "out-param mutated on error";
+    EXPECT_TRUE(spec.events.empty()) << "out-param mutated on error";
+  }
+  return st;
+}
+
+std::string ReadFileOrDie(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Corpus files of the scenario extension, sorted for deterministic order.
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(PHOEBE_FUZZ_CORPUS_DIR)) {
+    if (entry.path().extension() == ".scenario") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Well-formed seed documents: the checked-in corpus plus every preset's
+/// canonical serialization, so mutations start from realistic structure.
+std::vector<std::string> ScenarioSeeds() {
+  std::vector<std::string> seeds;
+  for (const auto& p : CorpusFiles()) seeds.push_back(ReadFileOrDie(p));
+  for (const std::string& name : scenario::ScenarioPresetNames()) {
+    scenario::ScenarioSpec spec;
+    scenario::ScenarioFromPreset(name, &spec).Check();
+    seeds.push_back(scenario::SerializeScenario(spec));
+  }
+  return seeds;
+}
+
+TEST(FuzzScenarioCorpusTest, FilesNeverCrashAndValidSeedsParse) {
+  auto files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  for (const auto& p : files) {
+    const std::string text = ReadFileOrDie(p);
+    Status st = ParseScenarioText(text);  // must return, never crash
+    if (p.filename().string().find("_valid") != std::string::npos) {
+      EXPECT_TRUE(st.ok()) << p << ": " << st.ToString();
+    } else {
+      EXPECT_FALSE(st.ok()) << p << " unexpectedly parsed";
+    }
+  }
+}
+
+TEST(FuzzScenarioParserTest, ScenarioFromTextSurvivesCorruption) {
+  FuzzOptions opt;
+  opt.num_inputs = 700;
+  opt.seed = 0x5ce9a;
+  FuzzReport report = FuzzParser(opt, ScenarioSeeds(), ParseScenarioText);
+  EXPECT_TRUE(report.ok) << report.Describe();
+  EXPECT_EQ(report.inputs_run, ScaledCaseCount(700));
+  // The mutator must exercise both sides of the contract: some corrupted
+  // inputs still parse (e.g. a reordered line), most get rejected.
+  EXPECT_GT(report.rejected, 0) << report.Describe();
+}
+
+TEST(FuzzScenarioParserTest, RoundTripSurvivors) {
+  // Any corrupted document the parser accepts must serialize and re-parse to
+  // the same canonical bytes: the accept path may not construct an
+  // un-serializable spec.
+  auto seeds = ScenarioSeeds();
+  FuzzOptions opt;
+  opt.num_inputs = 400;
+  opt.seed = 0x0dd5;
+  int survivors = 0;
+  const int num_inputs = ScaledCaseCount(opt.num_inputs);
+  for (int i = 0; i < num_inputs; ++i) {
+    const std::string doc =
+        MutateDocument(seeds, opt, opt.seed + static_cast<uint64_t>(i));
+    scenario::ScenarioSpec parsed;
+    if (!scenario::ScenarioFromText(std::string_view(doc), &parsed).ok()) continue;
+    ++survivors;
+    const std::string canonical = scenario::SerializeScenario(parsed);
+    scenario::ScenarioSpec reparsed;
+    Status st = scenario::ScenarioFromText(std::string_view(canonical), &reparsed);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(scenario::SerializeScenario(reparsed), canonical);
+  }
+  EXPECT_GT(survivors, 0);
+}
+
+TEST(FuzzScenarioParserTest, PresetsRoundTripThroughTheTextFormat) {
+  for (const std::string& name : scenario::ScenarioPresetNames()) {
+    scenario::ScenarioSpec spec;
+    scenario::ScenarioFromPreset(name, &spec).Check();
+    const std::string text = scenario::SerializeScenario(spec);
+    scenario::ScenarioSpec parsed;
+    scenario::ScenarioFromText(std::string_view(text), &parsed).Check();
+    EXPECT_EQ(scenario::SerializeScenario(parsed), text) << name;
+    EXPECT_EQ(parsed.name, spec.name);
+    EXPECT_EQ(parsed.events.size(), spec.events.size());
+  }
+}
+
+}  // namespace
+}  // namespace phoebe::testing

@@ -141,6 +141,69 @@ class CompareFleetScaleTest(unittest.TestCase):
         self.assertTrue(any("identical_to_sequential" in r for r in regressions))
 
 
+def sweep_doc(cost=0.75, hit_rate=0.2, r2=0.6, deterministic=True, all_det=True):
+    return {
+        "bench": "scenario_sweep",
+        "all_deterministic": all_det,
+        "series": [
+            {
+                "scenario": "zipf",
+                "cost": cost,
+                "canary_cost": 0.48,
+                "cache_hit_rate": hit_rate,
+                "exec_r2": r2,
+                "retrains": 3,
+                "promotions": 2,
+                "deterministic": deterministic,
+            }
+        ],
+    }
+
+
+class CompareScenarioSweepTest(unittest.TestCase):
+    def test_identical_docs_pass(self):
+        regressions, notes = bench_compare.compare(sweep_doc(), sweep_doc(), 0.10)
+        self.assertEqual(regressions, [])
+        # cost + canary_cost + cache_hit_rate + exec_r2 all noted.
+        self.assertEqual(len(notes), 4)
+
+    def test_cost_increase_beyond_tolerance_fails(self):
+        regressions, _ = bench_compare.compare(
+            sweep_doc(cost=0.75), sweep_doc(cost=0.85), 0.10
+        )
+        self.assertTrue(any("cost" in r for r in regressions))
+
+    def test_hit_rate_drop_beyond_tolerance_fails(self):
+        regressions, _ = bench_compare.compare(
+            sweep_doc(hit_rate=0.2), sweep_doc(hit_rate=0.1), 0.10
+        )
+        self.assertTrue(any("cache_hit_rate" in r for r in regressions))
+
+    def test_r2_drop_within_tolerance_passes(self):
+        regressions, _ = bench_compare.compare(
+            sweep_doc(r2=0.60), sweep_doc(r2=0.57), 0.10
+        )
+        self.assertEqual(regressions, [])
+
+    def test_per_scenario_determinism_flip_fails_regardless_of_tolerance(self):
+        regressions, _ = bench_compare.compare(
+            sweep_doc(), sweep_doc(deterministic=False), 0.99
+        )
+        self.assertTrue(any("'deterministic' flipped" in r for r in regressions))
+
+    def test_all_deterministic_flip_fails(self):
+        regressions, _ = bench_compare.compare(
+            sweep_doc(), sweep_doc(all_det=False), 0.99
+        )
+        self.assertTrue(any("all_deterministic" in r for r in regressions))
+
+    def test_missing_scenario_row_fails(self):
+        cur = sweep_doc()
+        cur["series"] = []
+        regressions, _ = bench_compare.compare(sweep_doc(), cur, 0.10)
+        self.assertTrue(any("missing from current run" in r for r in regressions))
+
+
 class ZeroBaselineTest(unittest.TestCase):
     def test_zero_snapshot_metric_is_skipped(self):
         # A 0.0 baseline cannot express a fractional change; the comparator

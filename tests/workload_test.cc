@@ -320,17 +320,24 @@ TEST(JobInstanceTest, AggregateHelpers) {
 
 // ---------- Trace (de)serialization ----------
 
+// Status-first parse helper for the rejection cases below.
+Status ParseTraceText(std::string_view text) {
+  std::vector<JobInstance> jobs;
+  return ParseTrace(text, &jobs);
+}
+
 TEST(TraceTest, RoundTrip) {
   WorkloadGenerator gen(SmallConfig(31));
   auto jobs = gen.GenerateDay(0);
   ASSERT_FALSE(jobs.empty());
   std::string text = SerializeTrace(jobs);
-  auto parsed = ParseTrace(text);
-  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
-  ASSERT_EQ(parsed->size(), jobs.size());
+  std::vector<JobInstance> parsed;
+  Status st = ParseTrace(std::string_view(text), &parsed);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(parsed.size(), jobs.size());
   for (size_t j = 0; j < jobs.size(); ++j) {
     const JobInstance& a = jobs[j];
-    const JobInstance& b = (*parsed)[j];
+    const JobInstance& b = parsed[j];
     EXPECT_EQ(a.job_id, b.job_id);
     EXPECT_EQ(a.template_id, b.template_id);
     EXPECT_EQ(a.day, b.day);
@@ -349,27 +356,28 @@ TEST(TraceTest, RoundTrip) {
     }
   }
   // Serialization is stable (idempotent through a round trip).
-  EXPECT_EQ(SerializeTrace(*parsed), text);
+  EXPECT_EQ(SerializeTrace(parsed), text);
 }
 
 TEST(TraceTest, RejectsMalformedInput) {
-  EXPECT_FALSE(ParseTrace("").ok());
-  EXPECT_FALSE(ParseTrace("trace v2 1\n").ok());
-  EXPECT_FALSE(ParseTrace("trace v1 1\n").ok());  // missing job
-  EXPECT_FALSE(ParseTrace("trace v1 1\nbeginjob 1 0 0 0 a b\nendgraph\n").ok());
+  EXPECT_FALSE(ParseTraceText("").ok());
+  EXPECT_FALSE(ParseTraceText("trace v2 1\n").ok());
+  EXPECT_FALSE(ParseTraceText("trace v1 1\n").ok());  // missing job
+  EXPECT_FALSE(
+      ParseTraceText("trace v1 1\nbeginjob 1 0 0 0 a b\nendgraph\n").ok());
   // Truncated truth block.
   WorkloadGenerator gen(SmallConfig(32));
   auto jobs = gen.GenerateDay(0);
   std::string text = SerializeTrace({jobs[0]});
   size_t pos = text.find("truth ");
   ASSERT_NE(pos, std::string::npos);
-  EXPECT_FALSE(ParseTrace(text.substr(0, pos)).ok());
+  EXPECT_FALSE(ParseTraceText(text.substr(0, pos)).ok());
 }
 
 TEST(TraceTest, EmptyTraceIsValid) {
-  auto parsed = ParseTrace("trace v1 0\n");
-  ASSERT_TRUE(parsed.ok());
-  EXPECT_TRUE(parsed->empty());
+  std::vector<JobInstance> parsed;
+  ASSERT_TRUE(ParseTrace(std::string_view("trace v1 0\n"), &parsed).ok());
+  EXPECT_TRUE(parsed.empty());
 }
 
 }  // namespace

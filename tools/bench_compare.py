@@ -48,6 +48,22 @@ PLANS = {
         ],
         "gates": ["arm_reports_identical_to_standalone"],
     },
+    "scenario_sweep": {
+        "series": [
+            {
+                "path": "series",
+                "key": "scenario",
+                "metrics": [
+                    ("cost", "lower"),
+                    ("canary_cost", "lower"),
+                    ("cache_hit_rate", "higher"),
+                    ("exec_r2", "higher"),
+                ],
+                "gates": ["deterministic"],
+            }
+        ],
+        "gates": ["all_deterministic"],
+    },
     "fleet_scale": {
         "series": [
             {

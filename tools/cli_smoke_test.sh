@@ -264,6 +264,56 @@ if ! diff -q "$WORKDIR/ab_paired.txt" "$WORKDIR/ab_paired_merged.txt" >/dev/null
   fail "fleet-ab: merged paired report differs from unsharded"
 fi
 
+# scenario layer: --scenario baseline is the identity (byte-identical to the
+# default run), a hostile preset runs end to end, and a bad value fails
+# loudly listing the presets.
+expect_exit 0 "fleet scenario baseline" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --scenario baseline \
+  --report "$WORKDIR/report_scenario_baseline.jsonl"
+if ! diff -q "$WORKDIR/report_unsharded.jsonl" \
+             "$WORKDIR/report_scenario_baseline.jsonl" >/dev/null; then
+  fail "fleet: --scenario baseline report differs from the default run"
+fi
+expect_exit 0 "fleet scenario flash-crowd" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --scenario flash-crowd
+expect_stdout_contains "fleet scenario flash-crowd" "jobs admitted"
+expect_exit 2 "fleet bad scenario" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --scenario nosuch
+expect_stderr_contains "fleet bad scenario" "neither a preset"
+expect_stderr_contains "fleet bad scenario" "flash-crowd"
+
+# a scenario file: the round-tripping text format is a first-class input.
+cat > "$WORKDIR/custom.scenario" <<'EOF'
+phoebe_scenario 1
+name smoke-burst
+event burst step 3 3 5
+end_scenario
+EOF
+expect_exit 0 "fleet scenario file" -- \
+  "$CLI" fleet "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --scenario "$WORKDIR/custom.scenario"
+expect_stdout_contains "fleet scenario file" "jobs admitted"
+
+# fleet-ab scenario arms: an arm can decide a differently-generated workload
+# for the same day index (saving/cost deltas; flip diffs need a shared
+# workload). An empty or unknown per-arm scenario fails loudly.
+expect_exit 0 "fleet-ab scenario arm" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --arm name=crowd,scenario=flash-crowd \
+  --report "$WORKDIR/ab_scenario.txt"
+if ! grep -q "^arm 1 crowd" "$WORKDIR/ab_scenario.txt"; then
+  fail "fleet-ab: scenario arm missing from the paired report"
+fi
+expect_exit 2 "fleet-ab empty arm scenario" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --arm name=x,scenario=
+expect_stderr_contains "fleet-ab empty arm scenario" "needs a value"
+expect_exit 2 "fleet-ab bad arm scenario" -- \
+  "$CLI" fleet-ab "${SMALL[@]}" --train-days 2 --days 2 \
+  --bundle "$WORKDIR/model.phoebe" --arm name=x,scenario=nosuch
+expect_stderr_contains "fleet-ab bad arm scenario" "neither a preset"
+
 # trace round trip through the CLI surface.
 expect_exit 0 "trace-export" -- \
   "$CLI" trace-export "${SMALL[@]}" --days 1 --out "$WORKDIR/trace.txt"

@@ -12,9 +12,10 @@
 //              --bundle serves a saved artifact, --shard/--merge split the
 //              run across processes with byte-identical merged reports,
 //              --metrics exports per-day telemetry JSON lines
-//   fleet-ab   differential fleet A/B: N decision arms (saved bundles and/or
-//              --arm config variants) decide the same generated days over one
-//              shared context; emits the paired per-day comparison report,
+//   fleet-ab   differential fleet A/B: N decision arms (saved bundles,
+//              --arm config variants, --arm scenario= workload variants)
+//              decide the same generated days — scenario arms over their own
+//              per-arm workload; emits the paired per-day comparison report,
 //              with --shard/--merge splitting the run across processes via
 //              v3 per-arm shard sections
 //   lifecycle  simulated-production continuous-operation loop: daily
@@ -59,6 +60,7 @@
 #include "dag/graph_metrics.h"
 #include "lifecycle/lifecycle.h"
 #include "obs/metrics.h"
+#include "scenario/scenario.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "telemetry/repository.h"
@@ -89,6 +91,10 @@ bool ParseOrReport(ArgParser& parser, int argc, char** argv, int* code) {
 void AddWorkloadFlags(ArgParser& p) {
   p.AddInt("templates", 60, "number of job templates in the generator");
   p.AddInt("seed", 7, "workload generator seed");
+  p.AddString("scenario", "baseline",
+              "hostile-workload scenario: a preset (baseline|zipf|flash-crowd|"
+              "failure-storm|drift-sudden|drift-gradual) or a phoebe_scenario "
+              "file path");
 }
 
 void AddTrainFlags(ArgParser& p) {
@@ -98,11 +104,27 @@ void AddTrainFlags(ArgParser& p) {
   p.AddString("bundle", "", "serve from this saved bundle instead of training");
 }
 
-workload::WorkloadGenerator MakeGen(const ArgParser& p) {
+workload::WorkloadConfig BaseWorkloadConfig(const ArgParser& p) {
   workload::WorkloadConfig cfg;
   cfg.num_templates = p.GetInt("templates");
   cfg.seed = static_cast<uint64_t>(p.GetInt("seed"));
-  return workload::WorkloadGenerator(cfg);
+  return cfg;
+}
+
+/// Resolve --scenario (preset name or file path); a bad value is a CLI
+/// error, reported like any other flag-parse failure.
+scenario::ScenarioSpec ResolveScenarioOrExit(const std::string& value) {
+  scenario::ScenarioSpec spec;
+  if (Status st = scenario::ResolveScenario(value, &spec); !st.ok()) {
+    std::fprintf(stderr, "--scenario: %s\n", st.ToString().c_str());
+    std::exit(2);
+  }
+  return spec;
+}
+
+workload::WorkloadGenerator MakeGen(const ArgParser& p) {
+  return std::move(*scenario::MakeScenarioGenerator(
+      ResolveScenarioOrExit(p.GetString("scenario")), BaseWorkloadConfig(p)));
 }
 
 /// Map --objective to the enum; unknown values are a CLI error (status set).
@@ -768,11 +790,13 @@ int CmdFleet(int argc, char** argv) {
   return 0;
 }
 
-/// Apply one `--arm` spec ("name=twocut,cuts=2,source=ml_sim,cache=64,bps=50")
-/// on top of the baseline FleetConfig. Only the listed keys are accepted; a
-/// typo is a CLI error, never a silently ignored knob.
+/// Apply one `--arm` spec ("name=twocut,cuts=2,source=ml_sim,cache=64,bps=50,
+/// scenario=flash-crowd") on top of the baseline FleetConfig. Only the listed
+/// keys are accepted; a typo is a CLI error, never a silently ignored knob.
+/// `scenario` names a preset or phoebe_scenario file the arm's workload is
+/// generated under (validated when the arm's generator is built).
 Status ApplyArmSpec(const std::string& spec, core::FleetConfig* cfg,
-                    std::string* name) {
+                    std::string* name, std::string* scenario) {
   for (const std::string& kv : Split(spec, ',')) {
     size_t eq = kv.find('=');
     if (eq == std::string::npos || eq == 0) {
@@ -801,9 +825,16 @@ Status ApplyArmSpec(const std::string& spec, core::FleetConfig* cfg,
       int32_t v = 0;
       parsed = ParseInt32(value, &v);
       if (parsed.ok()) cfg->template_cache.quantize_bps = std::max(0, v);
+    } else if (key == "scenario") {
+      if (value.empty()) {
+        return Status::InvalidArgument("--arm scenario= needs a value");
+      }
+      *scenario = value;
     } else {
-      return Status::InvalidArgument(StrFormat(
-          "--arm key '%s' is not one of name|source|cuts|cache|bps", key.c_str()));
+      return Status::InvalidArgument(
+          StrFormat("--arm key '%s' is not one of name|source|cuts|cache|bps"
+                    "|scenario",
+                    key.c_str()));
     }
     if (!parsed.ok()) {
       return Status::InvalidArgument(StrFormat("--arm %s: %s", key.c_str(),
@@ -826,8 +857,10 @@ int CmdFleetAb(int argc, char** argv) {
   p.AddStringList("bundle", "saved bundle file; each occurrence adds one arm "
                   "serving that bundle (arm 0 trains in-process when absent)");
   p.AddStringList("arm", "config arm over the arm-0 bundle: comma-separated "
-                  "key=value of name|source|cuts|cache|bps "
-                  "(e.g. name=twocut,cuts=2)");
+                  "key=value of name|source|cuts|cache|bps|scenario "
+                  "(e.g. name=twocut,cuts=2 or name=storm,scenario=flash-crowd; "
+                  "a scenario arm decides its own workload, so it reports "
+                  "cost/saving deltas but no decision flips)");
   p.AddInt("days", 1, "number of fleet days to run");
   p.AddInt("threads", 1, "decision threads (0 = all cores; paired reports are "
            "byte-identical for any value)");
@@ -897,6 +930,7 @@ int CmdFleetAb(int argc, char** argv) {
     std::string name;
     std::shared_ptr<const core::PipelineBundle> bundle;
     core::FleetConfig cfg;
+    std::string scenario;  // empty = the run-level --scenario workload
   };
   std::vector<ArmPlan> plans;
   core::PhoebePipeline trained;
@@ -907,15 +941,18 @@ int CmdFleetAb(int argc, char** argv) {
                    bundle.status().ToString().c_str());
       return 1;
     }
-    plans.push_back({StrFormat("bundle%zu", plans.size()), *bundle, base_cfg});
+    plans.push_back(
+        {StrFormat("bundle%zu", plans.size()), *bundle, base_cfg, ""});
   }
   if (plans.empty()) {
     trained.Train(repo, 0, train_days).Check();
-    plans.push_back({"base", trained.bundle(), base_cfg});
+    plans.push_back({"base", trained.bundle(), base_cfg, ""});
   }
   for (const std::string& spec : p.GetStrings("arm")) {
-    ArmPlan plan{StrFormat("cfg%zu", plans.size()), plans.front().bundle, base_cfg};
-    if (Status st = ApplyArmSpec(spec, &plan.cfg, &plan.name); !st.ok()) {
+    ArmPlan plan{StrFormat("cfg%zu", plans.size()), plans.front().bundle,
+                 base_cfg, ""};
+    if (Status st = ApplyArmSpec(spec, &plan.cfg, &plan.name, &plan.scenario);
+        !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 2;
     }
@@ -925,6 +962,33 @@ int CmdFleetAb(int argc, char** argv) {
     std::fprintf(stderr, "fleet-ab compares >= 2 arms; pass --bundle twice "
                  "and/or add --arm specs\n");
     return 2;
+  }
+
+  // Per-arm workloads: arms without a scenario= key decide the run-level
+  // repository; each distinct `--arm scenario=` value gets one generator and
+  // repository over the same base config (templates, seed), shared by every
+  // arm naming it. Sharing a repository object means sharing the day's jobs
+  // vector, which is what keeps the flip diff defined for same-workload arms.
+  std::map<std::string, std::unique_ptr<telemetry::WorkloadRepository>>
+      scenario_repos;
+  std::vector<telemetry::WorkloadRepository*> arm_repos(plans.size(), &repo);
+  for (size_t k = 0; k < plans.size(); ++k) {
+    const std::string& sc = plans[k].scenario;
+    if (sc.empty()) continue;
+    auto it = scenario_repos.find(sc);
+    if (it == scenario_repos.end()) {
+      scenario::ScenarioSpec spec;
+      if (Status st = scenario::ResolveScenario(sc, &spec); !st.ok()) {
+        std::fprintf(stderr, "--arm '%s' scenario: %s\n", plans[k].name.c_str(),
+                     st.ToString().c_str());
+        return 2;
+      }
+      auto sgen = scenario::MakeScenarioGenerator(spec, BaseWorkloadConfig(p));
+      auto r = std::make_unique<telemetry::WorkloadRepository>();
+      for (int d = 0; d < total; ++d) r->AddDay(d, sgen->GenerateDay(d)).Check();
+      it = scenario_repos.emplace(sc, std::move(r)).first;
+    }
+    arm_repos[k] = it->second.get();
   }
 
   // Each arm decides through its own engine view (cheap: a const reader over
@@ -947,10 +1011,27 @@ int CmdFleetAb(int argc, char** argv) {
   }
   core::FleetAbDriver driver(std::move(specs));
 
+  // One DayContext per arm for a repository day: scenario arms read their
+  // own repo, the rest read the run-level one. `stats` owns the per-arm
+  // stats views the contexts point into (stable across the struct's move).
+  struct DayInputs {
+    std::vector<telemetry::HistoricStats> stats;
+    std::vector<core::DayContext> ctxs;
+  };
+  auto MakeArmContexts = [&](int day_index, int repo_day) {
+    DayInputs in;
+    in.stats.reserve(arm_repos.size());
+    for (auto* r : arm_repos) in.stats.push_back(r->StatsBefore(repo_day));
+    in.ctxs.reserve(arm_repos.size());
+    for (size_t k = 0; k < arm_repos.size(); ++k) {
+      in.ctxs.emplace_back(day_index, arm_repos[k]->Day(repo_day), in.stats[k]);
+    }
+    return in;
+  };
+
   if (budget_gb > 0.0) {
-    const auto& hist_jobs = repo.Day(train_days - 1);
-    auto hist_stats = repo.StatsBefore(train_days - 1);
-    driver.Calibrate(core::DayContext(-1, hist_jobs, hist_stats)).Check();
+    DayInputs hist = MakeArmContexts(-1, train_days - 1);
+    driver.Calibrate(hist.ctxs).Check();
   }
 
   // --shard I/N: decide-only mode. Arm 0's decisions are the blob's regular
@@ -977,9 +1058,8 @@ int CmdFleetAb(int argc, char** argv) {
     std::map<int, std::map<int, core::FleetDayDecisions>> arm_days;
     for (int d = 0; d < num_days; ++d) {
       if (!core::ShardOwnsDay(d, index, count)) continue;
-      const auto& jobs = repo.Day(train_days + d);
-      auto stats = repo.StatsBefore(train_days + d);
-      auto decisions = driver.DecideDay(core::DayContext(d, jobs, stats));
+      DayInputs in = MakeArmContexts(d, train_days + d);
+      auto decisions = driver.DecideDay(in.ctxs);
       decisions.status().Check();
       for (size_t k = 1; k < decisions->size(); ++k) {
         arm_days[d].emplace(static_cast<int>(k), std::move((*decisions)[k]));
@@ -1060,11 +1140,9 @@ int CmdFleetAb(int argc, char** argv) {
   for (int d = 0; d < num_days; ++d) {
     obs::MetricsSnapshot day_before;
     if (registry) day_before = registry->Snapshot();
-    const auto& jobs = repo.Day(train_days + d);
-    auto stats = repo.StatsBefore(train_days + d);
-    core::DayContext ctx(d, jobs, stats);
+    DayInputs in = MakeArmContexts(d, train_days + d);
     auto result = [&]() -> Result<core::FleetAbDriver::AbDayResult> {
-      if (!replay) return driver.RunDay(ctx);
+      if (!replay) return driver.RunDay(in.ctxs);
       std::vector<core::FleetDayDecisions> pre;
       pre.push_back(std::move(merged.at(d)));
       auto ait = merged_arms.find(d);
@@ -1076,7 +1154,7 @@ int CmdFleetAb(int argc, char** argv) {
         }
         pre.push_back(std::move(ait->second.at(static_cast<int>(k))));
       }
-      return driver.ReplayDay(ctx, pre);
+      return driver.ReplayDay(in.ctxs, pre);
     }();
     result.status().Check();
     const core::AbDayComparison& cmp = result->comparison;
@@ -1250,6 +1328,12 @@ int CmdLifecycle(int argc, char** argv) {
   cfg.retention_days = p.GetInt("retention-days");
   cfg.out_dir = out_dir;
   cfg.metrics = registry.get();
+  // The scenario shapes both halves of the loop: MakeGen below generates the
+  // shaped workload, and a failure-storm's MTBF spikes reach the canary
+  // backtest through the per-day factor (a no-op ×1.0 for other presets).
+  const scenario::ScenarioSpec scen =
+      ResolveScenarioOrExit(p.GetString("scenario"));
+  cfg.mtbf_factor = [scen](int d) { return scen.MtbfFactor(d); };
   if (Status st = cfg.Validate(); !st.ok()) {
     std::fprintf(stderr, "invalid lifecycle configuration: %s\n",
                  st.ToString().c_str());
@@ -1545,7 +1629,12 @@ int CmdBacktest(int argc, char** argv) {
     return 2;
   }
   Trained t = TrainFromArgs(p);
-  core::BackTester tester(&t.phoebe.engine(), /*mtbf_seconds=*/12 * 3600.0);
+  // A failure-storm scenario shortens the effective MTBF on the held-out
+  // day, so the recovery comparison runs under the storm it describes.
+  const scenario::ScenarioSpec scen =
+      ResolveScenarioOrExit(p.GetString("scenario"));
+  core::BackTester tester(&t.phoebe.engine(),
+                          12 * 3600.0 / scen.MtbfFactor(t.train_days));
   const auto& jobs = t.repo.Day(t.train_days);
   auto stats = t.repo.StatsBefore(t.train_days);
   bool recovery = *objective == core::Objective::kRecovery;
@@ -1578,8 +1667,8 @@ void Usage() {
       "  backtest     compare checkpoint approaches on a held-out day\n"
       "  fleet        day-level driver: threads, budget, template cache,\n"
       "               --shard/--merge process split, --metrics telemetry\n"
-      "  fleet-ab     differential A/B: N arms (bundles / --arm configs) over\n"
-      "               one shared day context, paired comparison reports\n"
+      "  fleet-ab     differential A/B: N arms (bundles, --arm configs, --arm\n"
+      "               scenario= workloads), paired comparison reports\n"
       "  lifecycle    continuous-operation loop: drift-aware retraining,\n"
       "               canary backtest promotion, shadow diffing (--out-dir)\n"
       "  serve        long-running decision daemon (framed socket protocol,\n"

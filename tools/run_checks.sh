@@ -39,11 +39,13 @@ run_config build-asan "asan+ubsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=ON
 # loops at 4 decision threads), and the per-worker decide-scratch arenas
 # (FleetScratch: warm-arena reuse across threads must stay byte-neutral),
 # and the A/B harness (FleetAb: per-arm decide fan-out on the shared day
-# context must stay byte-identical across thread counts).
+# context must stay byte-identical across thread counts), and the scenario
+# determinism matrix (ScenarioDeterminism: every hostile-workload preset's
+# fleet reports across threads x cache x shards).
 # The full suite under TSan is too slow for a local gate, and the
 # serial-only tests cannot race by construction.
 export TSAN_OPTIONS="halt_on_error=1"
-EXTRA_CTEST_ARGS=(-R "ThreadPool|FleetParallel|FleetFixture|ObsRegistry|FleetMetrics|ServeConcurrency|LifecycleDeterminism|FleetScratch|FleetAb" "$@")
+EXTRA_CTEST_ARGS=(-R "ThreadPool|FleetParallel|FleetFixture|ObsRegistry|FleetMetrics|ServeConcurrency|LifecycleDeterminism|FleetScratch|FleetAb|ScenarioDeterminism" "$@")
 run_config build-tsan "tsan" -DCMAKE_BUILD_TYPE=Debug -DPHOEBE_SANITIZE=thread
 
 echo "All checks passed (release + asan/ubsan + tsan fleet tests)."
